@@ -1,0 +1,29 @@
+"""Shared configuration for the benchmark suite.
+
+Each benchmark regenerates one of the paper's tables or figures through the
+``repro.experiments`` entry points and prints the resulting text table so
+the numbers can be compared against the publication (see EXPERIMENTS.md).
+Scales are chosen so the whole suite finishes in a few minutes on a laptop;
+pass larger configs to the underlying ``run_*`` functions to approach the
+paper's exact sizes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "paper_artifact(name): the paper table/figure a benchmark regenerates")
+
+
+@pytest.fixture
+def report_artifact(capsys):
+    """Print an experiment's text table so it appears in the benchmark log."""
+
+    def _report(text: str) -> None:
+        with capsys.disabled():
+            print("\n" + text + "\n")
+
+    return _report

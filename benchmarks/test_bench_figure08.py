@@ -1,0 +1,20 @@
+"""Benchmark: Figure 8 — per-query latency vs partition size (disjoint PCs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure8Config, run_figure8
+
+
+@pytest.mark.paper_artifact("figure-8")
+def test_bench_figure8(benchmark, report_artifact):
+    config = Figure8Config(partition_sizes=(50, 100, 500, 1000, 2000),
+                           num_queries=10, num_rows=15_000)
+    result = benchmark.pedantic(run_figure8, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    latencies = [row["ms_per_query"] for row in result.rows]
+    # Latency grows with partition count but stays interactive (paper: ~50 ms
+    # at 2000 partitions).
+    assert latencies[0] <= latencies[-1]
+    assert latencies[-1] < 5_000.0

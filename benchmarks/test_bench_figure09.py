@@ -1,0 +1,19 @@
+"""Benchmark: Figure 9 — MIN/MAX/AVG bounds with partition PCs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure9Config, run_figure9
+
+
+@pytest.mark.paper_artifact("figure-9")
+def test_bench_figure9(benchmark, report_artifact):
+    config = Figure9Config(num_queries=60, num_rows=8_000, num_constraints=144)
+    result = benchmark.pedantic(run_figure9, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    by_aggregate = {row["aggregate"]: row for row in result.rows}
+    for aggregate in ("MIN", "MAX", "AVG"):
+        assert by_aggregate[aggregate]["failure_%"] == 0.0
+    # MIN/MAX bounds are near-optimal (over-estimation close to 1).
+    assert by_aggregate["MAX"]["median_overest"] < 2.0

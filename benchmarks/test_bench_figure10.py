@@ -1,0 +1,19 @@
+"""Benchmark: Figure 10 — Airbnb NYC over-estimation per baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure10Config, run_figure10
+
+
+@pytest.mark.paper_artifact("figure-10")
+def test_bench_figure10(benchmark, report_artifact):
+    config = Figure10Config(num_rows=8_000, num_constraints=144, num_queries=60)
+    result = benchmark.pedantic(run_figure10, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    for row in result.rows:
+        if row["estimator"] in ("Corr-PC", "Rand-PC", "Histogram"):
+            assert row["failures"] == 0
+    assert result.median_overestimation("SUM", "Corr-PC") <= \
+        result.median_overestimation("SUM", "Rand-PC") * 1.5

@@ -1,0 +1,17 @@
+"""Benchmark: Figure 11 — Border Crossing over-estimation per baseline."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure11Config, run_figure11
+
+
+@pytest.mark.paper_artifact("figure-11")
+def test_bench_figure11(benchmark, report_artifact):
+    config = Figure11Config(num_rows=8_000, num_constraints=144, num_queries=60)
+    result = benchmark.pedantic(run_figure11, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    for row in result.rows:
+        if row["estimator"] in ("Corr-PC", "Rand-PC", "Histogram"):
+            assert row["failures"] == 0

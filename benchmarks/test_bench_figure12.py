@@ -1,0 +1,23 @@
+"""Benchmark: Figure 12 — join bounds (edge cover vs elastic sensitivity)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Figure12Config, run_figure12
+
+
+@pytest.mark.paper_artifact("figure-12")
+def test_bench_figure12(benchmark, report_artifact):
+    config = Figure12Config(table_sizes=(10, 100, 1000, 10_000), exact_join_limit=1000)
+    result = benchmark.pedantic(run_figure12, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    # The edge-cover bound is orders of magnitude tighter at the largest size.
+    for shape in ("triangle", "chain"):
+        ratio = result.bound(shape, 10_000, "elastic_bound") / \
+            result.bound(shape, 10_000, "fec_bound")
+        assert ratio > 100.0
+    # Bounds always dominate the exact join sizes we can afford to compute.
+    for row in result.triangle_rows + result.chain_rows:
+        if "true_count" in row:
+            assert row["true_count"] <= row["fec_bound"] + 1e-9

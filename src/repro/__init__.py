@@ -1,0 +1,88 @@
+"""repro — Predicate-Constraint contingency analysis for missing data.
+
+A from-scratch reproduction of *"Fast and Reliable Missing Data Contingency
+Analysis with Predicate-Constraints"* (Liang, Shang, Elmore, Krishnan,
+Franklin; SIGMOD 2020).
+
+The public API re-exported here covers the typical workflow:
+
+>>> from repro import (Predicate, PredicateConstraint, PredicateConstraintSet,
+...                    ValueConstraint, FrequencyConstraint,
+...                    PCAnalyzer, ContingencyQuery)
+>>> chicago = PredicateConstraint(
+...     Predicate.equals("branch", "Chicago"),
+...     ValueConstraint({"price": (0.0, 149.99)}),
+...     FrequencyConstraint.at_most(5),
+...     name="chicago-sales")
+
+Sub-packages
+------------
+``repro.core``
+    The predicate-constraint framework itself (paper §3–§5).
+``repro.relational``
+    The in-memory relational substrate (ground truth evaluation, joins).
+``repro.solvers``
+    Satisfiability, LP/MILP, and fractional-edge-cover substrates.
+``repro.baselines``
+    The statistical estimators the paper compares against (§6.1).
+``repro.datasets`` / ``repro.workloads`` / ``repro.experiments``
+    Synthetic re-creations of the evaluation datasets, query/missing-data
+    workload generators, and one module per paper table/figure.
+"""
+
+from .core import (
+    BoundOptions,
+    ContingencyQuery,
+    ContingencyReport,
+    FrequencyConstraint,
+    JoinBound,
+    JoinBoundAnalyzer,
+    JoinRelationSpec,
+    PCAnalyzer,
+    PCBoundSolver,
+    Predicate,
+    PredicateConstraint,
+    PredicateConstraintSet,
+    ResultRange,
+    ValueConstraint,
+    build_corr_pcs,
+    build_histogram_pcs,
+    build_partition_pcs,
+    build_random_pcs,
+)
+from .relational import (
+    AggregateFunction,
+    AggregateQuery,
+    ColumnType,
+    Relation,
+    Schema,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoundOptions",
+    "ContingencyQuery",
+    "ContingencyReport",
+    "FrequencyConstraint",
+    "JoinBound",
+    "JoinBoundAnalyzer",
+    "JoinRelationSpec",
+    "PCAnalyzer",
+    "PCBoundSolver",
+    "Predicate",
+    "PredicateConstraint",
+    "PredicateConstraintSet",
+    "ResultRange",
+    "ValueConstraint",
+    "build_corr_pcs",
+    "build_histogram_pcs",
+    "build_partition_pcs",
+    "build_random_pcs",
+    "AggregateFunction",
+    "AggregateQuery",
+    "ColumnType",
+    "Relation",
+    "Schema",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Statistical baselines the paper compares the PC framework against (§6.1).
+
+Every estimator follows the :class:`~repro.baselines.base.MissingDataEstimator`
+interface: it is fitted on the missing partition (summarising it into a
+bounded amount of state) and then produces interval estimates for aggregate
+queries over that partition.
+"""
+
+from .base import IntervalEstimate, MissingDataEstimator
+from .elastic_sensitivity import (
+    ElasticSensitivityBound,
+    chain_join_elastic_bound,
+    elastic_sensitivity_join_bound,
+    max_key_frequency,
+    triangle_count_elastic_bound,
+)
+from .extrapolation import SimpleExtrapolationEstimator, extrapolate
+from .gmm import DiagonalGaussianMixture, GenerativeModelEstimator
+from .histogram import HistogramEstimator
+from .sampling import StratifiedSamplingEstimator, UniformSamplingEstimator
+
+__all__ = [
+    "IntervalEstimate",
+    "MissingDataEstimator",
+    "ElasticSensitivityBound",
+    "chain_join_elastic_bound",
+    "elastic_sensitivity_join_bound",
+    "max_key_frequency",
+    "triangle_count_elastic_bound",
+    "SimpleExtrapolationEstimator",
+    "extrapolate",
+    "DiagonalGaussianMixture",
+    "GenerativeModelEstimator",
+    "HistogramEstimator",
+    "StratifiedSamplingEstimator",
+    "UniformSamplingEstimator",
+]

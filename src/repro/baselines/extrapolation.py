@@ -1,0 +1,93 @@
+"""Simple extrapolation baseline (paper §2.1 and Figure 1).
+
+The naive approach: scale the aggregate computed on the data you *do* have
+by the fraction of data that is missing.  It returns a single number with no
+uncertainty estimate — the paper's motivating example of why that is risky
+when the missing rows are correlated with the aggregate.
+"""
+
+from __future__ import annotations
+
+from ..core.engine import ContingencyQuery
+from ..exceptions import WorkloadError
+from ..relational.aggregates import AggregateFunction
+from ..relational.relation import Relation
+from .base import IntervalEstimate, MissingDataEstimator
+
+__all__ = ["SimpleExtrapolationEstimator", "extrapolate"]
+
+
+def extrapolate(observed_value: float, observed_rows: int, missing_rows: int,
+                aggregate: AggregateFunction) -> float:
+    """Scale an observed aggregate up to account for ``missing_rows``.
+
+    COUNT and SUM scale linearly with the number of rows; AVG/MIN/MAX are
+    assumed unchanged (the "missing data looks like present data"
+    assumption).
+    """
+    if observed_rows < 0 or missing_rows < 0:
+        raise WorkloadError("row counts must be non-negative")
+    if aggregate in (AggregateFunction.COUNT, AggregateFunction.SUM):
+        if observed_rows == 0:
+            return 0.0
+        scale = (observed_rows + missing_rows) / observed_rows
+        return observed_value * scale
+    return observed_value
+
+
+class SimpleExtrapolationEstimator(MissingDataEstimator):
+    """Extrapolates the *missing partition's* contribution from observed data.
+
+    Unlike the other baselines this estimator is fitted on the **observed**
+    partition plus the known number of missing rows, because extrapolation
+    by definition never looks at missing content.  The interval collapses to
+    a single point (no uncertainty is reported) — exactly the failure mode
+    Figure 1 illustrates.
+    """
+
+    name = "Extrapolation"
+
+    def __init__(self, observed: Relation, missing_rows: int):
+        super().__init__()
+        if missing_rows < 0:
+            raise WorkloadError("missing_rows must be non-negative")
+        self._observed = observed
+        self._missing_rows = missing_rows
+
+    def fit(self, missing: Relation) -> "SimpleExtrapolationEstimator":
+        # The missing relation is deliberately ignored (only its size could
+        # be known in practice); ``fit`` exists to honour the interface.
+        self._missing_rows = missing.num_rows
+        self._fitted = True
+        return self
+
+    def estimate(self, query: ContingencyQuery) -> IntervalEstimate:
+        self._require_fitted()
+        observed_query = query.to_aggregate_query()
+        result = observed_query.execute(self._observed)
+        observed_value = result.value if result.value is not None else 0.0
+        observed_rows = result.matching_rows
+        if self._observed.num_rows == 0:
+            missing_in_region = self._missing_rows
+        else:
+            # Assume the query region covers the same share of the missing
+            # rows as it does of the observed rows.
+            share = observed_rows / self._observed.num_rows
+            missing_in_region = self._missing_rows * share
+        if query.aggregate in (AggregateFunction.COUNT, AggregateFunction.SUM):
+            if observed_rows == 0:
+                point = 0.0
+            else:
+                point = observed_value * (missing_in_region / observed_rows)
+        else:
+            point = observed_value
+        return IntervalEstimate(point, point, point, self.name)
+
+    def relative_error(self, query: ContingencyQuery, missing: Relation) -> float:
+        """|estimate - truth| / |truth| over the missing partition (Figure 1)."""
+        truth = query.ground_truth(missing)
+        truth_value = 0.0 if truth is None else float(truth)
+        estimate = self.estimate(query).point or 0.0
+        if truth_value == 0.0:
+            return abs(estimate - truth_value)
+        return abs(estimate - truth_value) / abs(truth_value)

@@ -1,0 +1,216 @@
+"""Equi-width histogram baseline (paper §6.1.3).
+
+The histogram summarises the missing rows into ``num_buckets`` equi-width
+buckets per summarised attribute.  Each bucket records the rows it holds and
+the min/max of the aggregated attribute inside it, so the histogram can
+produce *hard* bounds: a query's result range is obtained by treating every
+bucket that intersects the query region as possibly fully in or fully out of
+the region (standard container/contents reasoning, which is why the paper
+groups histograms with PCs as the "guaranteed not to fail" baselines).
+
+For multi-attribute predicates the histogram is a grid over the predicate
+attributes — the paper's "standard independence assumptions" only matter for
+point estimates, which we also report via :attr:`IntervalEstimate.point`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import ContingencyQuery
+from ..exceptions import WorkloadError
+from ..relational.aggregates import AggregateFunction
+from ..relational.relation import Relation
+from .base import IntervalEstimate, MissingDataEstimator
+
+__all__ = ["HistogramEstimator"]
+
+
+class _Bucket:
+    """One grid bucket: its box, row count and per-attribute value ranges."""
+
+    __slots__ = ("lows", "highs", "count", "value_min", "value_max", "value_sum")
+
+    def __init__(self, lows: dict[str, float], highs: dict[str, float], count: int,
+                 value_min: dict[str, float], value_max: dict[str, float],
+                 value_sum: dict[str, float]):
+        self.lows = lows
+        self.highs = highs
+        self.count = count
+        self.value_min = value_min
+        self.value_max = value_max
+        self.value_sum = value_sum
+
+    def overlap(self, region_low: dict[str, float], region_high: dict[str, float]
+                ) -> str:
+        """'none', 'partial' or 'full' overlap with the query box."""
+        fully_inside = True
+        for attribute in self.lows:
+            query_low = region_low.get(attribute, float("-inf"))
+            query_high = region_high.get(attribute, float("inf"))
+            if self.highs[attribute] < query_low or self.lows[attribute] > query_high:
+                return "none"
+            if self.lows[attribute] < query_low or self.highs[attribute] > query_high:
+                fully_inside = False
+        return "full" if fully_inside else "partial"
+
+
+class HistogramEstimator(MissingDataEstimator):
+    """Equi-width grid histogram with hard container bounds."""
+
+    name = "Histogram"
+
+    def __init__(self, attributes: Sequence[str], num_buckets: int = 32,
+                 value_attributes: Sequence[str] | None = None):
+        super().__init__()
+        if not attributes:
+            raise WorkloadError("histogram needs at least one bucketed attribute")
+        if num_buckets <= 0:
+            raise WorkloadError("num_buckets must be positive")
+        self.attributes = tuple(attributes)
+        self.num_buckets = num_buckets
+        self.value_attributes = tuple(value_attributes) if value_attributes else None
+        self._buckets: list[_Bucket] = []
+
+    # ------------------------------------------------------------------ #
+    def fit(self, missing: Relation) -> "HistogramEstimator":
+        self._buckets = []
+        if missing.num_rows == 0:
+            self._fitted = True
+            return self
+        per_attribute = max(1, int(round(self.num_buckets ** (1 / len(self.attributes)))))
+        edges: dict[str, np.ndarray] = {}
+        for attribute in self.attributes:
+            values = missing.column(attribute).astype(np.float64)
+            low, high = float(values.min()), float(values.max())
+            if low == high:
+                high = low + 1.0
+            edges[attribute] = np.linspace(low, high, per_attribute + 1)
+        value_names = (list(self.value_attributes) if self.value_attributes
+                       else list(missing.schema.numeric_names))
+
+        positions = {}
+        for attribute in self.attributes:
+            values = missing.column(attribute).astype(np.float64)
+            positions[attribute] = np.clip(
+                np.digitize(values, edges[attribute][1:-1], right=False),
+                0, per_attribute - 1)
+        keys = np.stack([positions[attribute] for attribute in self.attributes], axis=1)
+        grouping: dict[tuple[int, ...], list[int]] = {}
+        for row_index in range(missing.num_rows):
+            grouping.setdefault(tuple(int(v) for v in keys[row_index]), []).append(row_index)
+
+        for key, indices in grouping.items():
+            subset = missing.take(indices)
+            lows = {attribute: float(edges[attribute][position])
+                    for attribute, position in zip(self.attributes, key)}
+            highs = {attribute: float(edges[attribute][position + 1])
+                     for attribute, position in zip(self.attributes, key)}
+            value_min = {name: subset.column_min(name) for name in value_names}
+            value_max = {name: subset.column_max(name) for name in value_names}
+            value_sum = {name: subset.column_sum(name) for name in value_names}
+            self._buckets.append(_Bucket(lows, highs, subset.num_rows,
+                                         value_min, value_max, value_sum))
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    def estimate(self, query: ContingencyQuery) -> IntervalEstimate:
+        self._require_fitted()
+        region_low, region_high = self._query_box(query)
+        if query.aggregate is AggregateFunction.COUNT:
+            return self._estimate_count(region_low, region_high)
+        if query.aggregate is AggregateFunction.SUM:
+            return self._estimate_sum(query.attribute, region_low, region_high)
+        if query.aggregate is AggregateFunction.AVG:
+            return self._estimate_avg(query.attribute, region_low, region_high)
+        return self._estimate_extremum(query, region_low, region_high)
+
+    def _query_box(self, query: ContingencyQuery
+                   ) -> tuple[dict[str, float], dict[str, float]]:
+        lows: dict[str, float] = {}
+        highs: dict[str, float] = {}
+        if query.region is not None:
+            for attribute, attribute_range in query.region.ranges.items():
+                lows[attribute] = attribute_range.low
+                highs[attribute] = attribute_range.high
+        return lows, highs
+
+    def _estimate_count(self, lows: dict[str, float], highs: dict[str, float]
+                        ) -> IntervalEstimate:
+        lower = 0.0
+        upper = 0.0
+        point = 0.0
+        for bucket in self._buckets:
+            overlap = bucket.overlap(lows, highs)
+            if overlap == "none":
+                continue
+            upper += bucket.count
+            point += bucket.count * (1.0 if overlap == "full" else 0.5)
+            if overlap == "full":
+                lower += bucket.count
+        return IntervalEstimate(lower, upper, point, self.name)
+
+    def _estimate_sum(self, attribute: str, lows: dict[str, float],
+                      highs: dict[str, float]) -> IntervalEstimate:
+        lower = 0.0
+        upper = 0.0
+        point = 0.0
+        for bucket in self._buckets:
+            overlap = bucket.overlap(lows, highs)
+            if overlap == "none":
+                continue
+            bucket_max = bucket.value_max.get(attribute, 0.0)
+            bucket_min = bucket.value_min.get(attribute, 0.0)
+            bucket_sum = bucket.value_sum.get(attribute, 0.0)
+            if overlap == "full":
+                lower += bucket_sum if bucket_min >= 0 else bucket.count * bucket_min
+                upper += bucket_sum if bucket_max <= 0 else bucket.count * bucket_max
+                point += bucket_sum
+            else:
+                lower += min(0.0, bucket.count * bucket_min)
+                upper += max(0.0, bucket.count * bucket_max)
+                point += bucket_sum * 0.5
+        return IntervalEstimate(lower, upper, point, self.name)
+
+    def _estimate_avg(self, attribute: str, lows: dict[str, float],
+                      highs: dict[str, float]) -> IntervalEstimate:
+        candidates_low: list[float] = []
+        candidates_high: list[float] = []
+        weighted_sum = 0.0
+        weight = 0.0
+        for bucket in self._buckets:
+            overlap = bucket.overlap(lows, highs)
+            if overlap == "none":
+                continue
+            candidates_low.append(bucket.value_min.get(attribute, 0.0))
+            candidates_high.append(bucket.value_max.get(attribute, 0.0))
+            weighted_sum += bucket.value_sum.get(attribute, 0.0)
+            weight += bucket.count
+        if not candidates_low:
+            return IntervalEstimate(0.0, 0.0, 0.0, self.name)
+        point = weighted_sum / weight if weight else None
+        return IntervalEstimate(min(candidates_low), max(candidates_high),
+                                point, self.name)
+
+    def _estimate_extremum(self, query: ContingencyQuery, lows: dict[str, float],
+                           highs: dict[str, float]) -> IntervalEstimate:
+        attribute = query.attribute or ""
+        minima: list[float] = []
+        maxima: list[float] = []
+        for bucket in self._buckets:
+            if bucket.overlap(lows, highs) == "none":
+                continue
+            minima.append(bucket.value_min.get(attribute, 0.0))
+            maxima.append(bucket.value_max.get(attribute, 0.0))
+        if not minima:
+            return IntervalEstimate(0.0, 0.0, 0.0, self.name)
+        if query.aggregate is AggregateFunction.MAX:
+            return IntervalEstimate(min(maxima), max(maxima), max(maxima), self.name)
+        return IntervalEstimate(min(minima), max(minima), min(minima), self.name)
+
+    def num_buckets_used(self) -> int:
+        """The number of non-empty buckets actually stored."""
+        return len(self._buckets)

@@ -1,0 +1,176 @@
+"""Command-line interface.
+
+Two groups of commands:
+
+* ``repro run <artifact>`` — regenerate one of the paper's tables/figures
+  (``figure1`` … ``figure12``, ``table1``, ``table2``) at a configurable
+  scale and print its text table.
+* ``repro bound`` — load a predicate-constraint file (JSON produced by
+  :func:`repro.core.io.save_pcset` or the one-line text syntax) and bound an
+  aggregate query, optionally against an observed CSV relation.
+
+Run ``python -m repro --help`` for the full option listing.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Sequence
+
+from . import experiments
+from .core.engine import ContingencyQuery, PCAnalyzer
+from .core.io import load_pcset, parse_constraints
+from .core.predicates import Predicate
+from .exceptions import ReproError
+from .relational.aggregates import AggregateFunction
+from .relational.csvio import read_csv
+
+__all__ = ["main", "build_parser"]
+
+
+_ARTIFACTS: dict[str, tuple[Callable, Callable]] = {
+    "figure1": (experiments.Figure1Config, experiments.run_figure1),
+    "figure3": (experiments.Figure3Config, experiments.run_figure3),
+    "figure4": (experiments.Figure4Config, experiments.run_figure4),
+    "figure5": (experiments.Figure5Config, experiments.run_figure5),
+    "figure6": (experiments.Figure6Config, experiments.run_figure6),
+    "figure7": (experiments.Figure7Config, experiments.run_figure7),
+    "figure8": (experiments.Figure8Config, experiments.run_figure8),
+    "figure9": (experiments.Figure9Config, experiments.run_figure9),
+    "figure10": (experiments.Figure10Config, experiments.run_figure10),
+    "figure11": (experiments.Figure11Config, experiments.run_figure11),
+    "figure12": (experiments.Figure12Config, experiments.run_figure12),
+    "table1": (experiments.Table1Config, experiments.run_table1),
+    "table2": (experiments.Table2Config, experiments.run_table2),
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for testing and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Predicate-constraint contingency analysis (SIGMOD 2020 reproduction)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser(
+        "list", help="list the reproducible paper artifacts")
+    list_parser.set_defaults(handler=_command_list)
+
+    run_parser = subparsers.add_parser(
+        "run", help="regenerate one paper table/figure and print it")
+    run_parser.add_argument("artifact", choices=sorted(_ARTIFACTS))
+    run_parser.add_argument("--num-rows", type=int, default=None,
+                            help="dataset size (experiment-specific default)")
+    run_parser.add_argument("--num-constraints", type=int, default=None,
+                            help="predicate-constraint budget")
+    run_parser.add_argument("--num-queries", type=int, default=None,
+                            help="random query workload size")
+    run_parser.set_defaults(handler=_command_run)
+
+    bound_parser = subparsers.add_parser(
+        "bound", help="bound an aggregate query under a constraint file")
+    bound_parser.add_argument("--constraints", required=True,
+                              help="path to a .json or .txt constraint file")
+    bound_parser.add_argument("--aggregate", required=True,
+                              choices=["count", "sum", "avg", "min", "max"])
+    bound_parser.add_argument("--attribute", default=None,
+                              help="aggregated attribute (not used for count)")
+    bound_parser.add_argument("--where", default=None,
+                              help="optional box predicate, e.g. \"0 <= utc <= 24 AND "
+                                   "branch = 'Chicago'\"")
+    bound_parser.add_argument("--observed", default=None,
+                              help="optional CSV file with the observed partition "
+                                   "(written by repro.relational.write_csv)")
+    bound_parser.add_argument("--no-closure-check", action="store_true",
+                              help="skip the closed-world check (assume closure)")
+    bound_parser.set_defaults(handler=_command_bound)
+
+    return parser
+
+
+# --------------------------------------------------------------------- #
+# Command handlers
+# --------------------------------------------------------------------- #
+def _command_list(_args: argparse.Namespace) -> int:
+    print("Reproducible paper artifacts:")
+    for name in sorted(_ARTIFACTS):
+        print(f"  {name}")
+    return 0
+
+
+def _command_run(args: argparse.Namespace) -> int:
+    config_type, runner = _ARTIFACTS[args.artifact]
+    overrides = {}
+    for field_name, value in (("num_rows", args.num_rows),
+                              ("num_constraints", args.num_constraints),
+                              ("num_queries", args.num_queries)):
+        if value is None:
+            continue
+        if field_name in config_type.__dataclass_fields__:
+            overrides[field_name] = value
+        else:
+            print(f"note: {args.artifact} does not take --{field_name.replace('_', '-')}; "
+                  "ignoring", file=sys.stderr)
+    config = config_type(**overrides)
+    result = runner(config)
+    print(result.to_text())
+    return 0
+
+
+def _load_constraints(path_text: str):
+    path = Path(path_text)
+    if not path.exists():
+        raise ReproError(f"constraint file {path} does not exist")
+    if path.suffix.lower() == ".json":
+        return load_pcset(path)
+    return parse_constraints(path.read_text().splitlines())
+
+
+def _command_bound(args: argparse.Namespace) -> int:
+    pcset = _load_constraints(args.constraints)
+    observed = read_csv(args.observed) if args.observed else None
+
+    aggregate = AggregateFunction.parse(args.aggregate)
+    region: Predicate | None = None
+    if args.where:
+        from .core.io import _parse_predicate  # shared with the text syntax
+
+        region = _parse_predicate(args.where)
+    query = ContingencyQuery(aggregate,
+                             None if aggregate is AggregateFunction.COUNT
+                             else args.attribute,
+                             region)
+
+    from .core.bounds import BoundOptions
+
+    options = BoundOptions(check_closure=not args.no_closure_check)
+    analyzer = PCAnalyzer(pcset, observed=observed, options=options)
+    report = analyzer.analyze(query)
+    print(f"query           : {query.describe()}")
+    print(f"constraints     : {len(pcset)} from {args.constraints}")
+    if observed is not None:
+        print(f"observed rows   : {observed.num_rows} "
+              f"(value {report.observed_value})")
+    print(f"result range    : [{report.lower}, {report.upper}]")
+    print(f"missing-only    : [{report.missing_range.lower}, "
+          f"{report.missing_range.upper}]")
+    print(f"closed world    : {report.missing_range.closed}")
+    print(f"solve time      : {report.elapsed_seconds * 1000:.1f} ms")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

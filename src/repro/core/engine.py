@@ -1,0 +1,294 @@
+"""The public facade of the predicate-constraint framework.
+
+:class:`PCAnalyzer` answers contingency-analysis questions: *given what I
+believe about the missing rows (a predicate-constraint set) and the data I
+do have, what range of values could my aggregate query take?*
+
+Queries are expressed as :class:`ContingencyQuery` — an aggregate, an
+optional aggregated attribute, and an optional box-predicate region (the
+query's WHERE clause).  The analyzer bounds the missing partition with
+:class:`~repro.core.bounds.PCBoundSolver` and, when an observed relation is
+supplied, combines that bound with the exact answer over the observed rows
+(the paper's "partial ground truth" combination, §6.2).
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Mapping
+
+from ..exceptions import QueryError
+from ..relational.aggregates import AggregateFunction
+from ..relational.expressions import TrueExpression
+from ..relational.query import AggregateQuery
+from ..relational.relation import Relation
+from .bounds import BoundOptions, PCBoundSolver, ResultRange
+from .pcset import PredicateConstraintSet
+from .predicates import Predicate
+
+__all__ = ["ContingencyQuery", "ContingencyReport", "PCAnalyzer"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class ContingencyQuery:
+    """An aggregate query in the form the bounding engine understands.
+
+    ``region`` is the WHERE clause restricted to the box-predicate language
+    of §3.1 (conjunctions of ranges and equalities) — the same restriction
+    the paper places on predicate-constraints themselves.
+    """
+
+    aggregate: AggregateFunction
+    attribute: str | None = None
+    region: Predicate | None = None
+
+    def __post_init__(self) -> None:
+        if self.aggregate.needs_attribute and self.attribute is None:
+            raise QueryError(f"{self.aggregate.value} requires an attribute")
+        if not self.aggregate.needs_attribute and self.attribute is not None:
+            raise QueryError("COUNT(*) queries must not name an attribute")
+
+    # Convenience constructors ------------------------------------------------
+    @classmethod
+    def count(cls, region: Predicate | None = None) -> "ContingencyQuery":
+        return cls(AggregateFunction.COUNT, None, region)
+
+    @classmethod
+    def sum(cls, attribute: str, region: Predicate | None = None) -> "ContingencyQuery":
+        return cls(AggregateFunction.SUM, attribute, region)
+
+    @classmethod
+    def avg(cls, attribute: str, region: Predicate | None = None) -> "ContingencyQuery":
+        return cls(AggregateFunction.AVG, attribute, region)
+
+    @classmethod
+    def min(cls, attribute: str, region: Predicate | None = None) -> "ContingencyQuery":
+        return cls(AggregateFunction.MIN, attribute, region)
+
+    @classmethod
+    def max(cls, attribute: str, region: Predicate | None = None) -> "ContingencyQuery":
+        return cls(AggregateFunction.MAX, attribute, region)
+
+    def to_aggregate_query(self) -> AggregateQuery:
+        """The equivalent relational query (for exact evaluation on data)."""
+        if self.region is not None:
+            where = self.region.to_expression()
+        else:
+            where = TrueExpression()
+        return AggregateQuery(self.aggregate, self.attribute, where)
+
+    def ground_truth(self, relation: Relation) -> float | None:
+        """The exact answer of this query over ``relation``."""
+        return self.to_aggregate_query().scalar(relation)
+
+    def describe(self) -> str:
+        target = "*" if self.attribute is None else self.attribute
+        text = f"{self.aggregate.value}({target})"
+        if self.region is not None and not self.region.is_tautology():
+            text += f" WHERE {self.region!r}"
+        return text
+
+
+@dataclass
+class ContingencyReport:
+    """The full output of a contingency analysis for one query."""
+
+    query: ContingencyQuery
+    result_range: ResultRange
+    missing_range: ResultRange
+    observed_value: float | None
+    observed_rows: int
+    elapsed_seconds: float
+
+    @property
+    def lower(self) -> float | None:
+        return self.result_range.lower
+
+    @property
+    def upper(self) -> float | None:
+        return self.result_range.upper
+
+    def summary(self) -> str:
+        """A one-line human-readable summary."""
+        return (f"{self.query.describe()}: range [{self.lower}, {self.upper}] "
+                f"(observed={self.observed_value}, "
+                f"missing ∈ [{self.missing_range.lower}, {self.missing_range.upper}], "
+                f"{self.elapsed_seconds * 1000:.1f} ms)")
+
+
+class PCAnalyzer:
+    """Bounds aggregate queries under predicate-constraints on missing rows.
+
+    Parameters
+    ----------
+    pcset:
+        Constraints describing the missing partition ``R?``.
+    observed:
+        The certain partition ``R*`` (optional).  When given, reported
+        ranges cover the whole relation ``R* ∪ R?``; otherwise they cover
+        only the missing partition.
+    options:
+        Solver tuning knobs (decomposition strategy, MILP backend, closure
+        checking, AVG tolerance).
+    """
+
+    def __init__(self, pcset: PredicateConstraintSet,
+                 observed: Relation | None = None,
+                 options: BoundOptions | None = None):
+        self._pcset = pcset
+        self._observed = observed
+        self._options = options or BoundOptions()
+        self._solver = PCBoundSolver(pcset, self._options)
+
+    @property
+    def pcset(self) -> PredicateConstraintSet:
+        return self._pcset
+
+    @property
+    def observed(self) -> Relation | None:
+        return self._observed
+
+    @property
+    def options(self) -> BoundOptions:
+        return self._options
+
+    # ------------------------------------------------------------------ #
+    # Main API
+    # ------------------------------------------------------------------ #
+    def bound(self, query: ContingencyQuery) -> ResultRange:
+        """The result range for ``query`` (observed ∪ missing)."""
+        return self.analyze(query).result_range
+
+    def bound_missing(self, query: ContingencyQuery) -> ResultRange:
+        """The result range for ``query`` over the missing partition only."""
+        return self._solver.bound(query.aggregate, query.attribute, query.region)
+
+    def analyze(self, query: ContingencyQuery) -> ContingencyReport:
+        """Bound the query and package the full report."""
+        started = time.perf_counter()
+        observed_value, observed_rows, observed_sum = self._observed_summary(query)
+        if query.aggregate is AggregateFunction.AVG:
+            missing = self._solver.bound(query.aggregate, query.attribute,
+                                         query.region,
+                                         known_sum=observed_sum,
+                                         known_count=float(observed_rows))
+            combined = missing  # AVG combination happens inside the solver.
+        else:
+            missing = self._solver.bound(query.aggregate, query.attribute,
+                                         query.region)
+            combined = self._combine(query, missing, observed_value)
+        elapsed = time.perf_counter() - started
+        return ContingencyReport(query=query, result_range=combined,
+                                 missing_range=missing,
+                                 observed_value=observed_value,
+                                 observed_rows=observed_rows,
+                                 elapsed_seconds=elapsed)
+
+    def bound_all(self, queries: list[ContingencyQuery]) -> list[ContingencyReport]:
+        """Analyze a workload of queries."""
+        return [self.analyze(query) for query in queries]
+
+    def analyze_group_by(self, query: ContingencyQuery, group_attribute: str,
+                         groups: list | None = None) -> dict[object, ContingencyReport]:
+        """Per-group result ranges (the paper treats GROUP BY as a query union).
+
+        Each group value becomes one query whose region conjoins
+        ``group_attribute = value`` onto the base query's region.  Group
+        values are taken from, in order of preference: the explicit
+        ``groups`` argument, the attribute's categorical domain declared on
+        the constraint set, or the distinct values observed in the certain
+        partition.  Note that with only observed values the result cannot
+        speak for groups that exist exclusively in the missing rows.
+        """
+        values = self._group_values(group_attribute, groups)
+        reports: dict[object, ContingencyReport] = {}
+        for value in values:
+            if isinstance(value, str):
+                group_predicate = Predicate.equals(group_attribute, value)
+            else:
+                group_predicate = Predicate.range(group_attribute, float(value),
+                                                  float(value))
+            region = (group_predicate if query.region is None
+                      else query.region.conjoin(group_predicate))
+            grouped_query = ContingencyQuery(query.aggregate, query.attribute, region)
+            reports[value] = self.analyze(grouped_query)
+        return reports
+
+    def _group_values(self, group_attribute: str, groups: list | None) -> list:
+        if groups is not None:
+            return list(groups)
+        domain = self._pcset.domains.get(group_attribute)
+        if domain is not None and not domain.is_numeric:
+            return sorted(domain.categories.values, key=repr)
+        if self._observed is not None and group_attribute in self._observed.schema:
+            return list(self._observed.distinct_values(group_attribute))
+        raise QueryError(
+            f"cannot enumerate groups for {group_attribute!r}: pass them explicitly, "
+            "declare a categorical domain, or provide an observed relation")
+
+    def validate_constraints(self, historical: Relation) -> list:
+        """Check the constraint set against historical data (paper §1, point 1)."""
+        return self._pcset.validate_against(historical)
+
+    # ------------------------------------------------------------------ #
+    # Observed-partition handling
+    # ------------------------------------------------------------------ #
+    def _observed_summary(self, query: ContingencyQuery
+                          ) -> tuple[float | None, int, float]:
+        """(observed aggregate, matching row count, matching sum)."""
+        if self._observed is None:
+            return None, 0, 0.0
+        relational_query = query.to_aggregate_query()
+        result = relational_query.execute(self._observed)
+        matching = self._observed.filter(relational_query.where)
+        observed_sum = 0.0
+        if query.attribute is not None and matching.num_rows > 0:
+            observed_sum = matching.column_sum(query.attribute)
+        return result.value, matching.num_rows, observed_sum
+
+    def _combine(self, query: ContingencyQuery, missing: ResultRange,
+                 observed_value: float | None) -> ResultRange:
+        """Combine the missing-partition range with the observed answer."""
+        if self._observed is None:
+            return missing
+        aggregate = query.aggregate
+        if aggregate in (AggregateFunction.COUNT, AggregateFunction.SUM):
+            offset = observed_value if observed_value is not None else 0.0
+            return missing.shifted(offset)
+        if aggregate is AggregateFunction.MAX:
+            return self._combine_max(missing, observed_value)
+        if aggregate is AggregateFunction.MIN:
+            return self._combine_min(missing, observed_value)
+        return missing
+
+    @staticmethod
+    def _combine_max(missing: ResultRange, observed: float | None) -> ResultRange:
+        candidates_lower = [value for value in (observed, missing.lower)
+                            if value is not None]
+        lower = max(candidates_lower) if candidates_lower else None
+        if missing.upper is None:
+            upper = observed
+        elif observed is None:
+            upper = missing.upper
+        else:
+            upper = max(observed, missing.upper)
+        return ResultRange(lower, upper, missing.aggregate, missing.attribute,
+                           closed=missing.closed, statistics=missing.statistics)
+
+    @staticmethod
+    def _combine_min(missing: ResultRange, observed: float | None) -> ResultRange:
+        candidates_upper = [value for value in (observed, missing.upper)
+                            if value is not None]
+        upper = min(candidates_upper) if candidates_upper else None
+        if missing.lower is None:
+            lower = observed
+        elif observed is None:
+            lower = missing.lower
+        else:
+            lower = min(observed, missing.lower)
+        return ResultRange(lower, upper, missing.aggregate, missing.attribute,
+                           closed=missing.closed, statistics=missing.statistics)

@@ -1,0 +1,304 @@
+"""Serialisation and parsing of predicate-constraint sets.
+
+The paper argues that predicate-constraints should be treated like analysis
+code: "checked, versioned, and tested".  That requires a durable, diff-able
+representation.  This module provides two:
+
+* a JSON document format (:func:`pcset_to_dict` / :func:`pcset_from_dict`,
+  plus file helpers) that round-trips every feature of the library, and
+* a compact one-line-per-constraint text syntax mirroring the paper's own
+  notation, e.g.::
+
+      branch = 'Chicago' AND 0 <= utc <= 24 => 0.0 <= price <= 149.99, (0, 5)
+
+  parsed by :func:`parse_constraint` / :func:`parse_constraints`.
+
+The text syntax intentionally covers only the predicate language of §3.1
+(conjunctions of ranges and equalities); anything richer should use JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Iterable, Mapping
+
+from ..exceptions import ConstraintError, PredicateError
+from ..solvers.sat import AttributeDomain
+from .constraints import FrequencyConstraint, PredicateConstraint, ValueConstraint
+from .pcset import PredicateConstraintSet
+from .predicates import Predicate
+
+__all__ = [
+    "predicate_to_dict",
+    "predicate_from_dict",
+    "constraint_to_dict",
+    "constraint_from_dict",
+    "pcset_to_dict",
+    "pcset_from_dict",
+    "save_pcset",
+    "load_pcset",
+    "parse_constraint",
+    "parse_constraints",
+]
+
+_INF = float("inf")
+
+
+# --------------------------------------------------------------------- #
+# JSON document format
+# --------------------------------------------------------------------- #
+def _encode_bound(value: float) -> float | str:
+    if value == _INF:
+        return "inf"
+    if value == -_INF:
+        return "-inf"
+    return float(value)
+
+
+def _decode_bound(value: float | str) -> float:
+    if value == "inf":
+        return _INF
+    if value == "-inf":
+        return -_INF
+    return float(value)
+
+
+def predicate_to_dict(predicate: Predicate) -> dict:
+    """JSON-serialisable representation of a box predicate."""
+    return {
+        "ranges": {
+            attribute: {
+                "low": _encode_bound(constraint.low),
+                "high": _encode_bound(constraint.high),
+                "integral": constraint.integral,
+            }
+            for attribute, constraint in predicate.ranges.items()
+        },
+        "memberships": {
+            attribute: sorted(constraint.values, key=repr)
+            for attribute, constraint in predicate.memberships.items()
+        },
+    }
+
+
+def predicate_from_dict(payload: Mapping) -> Predicate:
+    """Inverse of :func:`predicate_to_dict`."""
+    predicate = Predicate.true()
+    for attribute, entry in payload.get("ranges", {}).items():
+        predicate = predicate.with_range(
+            attribute, _decode_bound(entry.get("low", "-inf")),
+            _decode_bound(entry.get("high", "inf")),
+            bool(entry.get("integral", False)))
+    for attribute, values in payload.get("memberships", {}).items():
+        predicate = predicate.with_membership(attribute, values)
+    return predicate
+
+
+def constraint_to_dict(constraint: PredicateConstraint) -> dict:
+    """JSON-serialisable representation of one predicate-constraint."""
+    return {
+        "name": constraint.name,
+        "predicate": predicate_to_dict(constraint.predicate),
+        "values": {
+            attribute: [_encode_bound(low), _encode_bound(high)]
+            for attribute, (low, high) in constraint.values.bounds.items()
+        },
+        "frequency": [constraint.frequency.lower, constraint.frequency.upper],
+    }
+
+
+def constraint_from_dict(payload: Mapping) -> PredicateConstraint:
+    """Inverse of :func:`constraint_to_dict`."""
+    try:
+        frequency_low, frequency_high = payload["frequency"]
+    except (KeyError, ValueError, TypeError) as exc:
+        raise ConstraintError(f"malformed frequency entry in {payload!r}") from exc
+    values = {
+        attribute: (_decode_bound(low), _decode_bound(high))
+        for attribute, (low, high) in payload.get("values", {}).items()
+    }
+    return PredicateConstraint(
+        predicate_from_dict(payload.get("predicate", {})),
+        ValueConstraint(values),
+        FrequencyConstraint(int(frequency_low), int(frequency_high)),
+        name=str(payload.get("name", "pc")),
+    )
+
+
+def _domain_to_dict(domain: AttributeDomain) -> dict:
+    if domain.is_numeric:
+        interval = domain.interval
+        return {"kind": "numeric", "low": _encode_bound(interval.low),
+                "high": _encode_bound(interval.high),
+                "integral": interval.integral}
+    return {"kind": "categorical",
+            "values": sorted(domain.categories.values, key=repr)}
+
+
+def _domain_from_dict(payload: Mapping) -> AttributeDomain:
+    if payload.get("kind") == "categorical":
+        return AttributeDomain.categorical(payload.get("values", []))
+    return AttributeDomain.numeric(
+        _decode_bound(payload.get("low", "-inf")),
+        _decode_bound(payload.get("high", "inf")),
+        bool(payload.get("integral", False)))
+
+
+def pcset_to_dict(pcset: PredicateConstraintSet) -> dict:
+    """JSON-serialisable representation of a whole constraint set."""
+    return {
+        "format": "repro.predicate-constraints",
+        "version": 1,
+        "constraints": [constraint_to_dict(constraint) for constraint in pcset],
+        "domains": {attribute: _domain_to_dict(domain)
+                    for attribute, domain in pcset.domains.items()},
+        "hints": {
+            "disjoint": pcset.is_pairwise_disjoint() if len(pcset) <= 64 else None,
+        },
+    }
+
+
+def pcset_from_dict(payload: Mapping) -> PredicateConstraintSet:
+    """Inverse of :func:`pcset_to_dict`."""
+    domains = {attribute: _domain_from_dict(entry)
+               for attribute, entry in payload.get("domains", {}).items()}
+    pcset = PredicateConstraintSet(domains=domains)
+    for entry in payload.get("constraints", []):
+        pcset.add(constraint_from_dict(entry))
+    hints = payload.get("hints", {})
+    if hints.get("disjoint") is True:
+        pcset.mark_disjoint(True)
+    return pcset
+
+
+def save_pcset(pcset: PredicateConstraintSet, path: str | Path) -> Path:
+    """Write a constraint set to a JSON file."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(pcset_to_dict(pcset), indent=2, sort_keys=True))
+    return target
+
+
+def load_pcset(path: str | Path) -> PredicateConstraintSet:
+    """Read a constraint set previously written by :func:`save_pcset`."""
+    payload = json.loads(Path(path).read_text())
+    if payload.get("format") != "repro.predicate-constraints":
+        raise ConstraintError(
+            f"{path} is not a predicate-constraint document "
+            f"(format={payload.get('format')!r})")
+    return pcset_from_dict(payload)
+
+
+# --------------------------------------------------------------------- #
+# One-line text syntax
+# --------------------------------------------------------------------- #
+_RANGE_PATTERN = re.compile(
+    r"^\s*(?P<low>[-+0-9.eE]+|-inf)\s*<=\s*(?P<attr>\w+)\s*<=\s*(?P<high>[-+0-9.eE]+|inf)\s*$")
+_EQUALITY_PATTERN = re.compile(
+    r"^\s*(?P<attr>\w+)\s*=\s*(?P<value>'[^']*'|\"[^\"]*\"|[-+0-9.eE]+)\s*$")
+_MEMBERSHIP_PATTERN = re.compile(
+    r"^\s*(?P<attr>\w+)\s+IN\s+\((?P<values>[^)]*)\)\s*$", re.IGNORECASE)
+_FREQUENCY_PATTERN = re.compile(
+    r"^\s*\(\s*(?P<low>\d+)\s*,\s*(?P<high>\d+)\s*\)\s*$")
+
+
+def _parse_literal(text: str):
+    text = text.strip()
+    if (text.startswith("'") and text.endswith("'")) or \
+            (text.startswith('"') and text.endswith('"')):
+        return text[1:-1]
+    return float(text)
+
+
+def _parse_conjunct_into_predicate(predicate: Predicate, conjunct: str) -> Predicate:
+    range_match = _RANGE_PATTERN.match(conjunct)
+    if range_match:
+        low = -_INF if range_match.group("low") == "-inf" else float(range_match.group("low"))
+        high = _INF if range_match.group("high") == "inf" else float(range_match.group("high"))
+        return predicate.with_range(range_match.group("attr"), low, high)
+    membership_match = _MEMBERSHIP_PATTERN.match(conjunct)
+    if membership_match:
+        values = [_parse_literal(piece)
+                  for piece in membership_match.group("values").split(",") if piece.strip()]
+        return predicate.with_membership(membership_match.group("attr"), values)
+    equality_match = _EQUALITY_PATTERN.match(conjunct)
+    if equality_match:
+        value = _parse_literal(equality_match.group("value"))
+        attribute = equality_match.group("attr")
+        if isinstance(value, float):
+            return predicate.with_range(attribute, value, value)
+        return predicate.with_equals(attribute, value)
+    raise PredicateError(f"cannot parse predicate conjunct {conjunct!r}")
+
+
+def _parse_predicate(text: str) -> Predicate:
+    text = text.strip()
+    if not text or text.upper() == "TRUE":
+        return Predicate.true()
+    predicate = Predicate.true()
+    for conjunct in re.split(r"\bAND\b", text, flags=re.IGNORECASE):
+        predicate = _parse_conjunct_into_predicate(predicate, conjunct)
+    return predicate
+
+
+def _parse_value_constraints(text: str) -> ValueConstraint:
+    text = text.strip()
+    if not text or text.upper() == "TRUE":
+        return ValueConstraint()
+    bounds: dict[str, tuple[float, float]] = {}
+    for conjunct in re.split(r"\bAND\b", text, flags=re.IGNORECASE):
+        range_match = _RANGE_PATTERN.match(conjunct)
+        if not range_match:
+            raise ConstraintError(
+                f"value constraints must be ranges like '0 <= price <= 10', "
+                f"got {conjunct!r}")
+        low = -_INF if range_match.group("low") == "-inf" else float(range_match.group("low"))
+        high = _INF if range_match.group("high") == "inf" else float(range_match.group("high"))
+        bounds[range_match.group("attr")] = (low, high)
+    return ValueConstraint(bounds)
+
+
+def parse_constraint(text: str, name: str | None = None) -> PredicateConstraint:
+    """Parse one constraint written in the paper's arrow notation.
+
+    Syntax::
+
+        <predicate> => <value constraints>, (<min rows>, <max rows>)
+
+    where both the predicate and the value constraints are ``AND``-separated
+    conjunctions of ``low <= attr <= high``, ``attr = literal`` or
+    ``attr IN (v1, v2, ...)`` terms, and ``TRUE`` denotes the tautology.
+    """
+    if "=>" not in text:
+        raise ConstraintError(f"constraint {text!r} is missing '=>'")
+    predicate_text, remainder = text.split("=>", 1)
+    frequency_match = re.search(r"\(\s*\d+\s*,\s*\d+\s*\)\s*$", remainder)
+    if not frequency_match:
+        raise ConstraintError(
+            f"constraint {text!r} is missing a trailing frequency '(lo, hi)'")
+    frequency_text = frequency_match.group(0)
+    values_text = remainder[: frequency_match.start()].rstrip().rstrip(",")
+    frequency_parts = _FREQUENCY_PATTERN.match(frequency_text)
+    assert frequency_parts is not None
+    return PredicateConstraint(
+        _parse_predicate(predicate_text),
+        _parse_value_constraints(values_text),
+        FrequencyConstraint(int(frequency_parts.group("low")),
+                            int(frequency_parts.group("high"))),
+        name=name or f"pc_{abs(hash(text)) % 10_000}",
+    )
+
+
+def parse_constraints(lines: Iterable[str],
+                      domains: Mapping[str, AttributeDomain] | None = None
+                      ) -> PredicateConstraintSet:
+    """Parse several constraints (one per non-empty, non-comment line)."""
+    pcset = PredicateConstraintSet(domains=domains)
+    for index, line in enumerate(lines):
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        pcset.add(parse_constraint(stripped, name=f"pc_{index}"))
+    return pcset

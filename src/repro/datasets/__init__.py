@@ -1,0 +1,35 @@
+"""Synthetic re-creations of the paper's evaluation datasets.
+
+The real Intel Wireless, Airbnb NYC and Border Crossing files are not
+available offline; these generators reproduce their schemas, correlation
+structure and skew at configurable scale (see DESIGN.md §1.2 for the
+substitution rationale).
+"""
+
+from .airbnb import AIRBNB_SCHEMA, generate_airbnb
+from .border_crossing import BORDER_SCHEMA, generate_border_crossing
+from .graphs import (
+    count_triangles,
+    generate_chain_relations,
+    generate_edge_table,
+    triangle_relations,
+)
+from .intel_wireless import INTEL_SCHEMA, generate_intel_wireless
+from .synthetic import DatasetSpec, lognormal_prices, make_rng, zipf_weights
+
+__all__ = [
+    "AIRBNB_SCHEMA",
+    "generate_airbnb",
+    "BORDER_SCHEMA",
+    "generate_border_crossing",
+    "count_triangles",
+    "generate_chain_relations",
+    "generate_edge_table",
+    "triangle_relations",
+    "INTEL_SCHEMA",
+    "generate_intel_wireless",
+    "DatasetSpec",
+    "lognormal_prices",
+    "make_rng",
+    "zipf_weights",
+]

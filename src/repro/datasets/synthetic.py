@@ -1,0 +1,54 @@
+"""Shared helpers for the synthetic dataset generators.
+
+The paper evaluates on four real datasets (Intel Wireless, Airbnb NYC,
+Border Crossing, and randomly generated join tables).  The raw files are not
+available offline, so each generator in this subpackage re-creates the
+statistical features the experiments depend on — schema, attribute
+correlations, and value skew — at a configurable scale.  DESIGN.md records
+the substitution rationale per dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import DatasetError
+
+__all__ = ["DatasetSpec", "make_rng", "lognormal_prices", "zipf_weights"]
+
+
+@dataclass(frozen=True)
+class DatasetSpec:
+    """Bookkeeping attached to every generated dataset."""
+
+    name: str
+    num_rows: int
+    seed: int
+    description: str = ""
+
+
+def make_rng(seed: int | None) -> np.random.Generator:
+    """A numpy Generator from an optional seed (None = non-deterministic)."""
+    return np.random.default_rng(seed)
+
+
+def lognormal_prices(rng: np.random.Generator, count: int, median: float,
+                     sigma: float, cap: float | None = None) -> np.ndarray:
+    """Heavy-tailed positive values shaped like listing prices."""
+    if count < 0:
+        raise DatasetError("count must be non-negative")
+    values = rng.lognormal(mean=np.log(max(median, 1e-9)), sigma=sigma, size=count)
+    if cap is not None:
+        values = np.minimum(values, cap)
+    return np.round(values, 2)
+
+
+def zipf_weights(count: int, exponent: float = 1.1) -> np.ndarray:
+    """Normalised Zipf-like popularity weights for ``count`` categories."""
+    if count <= 0:
+        raise DatasetError("count must be positive")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = 1.0 / np.power(ranks, exponent)
+    return weights / weights.sum()

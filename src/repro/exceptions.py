@@ -1,0 +1,100 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch a single base class.  Sub-classes are organised by the
+subsystem that raises them (relational engine, solvers, predicate-constraint
+framework, experiments).
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "SchemaError",
+    "UnknownAttributeError",
+    "TypeMismatchError",
+    "QueryError",
+    "UnsupportedAggregateError",
+    "PredicateError",
+    "ConstraintError",
+    "ClosureError",
+    "InfeasibleProblemError",
+    "UnboundedProblemError",
+    "SolverError",
+    "JoinBoundError",
+    "DatasetError",
+    "WorkloadError",
+    "ExperimentError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class SchemaError(ReproError):
+    """Raised when a relation schema is malformed or violated."""
+
+
+class UnknownAttributeError(SchemaError):
+    """Raised when an attribute name does not exist in a schema."""
+
+    def __init__(self, attribute: str, available: tuple[str, ...] = ()):
+        self.attribute = attribute
+        self.available = tuple(available)
+        message = f"unknown attribute {attribute!r}"
+        if self.available:
+            message += f" (available: {', '.join(self.available)})"
+        super().__init__(message)
+
+
+class TypeMismatchError(SchemaError):
+    """Raised when a value does not match the declared column type."""
+
+
+class QueryError(ReproError):
+    """Raised when an aggregate query is malformed."""
+
+
+class UnsupportedAggregateError(QueryError):
+    """Raised when a query uses an aggregate the engine does not support."""
+
+
+class PredicateError(ReproError):
+    """Raised when a predicate expression is malformed."""
+
+
+class ConstraintError(ReproError):
+    """Raised when a predicate-constraint is malformed (e.g. lo > hi)."""
+
+
+class ClosureError(ReproError):
+    """Raised when a predicate-constraint set is not closed over a query."""
+
+
+class SolverError(ReproError):
+    """Raised when an optimisation backend fails unexpectedly."""
+
+
+class InfeasibleProblemError(SolverError):
+    """Raised when an optimisation problem has no feasible solution."""
+
+
+class UnboundedProblemError(SolverError):
+    """Raised when an optimisation problem is unbounded."""
+
+
+class JoinBoundError(ReproError):
+    """Raised when a multi-table bound cannot be computed."""
+
+
+class DatasetError(ReproError):
+    """Raised when a synthetic dataset generator receives bad parameters."""
+
+
+class WorkloadError(ReproError):
+    """Raised when a workload generator receives bad parameters."""
+
+
+class ExperimentError(ReproError):
+    """Raised when an experiment configuration is invalid."""

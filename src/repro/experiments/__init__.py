@@ -1,0 +1,64 @@
+"""Reproductions of every table and figure in the paper's evaluation (§6).
+
+Each module exposes a ``run_*`` function returning a structured result with
+a ``to_text()`` rendering, plus a config dataclass controlling the scale
+(defaults are laptop-sized; the paper's exact sizes can be requested).  The
+benchmarks under ``benchmarks/`` call these entry points, and EXPERIMENTS.md
+records the paper-vs-measured comparison.
+"""
+
+from .common import DatasetSetup, airbnb_setup, border_setup, intel_setup, standard_estimators
+from .dataset_overestimation import OverestimationConfig, OverestimationResult, run_overestimation
+from .estimators import (
+    CorrPCEstimator,
+    OverlappingPCEstimator,
+    PartitionPCEstimator,
+    PCFrameworkEstimator,
+    RandPCEstimator,
+)
+from .figure01_extrapolation import Figure1Config, run_figure1
+from .figure03_intel_count import Figure3Config, run_figure3
+from .figure04_intel_sum import Figure4Config, run_figure4
+from .figure05_sample_size import Figure5Config, run_figure5
+from .figure06_noise import Figure6Config, run_figure6
+from .figure07_cells import Figure7Config, run_figure7
+from .figure08_partition_scaling import Figure8Config, run_figure8
+from .figure09_min_max_avg import Figure9Config, run_figure9
+from .figure10_airbnb import Figure10Config, run_figure10
+from .figure11_border import Figure11Config, run_figure11
+from .figure12_joins import Figure12Config, run_figure12
+from .harness import EvaluationMetrics, evaluate_estimator, evaluate_estimators
+from .missing_ratio_sweep import MissingRatioSweepConfig, run_missing_ratio_sweep
+from .table01_confidence import Table1Config, run_table1
+from .table02_failures import Table2Config, run_table2
+
+__all__ = [
+    "DatasetSetup",
+    "airbnb_setup",
+    "border_setup",
+    "intel_setup",
+    "standard_estimators",
+    "OverestimationConfig",
+    "OverestimationResult",
+    "run_overestimation",
+    "CorrPCEstimator",
+    "OverlappingPCEstimator",
+    "PartitionPCEstimator",
+    "PCFrameworkEstimator",
+    "RandPCEstimator",
+    "Figure1Config", "run_figure1",
+    "Figure3Config", "run_figure3",
+    "Figure4Config", "run_figure4",
+    "Figure5Config", "run_figure5",
+    "Figure6Config", "run_figure6",
+    "Figure7Config", "run_figure7",
+    "Figure8Config", "run_figure8",
+    "Figure9Config", "run_figure9",
+    "Figure10Config", "run_figure10",
+    "Figure11Config", "run_figure11",
+    "Figure12Config", "run_figure12",
+    "EvaluationMetrics", "evaluate_estimator", "evaluate_estimators",
+    "MissingRatioSweepConfig", "run_missing_ratio_sweep",
+    "Table1Config", "run_table1",
+    "Table2Config", "run_table2",
+]

@@ -1,0 +1,148 @@
+"""Adapters exposing the PC framework through the estimator interface.
+
+The experiment harness scores every technique through the common
+:class:`~repro.baselines.base.MissingDataEstimator` interface (fit on the
+missing partition, estimate intervals for queries).  These adapters build a
+predicate-constraint set from the missing partition using one of the paper's
+schemes (Corr-PC, Rand-PC, partition/overlapping PCs) and answer queries
+with the bounding engine, so PC rows appear in the same tables as the
+statistical baselines.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..baselines.base import IntervalEstimate, MissingDataEstimator
+from ..core.bounds import BoundOptions, PCBoundSolver
+from ..core.builders import (
+    build_corr_pcs,
+    build_overlapping_pcs,
+    build_partition_pcs,
+    build_random_pcs,
+)
+from ..core.engine import ContingencyQuery
+from ..core.pcset import PredicateConstraintSet
+from ..exceptions import WorkloadError
+from ..relational.relation import Relation
+
+__all__ = ["PCFrameworkEstimator", "CorrPCEstimator", "RandPCEstimator",
+           "PartitionPCEstimator", "OverlappingPCEstimator"]
+
+
+class PCFrameworkEstimator(MissingDataEstimator):
+    """Wraps a PC-construction scheme plus the bounding engine.
+
+    Sub-classes (or callers) provide ``builder``, a callable mapping the
+    missing relation to a :class:`PredicateConstraintSet`.
+    """
+
+    name = "PC"
+
+    def __init__(self, builder: Callable[[Relation], PredicateConstraintSet],
+                 options: BoundOptions | None = None):
+        super().__init__()
+        self._builder = builder
+        self._options = options or BoundOptions(check_closure=False)
+        self._solver: PCBoundSolver | None = None
+        self._pcset: PredicateConstraintSet | None = None
+
+    @property
+    def pcset(self) -> PredicateConstraintSet:
+        if self._pcset is None:
+            raise WorkloadError("estimator has not been fitted yet")
+        return self._pcset
+
+    def replace_pcset(self, pcset: PredicateConstraintSet) -> None:
+        """Swap in a (possibly corrupted) constraint set — used by Figure 6."""
+        self._pcset = pcset
+        self._solver = PCBoundSolver(pcset, self._options)
+        self._fitted = True
+
+    def fit(self, missing: Relation) -> "PCFrameworkEstimator":
+        self.replace_pcset(self._builder(missing))
+        return self
+
+    def estimate(self, query: ContingencyQuery) -> IntervalEstimate:
+        self._require_fitted()
+        assert self._solver is not None
+        result = self._solver.bound(query.aggregate, query.attribute, query.region)
+        lower = result.lower if result.lower is not None else float("-inf")
+        upper = result.upper if result.upper is not None else float("inf")
+        midpoint = (lower + upper) / 2.0 if np.isfinite(lower) and np.isfinite(upper) \
+            else None
+        return IntervalEstimate(lower, upper, midpoint, self.name)
+
+
+class CorrPCEstimator(PCFrameworkEstimator):
+    """The paper's Corr-PC scheme: partition the attributes most correlated
+    with the aggregate of interest."""
+
+    def __init__(self, target: str, num_constraints: int,
+                 num_attributes: int = 2,
+                 candidates: Sequence[str] | None = None,
+                 options: BoundOptions | None = None):
+        def builder(missing: Relation) -> PredicateConstraintSet:
+            return build_corr_pcs(missing, target, num_constraints,
+                                  num_attributes=num_attributes,
+                                  candidates=candidates)
+
+        super().__init__(builder, options)
+        self.name = "Corr-PC"
+        self.target = target
+        self.num_constraints = num_constraints
+
+
+class RandPCEstimator(PCFrameworkEstimator):
+    """The paper's Rand-PC scheme: randomly placed constraints."""
+
+    def __init__(self, attributes: Sequence[str], num_constraints: int,
+                 target: str | None = None, seed: int | None = 31,
+                 options: BoundOptions | None = None):
+        value_attributes = [target] if target is not None else None
+
+        def builder(missing: Relation) -> PredicateConstraintSet:
+            rng = np.random.default_rng(seed)
+            return build_random_pcs(missing, list(attributes), num_constraints,
+                                    value_attributes=value_attributes, rng=rng)
+
+        super().__init__(builder, options)
+        self.name = "Rand-PC"
+        self.num_constraints = num_constraints
+
+
+class PartitionPCEstimator(PCFrameworkEstimator):
+    """Plain partition PCs over explicitly chosen attributes."""
+
+    def __init__(self, attributes: Sequence[str], num_constraints: int,
+                 target: str | None = None,
+                 options: BoundOptions | None = None):
+        value_attributes = [target] if target is not None else None
+
+        def builder(missing: Relation) -> PredicateConstraintSet:
+            return build_partition_pcs(missing, list(attributes), num_constraints,
+                                       value_attributes=value_attributes)
+
+        super().__init__(builder, options)
+        self.name = "Partition-PC"
+        self.num_constraints = num_constraints
+
+
+class OverlappingPCEstimator(PCFrameworkEstimator):
+    """Deliberately overlapping PCs (robustness experiment, Figure 6)."""
+
+    def __init__(self, attributes: Sequence[str], num_constraints: int,
+                 overlap_fraction: float = 0.5, target: str | None = None,
+                 options: BoundOptions | None = None):
+        value_attributes = [target] if target is not None else None
+
+        def builder(missing: Relation) -> PredicateConstraintSet:
+            return build_overlapping_pcs(missing, list(attributes), num_constraints,
+                                         overlap_fraction=overlap_fraction,
+                                         value_attributes=value_attributes)
+
+        super().__init__(builder, options)
+        self.name = "Overlapping-PC"
+        self.num_constraints = num_constraints

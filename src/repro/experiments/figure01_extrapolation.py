@@ -1,0 +1,63 @@
+"""Figure 1: simple extrapolation error under correlated missingness.
+
+The paper's motivating figure varies the fraction of missing data (removed
+in a way correlated with the SUM aggregate) and shows that the relative
+error of naive extrapolation grows steeply even when the exact amount of
+missing data is known.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..baselines.extrapolation import SimpleExtrapolationEstimator
+from ..core.engine import ContingencyQuery
+from ..workloads.missing import remove_correlated
+from .common import DatasetSetup, intel_setup
+from .reporting import format_table
+
+__all__ = ["Figure1Config", "run_figure1"]
+
+
+@dataclass
+class Figure1Config:
+    """Parameters of the Figure 1 sweep."""
+
+    missing_fractions: tuple[float, ...] = (0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9)
+    num_rows: int = 20_000
+    seed: int = 7
+
+
+@dataclass
+class Figure1Result:
+    """(fraction → relative error) series for simple extrapolation."""
+
+    rows: list[dict[str, float]] = field(default_factory=list)
+
+    def to_text(self) -> str:
+        table = format_table(
+            ["missing_fraction", "relative_error"],
+            [[row["missing_fraction"], row["relative_error"]] for row in self.rows])
+        return "Figure 1 — simple extrapolation error (SUM, correlated missingness)\n" + table
+
+
+def run_figure1(config: Figure1Config | None = None,
+                setup: DatasetSetup | None = None) -> Figure1Result:
+    """Reproduce Figure 1 on the synthetic Intel Wireless dataset."""
+    config = config or Figure1Config()
+    setup = setup or intel_setup(num_rows=config.num_rows, seed=config.seed)
+    query = ContingencyQuery.sum(setup.target)
+    result = Figure1Result()
+    for fraction in config.missing_fractions:
+        scenario = remove_correlated(setup.relation, fraction, setup.target,
+                                     highest=True)
+        estimator = SimpleExtrapolationEstimator(scenario.observed,
+                                                 scenario.missing.num_rows)
+        estimator.fit(scenario.missing)
+        error = estimator.relative_error(query, scenario.missing)
+        result.rows.append({"missing_fraction": fraction, "relative_error": error})
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover - manual entry point
+    print(run_figure1().to_text())

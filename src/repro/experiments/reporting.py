@@ -1,0 +1,59 @@
+"""Plain-text table rendering for experiment results.
+
+The paper reports results as figures and tables; our harness regenerates the
+same rows/series and renders them as aligned text tables so they can be
+compared side by side with the publication (EXPERIMENTS.md records that
+comparison).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Mapping, Sequence
+
+__all__ = ["format_table", "format_mapping_table", "format_series"]
+
+
+def _format_value(value) -> str:
+    if isinstance(value, float):
+        if math.isinf(value):
+            return "inf"
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        if abs(value) >= 1000 or (abs(value) < 0.01 and value != 0):
+            return f"{value:.3e}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Render rows as an aligned, pipe-separated text table."""
+    rendered_rows = [[_format_value(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = []
+    header_line = " | ".join(str(header).ljust(widths[i])
+                             for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append(" | ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_mapping_table(rows: Sequence[Mapping[str, object]]) -> str:
+    """Render a list of dict rows (shared keys become the header)."""
+    if not rows:
+        return "(no rows)"
+    headers = list(rows[0].keys())
+    return format_table(headers, [[row.get(key, "") for key in headers]
+                                  for row in rows])
+
+
+def format_series(name: str, xs: Sequence, ys: Sequence) -> str:
+    """Render an (x, y) series as a two-column table titled ``name``."""
+    header = f"# {name}"
+    table = format_table(["x", "y"], list(zip(xs, ys)))
+    return header + "\n" + table

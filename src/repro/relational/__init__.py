@@ -1,0 +1,57 @@
+"""In-memory relational substrate.
+
+This subpackage re-implements the small slice of a relational engine the
+paper's evaluation depends on: typed column-store relations, conjunctive
+WHERE-clause expressions, the five supported aggregates, GROUP BY, inner
+equi-joins / natural joins, and CSV IO.
+"""
+
+from .aggregates import AggregateFunction, compute_aggregate
+from .csvio import read_csv, write_csv
+from .expressions import (
+    And,
+    Between,
+    Comparison,
+    ComparisonOperator,
+    Expression,
+    FalseExpression,
+    IsIn,
+    Not,
+    Or,
+    TrueExpression,
+    conjunction,
+    disjunction,
+)
+from .joins import hash_join, join_size, natural_join, natural_join_many
+from .query import AggregateQuery, QueryResult
+from .relation import Relation
+from .schema import Column, ColumnType, Schema
+
+__all__ = [
+    "AggregateFunction",
+    "compute_aggregate",
+    "read_csv",
+    "write_csv",
+    "And",
+    "Between",
+    "Comparison",
+    "ComparisonOperator",
+    "Expression",
+    "FalseExpression",
+    "IsIn",
+    "Not",
+    "Or",
+    "TrueExpression",
+    "conjunction",
+    "disjunction",
+    "hash_join",
+    "join_size",
+    "natural_join",
+    "natural_join_many",
+    "AggregateQuery",
+    "QueryResult",
+    "Relation",
+    "Column",
+    "ColumnType",
+    "Schema",
+]

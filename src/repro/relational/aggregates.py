@@ -1,0 +1,86 @@
+"""Aggregate functions over numeric value arrays.
+
+The paper's framework bounds SUM, COUNT, AVG, MIN and MAX queries; this
+module provides their exact (ground-truth) evaluation on materialised data.
+Aggregates over empty inputs follow SQL semantics: ``COUNT`` is 0, ``SUM``
+is 0 (we use the convenient convention rather than SQL NULL), and
+``AVG``/``MIN``/``MAX`` return ``None``.
+"""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..exceptions import UnsupportedAggregateError
+
+__all__ = ["AggregateFunction", "compute_aggregate"]
+
+
+class AggregateFunction(enum.Enum):
+    """The aggregate functions supported by the engine and by PC bounding."""
+
+    COUNT = "COUNT"
+    SUM = "SUM"
+    AVG = "AVG"
+    MIN = "MIN"
+    MAX = "MAX"
+
+    @classmethod
+    def parse(cls, text: str) -> "AggregateFunction":
+        """Parse an aggregate name, case-insensitively."""
+        try:
+            return cls[text.strip().upper()]
+        except KeyError:
+            raise UnsupportedAggregateError(
+                f"unsupported aggregate {text!r}; expected one of "
+                f"{[member.value for member in cls]}"
+            ) from None
+
+    @property
+    def needs_attribute(self) -> bool:
+        """COUNT(*) is attribute-free; the others aggregate a column."""
+        return self is not AggregateFunction.COUNT
+
+    @property
+    def is_monotone_in_rows(self) -> bool:
+        """Whether adding rows can only increase the aggregate.
+
+        True for COUNT and (non-negative) SUM; used by sanity checks in the
+        bounding engine.
+        """
+        return self in (AggregateFunction.COUNT, AggregateFunction.SUM)
+
+
+def compute_aggregate(
+    function: AggregateFunction, values: np.ndarray | list[float]
+) -> float | None:
+    """Evaluate ``function`` over ``values``.
+
+    Parameters
+    ----------
+    function:
+        The aggregate to compute.
+    values:
+        The attribute values of the qualifying rows.  For ``COUNT`` the
+        values themselves are ignored; only their number matters.
+
+    Returns
+    -------
+    The aggregate value, or ``None`` for AVG/MIN/MAX over an empty input.
+    """
+    array = np.asarray(values, dtype=np.float64)
+    if function is AggregateFunction.COUNT:
+        return float(array.size)
+    if function is AggregateFunction.SUM:
+        return float(array.sum()) if array.size else 0.0
+    if array.size == 0:
+        return None
+    if function is AggregateFunction.AVG:
+        return float(array.mean())
+    if function is AggregateFunction.MIN:
+        return float(array.min())
+    if function is AggregateFunction.MAX:
+        return float(array.max())
+    raise UnsupportedAggregateError(f"unsupported aggregate {function!r}")

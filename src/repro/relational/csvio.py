@@ -1,0 +1,89 @@
+"""CSV import/export for relations.
+
+The synthetic dataset generators can persist generated data so experiment
+runs are reproducible and inspectable; this module provides the (small)
+serialisation layer.  Only the types used by the library (float, int,
+string) are supported.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable
+
+from ..exceptions import SchemaError
+from .relation import Relation
+from .schema import ColumnType, Schema
+
+__all__ = ["write_csv", "read_csv"]
+
+_TYPE_TAGS = {
+    ColumnType.FLOAT: "float",
+    ColumnType.INT: "int",
+    ColumnType.STRING: "string",
+}
+_TAG_TYPES = {tag: ctype for ctype, tag in _TYPE_TAGS.items()}
+
+
+def write_csv(relation: Relation, path: str | Path) -> Path:
+    """Write ``relation`` to ``path``.
+
+    The header row encodes both the column name and its type as
+    ``name:type`` so the relation can be round-tripped without a side-channel
+    schema file.
+    """
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        header = [
+            f"{column.name}:{_TYPE_TAGS[column.ctype]}" for column in relation.schema
+        ]
+        writer.writerow(header)
+        for row in relation.to_rows():
+            writer.writerow(row)
+    return target
+
+
+def read_csv(path: str | Path, name: str | None = None) -> Relation:
+    """Read a relation previously written by :func:`write_csv`."""
+    source = Path(path)
+    with source.open("r", newline="") as handle:
+        reader = csv.reader(handle)
+        try:
+            header = next(reader)
+        except StopIteration:
+            raise SchemaError(f"CSV file {source} is empty") from None
+        schema = Schema.from_pairs(_parse_header(header))
+        rows = [_parse_row(schema, row) for row in reader if row]
+    return Relation.from_rows(schema, rows, name=name or source.stem)
+
+
+def _parse_header(header: Iterable[str]) -> list[tuple[str, ColumnType]]:
+    pairs: list[tuple[str, ColumnType]] = []
+    for cell in header:
+        name, _, tag = cell.partition(":")
+        if not tag or tag not in _TAG_TYPES:
+            raise SchemaError(
+                f"CSV header cell {cell!r} must look like 'name:type' with type in "
+                f"{sorted(_TAG_TYPES)}"
+            )
+        pairs.append((name, _TAG_TYPES[tag]))
+    return pairs
+
+
+def _parse_row(schema: Schema, row: list[str]) -> list[object]:
+    if len(row) != len(schema):
+        raise SchemaError(
+            f"CSV row has {len(row)} cells, expected {len(schema)}: {row!r}"
+        )
+    values: list[object] = []
+    for column, cell in zip(schema, row):
+        if column.ctype is ColumnType.FLOAT:
+            values.append(float(cell))
+        elif column.ctype is ColumnType.INT:
+            values.append(int(float(cell)))
+        else:
+            values.append(cell)
+    return values

@@ -1,0 +1,329 @@
+"""Boolean expression trees evaluated against relations.
+
+Expressions are the WHERE-clause language of the relational substrate.  They
+evaluate vectorised against a :class:`~repro.relational.relation.Relation`
+(producing a boolean mask) and row-at-a-time against a plain ``dict``
+(used by the slow oracle implementations in the test-suite).
+
+The predicate-constraint framework (:mod:`repro.core.predicates`) compiles
+its box predicates down to these expressions for ground-truth evaluation.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import PredicateError
+from .relation import Relation
+
+__all__ = [
+    "ComparisonOperator",
+    "Expression",
+    "TrueExpression",
+    "FalseExpression",
+    "Comparison",
+    "Between",
+    "IsIn",
+    "And",
+    "Or",
+    "Not",
+    "conjunction",
+    "disjunction",
+]
+
+
+class ComparisonOperator(enum.Enum):
+    """Binary comparison operators supported in WHERE clauses."""
+
+    EQ = "=="
+    NE = "!="
+    LT = "<"
+    LE = "<="
+    GT = ">"
+    GE = ">="
+
+    def apply(self, left, right):
+        """Apply the operator (works on scalars and numpy arrays)."""
+        if self is ComparisonOperator.EQ:
+            return left == right
+        if self is ComparisonOperator.NE:
+            return left != right
+        if self is ComparisonOperator.LT:
+            return left < right
+        if self is ComparisonOperator.LE:
+            return left <= right
+        if self is ComparisonOperator.GT:
+            return left > right
+        return left >= right
+
+    def negate(self) -> "ComparisonOperator":
+        """The operator whose truth value is the complement of this one."""
+        mapping = {
+            ComparisonOperator.EQ: ComparisonOperator.NE,
+            ComparisonOperator.NE: ComparisonOperator.EQ,
+            ComparisonOperator.LT: ComparisonOperator.GE,
+            ComparisonOperator.LE: ComparisonOperator.GT,
+            ComparisonOperator.GT: ComparisonOperator.LE,
+            ComparisonOperator.GE: ComparisonOperator.LT,
+        }
+        return mapping[self]
+
+
+class Expression:
+    """Base class for boolean expressions."""
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        """Vectorised evaluation: boolean mask with one entry per row."""
+        raise NotImplementedError
+
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        """Row-at-a-time evaluation against a ``{column: value}`` mapping."""
+        raise NotImplementedError
+
+    def attributes(self) -> set[str]:
+        """The set of attribute names referenced by this expression."""
+        raise NotImplementedError
+
+    # Operator sugar --------------------------------------------------- #
+    def __and__(self, other: "Expression") -> "Expression":
+        return And((self, other))
+
+    def __or__(self, other: "Expression") -> "Expression":
+        return Or((self, other))
+
+    def __invert__(self) -> "Expression":
+        return Not(self)
+
+
+@dataclass(frozen=True)
+class TrueExpression(Expression):
+    """The expression that matches every row."""
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        return np.ones(relation.num_rows, dtype=bool)
+
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        return True
+
+    def attributes(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return "TRUE"
+
+
+@dataclass(frozen=True)
+class FalseExpression(Expression):
+    """The expression that matches no row."""
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        return np.zeros(relation.num_rows, dtype=bool)
+
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        return False
+
+    def attributes(self) -> set[str]:
+        return set()
+
+    def __repr__(self) -> str:
+        return "FALSE"
+
+
+@dataclass(frozen=True)
+class Comparison(Expression):
+    """``attribute <op> value``."""
+
+    attribute: str
+    operator: ComparisonOperator
+    value: object
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        column = relation.column(self.attribute)
+        return np.asarray(self.operator.apply(column, self.value), dtype=bool)
+
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        return bool(self.operator.apply(row[self.attribute], self.value))
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+    def __repr__(self) -> str:
+        return f"({self.attribute} {self.operator.value} {self.value!r})"
+
+
+@dataclass(frozen=True)
+class Between(Expression):
+    """``low <= attribute <= high`` (closed interval)."""
+
+    attribute: str
+    low: float
+    high: float
+
+    def __post_init__(self) -> None:
+        if self.low > self.high:
+            raise PredicateError(
+                f"Between({self.attribute}): low {self.low} exceeds high {self.high}"
+            )
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        column = relation.column(self.attribute)
+        return np.asarray((column >= self.low) & (column <= self.high), dtype=bool)
+
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        value = row[self.attribute]
+        return bool(self.low <= value <= self.high)
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+    def __repr__(self) -> str:
+        return f"({self.low!r} <= {self.attribute} <= {self.high!r})"
+
+
+class IsIn(Expression):
+    """``attribute IN (v1, v2, ...)``."""
+
+    def __init__(self, attribute: str, values: Iterable[object]):
+        self.attribute = attribute
+        self.values = frozenset(values)
+        if not self.values:
+            raise PredicateError(f"IsIn({attribute}) requires at least one value")
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        column = relation.column(self.attribute)
+        return np.isin(column, list(self.values))
+
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        return row[self.attribute] in self.values
+
+    def attributes(self) -> set[str]:
+        return {self.attribute}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IsIn):
+            return NotImplemented
+        return self.attribute == other.attribute and self.values == other.values
+
+    def __hash__(self) -> int:
+        return hash((self.attribute, self.values))
+
+    def __repr__(self) -> str:
+        rendered = ", ".join(repr(v) for v in sorted(self.values, key=repr))
+        return f"({self.attribute} IN {{{rendered}}})"
+
+
+class And(Expression):
+    """Conjunction of child expressions (empty conjunction is TRUE)."""
+
+    def __init__(self, children: Sequence[Expression]):
+        self.children: tuple[Expression, ...] = tuple(children)
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        mask = np.ones(relation.num_rows, dtype=bool)
+        for child in self.children:
+            mask &= child.evaluate(relation)
+            if not mask.any():
+                break
+        return mask
+
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        return all(child.matches_row(row) for child in self.children)
+
+    def attributes(self) -> set[str]:
+        result: set[str] = set()
+        for child in self.children:
+            result |= child.attributes()
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, And):
+            return NotImplemented
+        return self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash(("And", self.children))
+
+    def __repr__(self) -> str:
+        return "(" + " AND ".join(repr(child) for child in self.children) + ")"
+
+
+class Or(Expression):
+    """Disjunction of child expressions (empty disjunction is FALSE)."""
+
+    def __init__(self, children: Sequence[Expression]):
+        self.children: tuple[Expression, ...] = tuple(children)
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        mask = np.zeros(relation.num_rows, dtype=bool)
+        for child in self.children:
+            mask |= child.evaluate(relation)
+            if mask.all():
+                break
+        return mask
+
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        return any(child.matches_row(row) for child in self.children)
+
+    def attributes(self) -> set[str]:
+        result: set[str] = set()
+        for child in self.children:
+            result |= child.attributes()
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Or):
+            return NotImplemented
+        return self.children == other.children
+
+    def __hash__(self) -> int:
+        return hash(("Or", self.children))
+
+    def __repr__(self) -> str:
+        return "(" + " OR ".join(repr(child) for child in self.children) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Expression):
+    """Logical negation of a child expression."""
+
+    child: Expression
+
+    def evaluate(self, relation: Relation) -> np.ndarray:
+        return ~self.child.evaluate(relation)
+
+    def matches_row(self, row: Mapping[str, object]) -> bool:
+        return not self.child.matches_row(row)
+
+    def attributes(self) -> set[str]:
+        return self.child.attributes()
+
+    def __repr__(self) -> str:
+        return f"NOT {self.child!r}"
+
+
+def conjunction(expressions: Sequence[Expression]) -> Expression:
+    """Build a conjunction, simplifying the empty and singleton cases."""
+    children = [e for e in expressions if not isinstance(e, TrueExpression)]
+    if any(isinstance(e, FalseExpression) for e in children):
+        return FalseExpression()
+    if not children:
+        return TrueExpression()
+    if len(children) == 1:
+        return children[0]
+    return And(children)
+
+
+def disjunction(expressions: Sequence[Expression]) -> Expression:
+    """Build a disjunction, simplifying the empty and singleton cases."""
+    children = [e for e in expressions if not isinstance(e, FalseExpression)]
+    if any(isinstance(e, TrueExpression) for e in children):
+        return TrueExpression()
+    if not children:
+        return FalseExpression()
+    if len(children) == 1:
+        return children[0]
+    return Or(children)

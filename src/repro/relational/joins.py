@@ -1,0 +1,138 @@
+"""Inner equi-joins and natural multi-way joins.
+
+The paper's §5 evaluates bounds for inner natural joins (triangle counting,
+acyclic chain joins).  This module provides exact join evaluation so the
+experiments can compare bounds against the true join sizes / aggregates on
+small instances, and so tests can validate the bounding logic.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..exceptions import SchemaError
+from .relation import Relation
+from .schema import Schema
+
+__all__ = ["hash_join", "natural_join", "natural_join_many", "join_size"]
+
+
+def _shared_attributes(left: Relation, right: Relation) -> list[str]:
+    """Attributes that appear in both schemas, in left-schema order."""
+    right_names = set(right.schema.names)
+    return [name for name in left.schema.names if name in right_names]
+
+
+def hash_join(
+    left: Relation,
+    right: Relation,
+    on: Sequence[str],
+    name: str | None = None,
+) -> Relation:
+    """Inner equi-join of two relations on the named key attributes.
+
+    The output schema is the left schema merged with the right schema
+    (shared attributes are kept once, taking the left copy).
+    """
+    keys = list(on)
+    if not keys:
+        raise SchemaError("hash_join requires at least one join attribute")
+    for key in keys:
+        left.schema.column(key)
+        right.schema.column(key)
+
+    # Build the hash table on the smaller input.
+    build, probe, build_is_left = (
+        (left, right, True) if left.num_rows <= right.num_rows else (right, left, False)
+    )
+    build_columns = [build.column(key) for key in keys]
+    table: dict[tuple, list[int]] = {}
+    for index in range(build.num_rows):
+        key = tuple(column[index] for column in build_columns)
+        table.setdefault(key, []).append(index)
+
+    probe_columns = [probe.column(key) for key in keys]
+    build_indices: list[int] = []
+    probe_indices: list[int] = []
+    for index in range(probe.num_rows):
+        key = tuple(column[index] for column in probe_columns)
+        for match in table.get(key, ()):
+            build_indices.append(match)
+            probe_indices.append(index)
+
+    if build_is_left:
+        left_indices, right_indices = build_indices, probe_indices
+    else:
+        left_indices, right_indices = probe_indices, build_indices
+
+    merged_schema = left.schema.merge(right.schema)
+    left_taken = left.take(np.asarray(left_indices, dtype=np.int64)) if left_indices \
+        else Relation.empty(left.schema)
+    right_taken = right.take(np.asarray(right_indices, dtype=np.int64)) if right_indices \
+        else Relation.empty(right.schema)
+
+    columns: dict[str, np.ndarray] = {}
+    for column in merged_schema:
+        if column.name in left.schema:
+            columns[column.name] = left_taken.column(column.name)
+        else:
+            columns[column.name] = right_taken.column(column.name)
+    joined_name = name or f"{left.name}_join_{right.name}"
+    return Relation(merged_schema, columns, name=joined_name)
+
+
+def natural_join(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Natural join: equi-join on every shared attribute.
+
+    If the relations share no attribute the result is the Cartesian product.
+    """
+    shared = _shared_attributes(left, right)
+    if shared:
+        return hash_join(left, right, shared, name=name)
+    return _cartesian_product(left, right, name=name)
+
+
+def natural_join_many(relations: Sequence[Relation], name: str | None = None) -> Relation:
+    """Left-deep natural join of several relations.
+
+    The result of a natural join is associative for the acyclic and cyclic
+    (triangle/clique) join queries used in the paper's experiments, so a
+    left-deep evaluation order suffices for correctness.
+    """
+    if not relations:
+        raise SchemaError("natural_join_many requires at least one relation")
+    result = relations[0]
+    for relation in relations[1:]:
+        result = natural_join(result, relation)
+    if name is not None:
+        result = result.rename(name)
+    return result
+
+
+def join_size(relations: Sequence[Relation]) -> int:
+    """The cardinality of the natural join of ``relations``."""
+    return natural_join_many(relations).num_rows
+
+
+def _cartesian_product(left: Relation, right: Relation, name: str | None = None) -> Relation:
+    """Cartesian product of two relations with disjoint schemas."""
+    overlap = _shared_attributes(left, right)
+    if overlap:
+        raise SchemaError(
+            f"cartesian product requires disjoint schemas; shared: {overlap}"
+        )
+    left_count, right_count = left.num_rows, right.num_rows
+    left_indices = np.repeat(np.arange(left_count), right_count)
+    right_indices = np.tile(np.arange(right_count), left_count)
+    merged_schema = Schema(list(left.schema.columns) + list(right.schema.columns))
+    columns: dict[str, np.ndarray] = {}
+    left_taken = left.take(left_indices)
+    right_taken = right.take(right_indices)
+    for column in left.schema:
+        columns[column.name] = left_taken.column(column.name)
+    for column in right.schema:
+        columns[column.name] = right_taken.column(column.name)
+    product_name = name or f"{left.name}_x_{right.name}"
+    return Relation(merged_schema, columns, name=product_name)

@@ -1,0 +1,349 @@
+"""An in-memory column-store relation.
+
+:class:`Relation` stores each column as a numpy array and provides the small
+set of operations the rest of the library needs: filtering by boolean masks
+or expressions, projection, concatenation, sampling, sorting, grouping, and
+per-column summary statistics.  It deliberately has no query optimiser — the
+experiments operate on datasets of at most a few hundred thousand rows.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..exceptions import SchemaError, TypeMismatchError
+from .schema import Column, ColumnType, Schema
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type checkers
+    from .expressions import Expression
+
+__all__ = ["Relation"]
+
+
+class Relation:
+    """A named, schema-ed, immutable column-store table.
+
+    Parameters
+    ----------
+    schema:
+        The relation schema.
+    columns:
+        Mapping from column name to a numpy array (or any sequence).  All
+        columns must have identical length and cover exactly the schema.
+    name:
+        Optional relation name, used by joins and error messages.
+    """
+
+    def __init__(
+        self,
+        schema: Schema,
+        columns: Mapping[str, Sequence] | Mapping[str, np.ndarray],
+        name: str = "relation",
+    ):
+        self._schema = schema
+        self._name = name
+        data: dict[str, np.ndarray] = {}
+        length: int | None = None
+        missing = [c.name for c in schema if c.name not in columns]
+        if missing:
+            raise SchemaError(f"missing columns for schema: {missing}")
+        extra = [key for key in columns if key not in schema]
+        if extra:
+            raise SchemaError(f"columns not declared in schema: {extra}")
+        for column in schema:
+            values = columns[column.name]
+            array = column.ctype.coerce(values)
+            if length is None:
+                length = len(array)
+            elif len(array) != length:
+                raise SchemaError(
+                    f"column {column.name!r} has length {len(array)}, "
+                    f"expected {length}"
+                )
+            data[column.name] = array
+        self._columns = data
+        self._length = int(length or 0)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_rows(
+        cls,
+        schema: Schema,
+        rows: Iterable[Sequence],
+        name: str = "relation",
+    ) -> "Relation":
+        """Build a relation from an iterable of row tuples (schema order)."""
+        materialised = [tuple(row) for row in rows]
+        columns: dict[str, list] = {column.name: [] for column in schema}
+        for row in materialised:
+            if len(row) != len(schema):
+                raise SchemaError(
+                    f"row has {len(row)} values, schema has {len(schema)} columns"
+                )
+            for column, value in zip(schema, row):
+                columns[column.name].append(value)
+        return cls(schema, columns, name=name)
+
+    @classmethod
+    def from_dicts(
+        cls,
+        schema: Schema,
+        records: Iterable[Mapping[str, object]],
+        name: str = "relation",
+    ) -> "Relation":
+        """Build a relation from an iterable of ``{column: value}`` mappings."""
+        rows = [[record[column.name] for column in schema] for record in records]
+        return cls.from_rows(schema, rows, name=name)
+
+    @classmethod
+    def empty(cls, schema: Schema, name: str = "relation") -> "Relation":
+        """An empty relation with the given schema."""
+        return cls(schema, {column.name: [] for column in schema}, name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic accessors
+    # ------------------------------------------------------------------ #
+    @property
+    def schema(self) -> Schema:
+        return self._schema
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_rows(self) -> int:
+        return self._length
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __repr__(self) -> str:
+        return f"Relation({self._name!r}, rows={self._length}, schema={self._schema!r})"
+
+    def column(self, name: str) -> np.ndarray:
+        """Return the column named ``name`` as a numpy array (no copy)."""
+        self._schema.column(name)
+        return self._columns[name]
+
+    def columns(self) -> dict[str, np.ndarray]:
+        """Return a shallow copy of the column mapping."""
+        return dict(self._columns)
+
+    def row(self, index: int) -> dict[str, object]:
+        """Return row ``index`` as a ``{column: value}`` dict."""
+        if not 0 <= index < self._length:
+            raise IndexError(f"row index {index} out of range [0, {self._length})")
+        return {name: self._columns[name][index] for name in self._schema.names}
+
+    def iter_rows(self) -> Iterator[dict[str, object]]:
+        """Iterate over rows as dicts (slow path, used by tests/oracles)."""
+        for index in range(self._length):
+            yield self.row(index)
+
+    def to_rows(self) -> list[tuple]:
+        """Materialise the relation as a list of row tuples (schema order)."""
+        names = self._schema.names
+        arrays = [self._columns[name] for name in names]
+        return [tuple(array[i] for array in arrays) for i in range(self._length)]
+
+    def rename(self, name: str) -> "Relation":
+        """Return the same relation under a new name (columns are shared)."""
+        clone = Relation.__new__(Relation)
+        clone._schema = self._schema
+        clone._columns = self._columns
+        clone._length = self._length
+        clone._name = name
+        return clone
+
+    # ------------------------------------------------------------------ #
+    # Core relational operations
+    # ------------------------------------------------------------------ #
+    def filter(self, condition: "Expression | np.ndarray") -> "Relation":
+        """Return the sub-relation of rows matching ``condition``.
+
+        ``condition`` may be a boolean numpy mask or any object exposing an
+        ``evaluate(relation) -> mask`` method (see
+        :mod:`repro.relational.expressions`).
+        """
+        mask = self._as_mask(condition)
+        columns = {name: array[mask] for name, array in self._columns.items()}
+        return Relation(self._schema, columns, name=self._name)
+
+    def take(self, indices: Sequence[int] | np.ndarray) -> "Relation":
+        """Return the rows at ``indices`` (with repetition allowed)."""
+        index_array = np.asarray(indices, dtype=np.int64)
+        columns = {name: array[index_array] for name, array in self._columns.items()}
+        return Relation(self._schema, columns, name=self._name)
+
+    def head(self, count: int) -> "Relation":
+        """Return the first ``count`` rows."""
+        return self.take(np.arange(min(count, self._length)))
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Return a relation restricted to the named columns."""
+        schema = self._schema.project(names)
+        columns = {name: self._columns[name] for name in names}
+        return Relation(schema, columns, name=self._name)
+
+    def with_column(
+        self, name: str, ctype: ColumnType, values: Sequence | np.ndarray
+    ) -> "Relation":
+        """Return a new relation with an extra (or replaced) column."""
+        columns = dict(self._columns)
+        columns[name] = values
+        if name in self._schema:
+            schema_columns = [
+                Column(name, ctype) if column.name == name else column
+                for column in self._schema
+            ]
+        else:
+            schema_columns = list(self._schema.columns) + [Column(name, ctype)]
+        return Relation(Schema(schema_columns), columns, name=self._name)
+
+    def concat(self, other: "Relation") -> "Relation":
+        """Union-all of two relations with identical schemas."""
+        if self._schema != other._schema:
+            raise SchemaError(
+                "cannot concatenate relations with different schemas: "
+                f"{self._schema!r} vs {other._schema!r}"
+            )
+        columns = {
+            name: np.concatenate([self._columns[name], other._columns[name]])
+            for name in self._schema.names
+        }
+        return Relation(self._schema, columns, name=self._name)
+
+    def sample(
+        self, count: int, rng: np.random.Generator | None = None, replace: bool = False
+    ) -> "Relation":
+        """Uniform random sample of ``count`` rows."""
+        generator = rng if rng is not None else np.random.default_rng()
+        if not replace:
+            count = min(count, self._length)
+        if self._length == 0:
+            return Relation.empty(self._schema, name=self._name)
+        indices = generator.choice(self._length, size=count, replace=replace)
+        return self.take(indices)
+
+    def shuffle(self, rng: np.random.Generator | None = None) -> "Relation":
+        """Return the relation with rows in a random order."""
+        generator = rng if rng is not None else np.random.default_rng()
+        permutation = generator.permutation(self._length)
+        return self.take(permutation)
+
+    def sort_by(self, name: str, descending: bool = False) -> "Relation":
+        """Return the relation sorted by a single column."""
+        column = self.column(name)
+        order = np.argsort(column, kind="stable")
+        if descending:
+            order = order[::-1]
+        return self.take(order)
+
+    def split_by_mask(self, condition: "Expression | np.ndarray") -> tuple["Relation", "Relation"]:
+        """Split into (matching, non-matching) sub-relations."""
+        mask = self._as_mask(condition)
+        return self.filter(mask), self.filter(~mask)
+
+    def group_by(self, names: Sequence[str]) -> dict[tuple, "Relation"]:
+        """Group rows by the values of the named columns.
+
+        Returns a mapping from the group key tuple to the sub-relation of
+        rows with that key.
+        """
+        for name in names:
+            self._schema.column(name)
+        groups: dict[tuple, list[int]] = {}
+        key_columns = [self._columns[name] for name in names]
+        for index in range(self._length):
+            key = tuple(column[index] for column in key_columns)
+            groups.setdefault(key, []).append(index)
+        return {key: self.take(indices) for key, indices in groups.items()}
+
+    # ------------------------------------------------------------------ #
+    # Statistics helpers
+    # ------------------------------------------------------------------ #
+    def column_min(self, name: str) -> float:
+        """Minimum of a numeric column (raises on empty relations)."""
+        values = self._numeric_values(name)
+        if values.size == 0:
+            raise ValueError(f"column {name!r} is empty; no minimum exists")
+        return float(values.min())
+
+    def column_max(self, name: str) -> float:
+        """Maximum of a numeric column (raises on empty relations)."""
+        values = self._numeric_values(name)
+        if values.size == 0:
+            raise ValueError(f"column {name!r} is empty; no maximum exists")
+        return float(values.max())
+
+    def column_sum(self, name: str) -> float:
+        """Sum of a numeric column (0.0 on empty relations)."""
+        return float(self._numeric_values(name).sum())
+
+    def column_mean(self, name: str) -> float:
+        """Mean of a numeric column (raises on empty relations)."""
+        values = self._numeric_values(name)
+        if values.size == 0:
+            raise ValueError(f"column {name!r} is empty; no mean exists")
+        return float(values.mean())
+
+    def column_range(self, name: str) -> tuple[float, float]:
+        """(min, max) of a numeric column."""
+        return self.column_min(name), self.column_max(name)
+
+    def distinct_values(self, name: str) -> np.ndarray:
+        """Sorted distinct values of a column."""
+        return np.unique(self.column(name))
+
+    def value_counts(self, name: str) -> dict[object, int]:
+        """Histogram of a column's values."""
+        values, counts = np.unique(self.column(name), return_counts=True)
+        return {value: int(count) for value, count in zip(values, counts)}
+
+    def describe(self) -> dict[str, dict[str, float]]:
+        """Per-numeric-column summary (count/min/max/mean/std)."""
+        summary: dict[str, dict[str, float]] = {}
+        for column in self._schema:
+            if not column.is_numeric:
+                continue
+            values = self._columns[column.name].astype(np.float64)
+            if values.size == 0:
+                summary[column.name] = {"count": 0.0}
+                continue
+            summary[column.name] = {
+                "count": float(values.size),
+                "min": float(values.min()),
+                "max": float(values.max()),
+                "mean": float(values.mean()),
+                "std": float(values.std()),
+            }
+        return summary
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _numeric_values(self, name: str) -> np.ndarray:
+        self._schema.require_numeric(name)
+        return self._columns[name].astype(np.float64)
+
+    def _as_mask(self, condition: "Expression | np.ndarray") -> np.ndarray:
+        if isinstance(condition, np.ndarray):
+            mask = condition
+        elif hasattr(condition, "evaluate"):
+            mask = condition.evaluate(self)
+        else:
+            raise TypeMismatchError(
+                "filter condition must be a boolean mask or an Expression, "
+                f"got {type(condition).__name__}"
+            )
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._length,):
+            raise TypeMismatchError(
+                f"boolean mask has shape {mask.shape}, expected ({self._length},)"
+            )
+        return mask

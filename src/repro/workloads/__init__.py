@@ -1,0 +1,17 @@
+"""Workload generators: random queries, missing-data scenarios, noisy PCs."""
+
+from .missing import MissingDataScenario, remove_correlated, remove_random, remove_region
+from .noise import corrupt_frequency_constraints, corrupt_value_constraints
+from .queries import QueryWorkloadSpec, generate_query_workload, random_region
+
+__all__ = [
+    "MissingDataScenario",
+    "remove_correlated",
+    "remove_random",
+    "remove_region",
+    "corrupt_frequency_constraints",
+    "corrupt_value_constraints",
+    "QueryWorkloadSpec",
+    "generate_query_workload",
+    "random_region",
+]

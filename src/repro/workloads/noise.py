@@ -1,0 +1,83 @@
+"""Constraint mis-specification (paper §6.3.2, Figure 6).
+
+Users write predicate-constraints by hand, so the paper studies what happens
+when the value ranges are *wrong*: independent Gaussian noise is added to
+each value constraint's minimum and maximum.  Under-estimated ranges can cut
+off the true values, producing failures; the experiment measures how failure
+rates grow with the noise level and how overlapping constraints dampen it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..core.constraints import PredicateConstraint, ValueConstraint
+from ..core.pcset import PredicateConstraintSet
+from ..exceptions import WorkloadError
+
+__all__ = ["corrupt_value_constraints", "corrupt_frequency_constraints"]
+
+
+def corrupt_value_constraints(pcset: PredicateConstraintSet,
+                              noise_std_fraction: float,
+                              rng: np.random.Generator | None = None
+                              ) -> PredicateConstraintSet:
+    """Add Gaussian noise to every value constraint's lower and upper bound.
+
+    ``noise_std_fraction`` scales the noise standard deviation relative to
+    each constraint's own value range (so "1 SD of noise" means the bound
+    moves by about the width of the range it describes, matching the
+    figure's 1/2/3-SD sweep).
+    """
+    if noise_std_fraction < 0:
+        raise WorkloadError("noise_std_fraction must be non-negative")
+    generator = rng if rng is not None else np.random.default_rng()
+
+    def corrupt(constraint: PredicateConstraint) -> PredicateConstraint:
+        noisy_bounds: dict[str, tuple[float, float]] = {}
+        for attribute, (low, high) in constraint.values.bounds.items():
+            scale = max(abs(high - low), 1e-9) * noise_std_fraction
+            noisy_low = low + float(generator.normal(0.0, scale))
+            noisy_high = high + float(generator.normal(0.0, scale))
+            if noisy_low > noisy_high:
+                noisy_low, noisy_high = noisy_high, noisy_low
+            noisy_bounds[attribute] = (noisy_low, noisy_high)
+        return PredicateConstraint(constraint.predicate,
+                                   ValueConstraint(noisy_bounds),
+                                   constraint.frequency,
+                                   name=constraint.name)
+
+    corrupted = pcset.map_constraints(corrupt)
+    # Corruption does not change the predicates, so structural hints survive.
+    if pcset.is_pairwise_disjoint():
+        corrupted.mark_disjoint(True)
+    if pcset.is_closed():
+        corrupted.mark_closed(True)
+    return corrupted
+
+
+def corrupt_frequency_constraints(pcset: PredicateConstraintSet,
+                                  noise_std_fraction: float,
+                                  rng: np.random.Generator | None = None
+                                  ) -> PredicateConstraintSet:
+    """Add multiplicative noise to every frequency constraint's upper bound.
+
+    Used by robustness ablations: an under-estimated frequency bound can
+    also cause failures, independently of value-range noise.
+    """
+    if noise_std_fraction < 0:
+        raise WorkloadError("noise_std_fraction must be non-negative")
+    generator = rng if rng is not None else np.random.default_rng()
+
+    def corrupt(constraint: PredicateConstraint) -> PredicateConstraint:
+        factor = max(0.0, 1.0 + float(generator.normal(0.0, noise_std_fraction)))
+        return PredicateConstraint(constraint.predicate, constraint.values,
+                                   constraint.frequency.scaled(factor),
+                                   name=constraint.name)
+
+    corrupted = pcset.map_constraints(corrupt)
+    if pcset.is_pairwise_disjoint():
+        corrupted.mark_disjoint(True)
+    if pcset.is_closed():
+        corrupted.mark_closed(True)
+    return corrupted

@@ -1,0 +1,93 @@
+"""Random query workloads (paper §6: "1000 randomly chosen predicates").
+
+The experiments evaluate each estimator on large batches of randomly
+generated aggregate queries whose WHERE clauses are random ranges over the
+dataset's predicate attributes.  This module generates those workloads
+deterministically from a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from ..core.engine import ContingencyQuery
+from ..core.predicates import Predicate
+from ..exceptions import WorkloadError
+from ..relational.aggregates import AggregateFunction
+from ..relational.relation import Relation
+
+__all__ = ["QueryWorkloadSpec", "random_region", "generate_query_workload"]
+
+
+@dataclass(frozen=True)
+class QueryWorkloadSpec:
+    """Description of a random query workload.
+
+    Attributes
+    ----------
+    aggregate:
+        The aggregate of every query in the workload.
+    attribute:
+        The aggregated attribute (``None`` for COUNT(*)).
+    predicate_attributes:
+        The attributes random WHERE ranges are drawn over.
+    num_queries:
+        Workload size (the paper uses 1000).
+    min_selectivity / max_selectivity:
+        The width of each random range as a fraction of the attribute's
+        observed span.
+    """
+
+    aggregate: AggregateFunction
+    attribute: str | None
+    predicate_attributes: tuple[str, ...]
+    num_queries: int = 1000
+    min_selectivity: float = 0.05
+    max_selectivity: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.num_queries <= 0:
+            raise WorkloadError("num_queries must be positive")
+        if not 0.0 < self.min_selectivity <= self.max_selectivity <= 1.0:
+            raise WorkloadError(
+                "selectivities must satisfy 0 < min <= max <= 1, got "
+                f"({self.min_selectivity}, {self.max_selectivity})"
+            )
+
+
+def random_region(relation: Relation, attributes: Sequence[str],
+                  rng: np.random.Generator,
+                  min_selectivity: float = 0.05,
+                  max_selectivity: float = 0.4) -> Predicate:
+    """A random box predicate over ``attributes`` of ``relation``.
+
+    Each attribute gets a random sub-range whose width is a random fraction
+    (between the two selectivities) of the attribute's observed span.
+    """
+    if not attributes:
+        raise WorkloadError("random_region needs at least one attribute")
+    predicate = Predicate.true()
+    for attribute in attributes:
+        low, high = relation.column_range(attribute)
+        if high == low:
+            high = low + 1.0
+        span = high - low
+        width = span * float(rng.uniform(min_selectivity, max_selectivity))
+        start = low + float(rng.uniform(0.0, max(span - width, 1e-12)))
+        predicate = predicate.with_range(attribute, start, start + width)
+    return predicate
+
+
+def generate_query_workload(relation: Relation, spec: QueryWorkloadSpec,
+                            seed: int | None = 23) -> list[ContingencyQuery]:
+    """Generate ``spec.num_queries`` random queries against ``relation``."""
+    rng = np.random.default_rng(seed)
+    queries: list[ContingencyQuery] = []
+    for _ in range(spec.num_queries):
+        region = random_region(relation, spec.predicate_attributes, rng,
+                               spec.min_selectivity, spec.max_selectivity)
+        queries.append(ContingencyQuery(spec.aggregate, spec.attribute, region))
+    return queries

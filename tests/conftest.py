@@ -1,0 +1,85 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from repro.core.pcset import PredicateConstraintSet
+from repro.core.predicates import Predicate
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+from repro.solvers.sat import AttributeDomain
+
+
+@pytest.fixture
+def sales_schema() -> Schema:
+    """The paper's running example schema: Sales(utc, branch, price)."""
+    return Schema.from_pairs([
+        ("utc", ColumnType.FLOAT),
+        ("branch", ColumnType.STRING),
+        ("price", ColumnType.FLOAT),
+    ])
+
+
+@pytest.fixture
+def sales_relation(sales_schema: Schema) -> Relation:
+    """A small concrete sales table used across relational tests."""
+    rows = [
+        (10.2, "New York", 3.02),
+        (10.3, "Chicago", 6.71),
+        (11.0, "Chicago", 149.99),
+        (11.5, "New York", 80.00),
+        (12.1, "Trenton", 18.99),
+        (12.4, "Chicago", 5.00),
+        (13.0, "New York", 42.50),
+        (13.7, "Trenton", 7.25),
+    ]
+    return Relation.from_rows(sales_schema, rows, name="sales")
+
+
+@pytest.fixture
+def sales_domains() -> dict[str, AttributeDomain]:
+    return {
+        "utc": AttributeDomain.numeric(),
+        "branch": AttributeDomain.categorical(["New York", "Chicago", "Trenton"]),
+        "price": AttributeDomain.numeric(),
+    }
+
+
+@pytest.fixture
+def paper_overlapping_pcs() -> PredicateConstraintSet:
+    """The overlapping predicate-constraints of the paper's §4.4 example."""
+    t1 = PredicateConstraint(
+        Predicate.range("utc", 11, 12),
+        ValueConstraint({"price": (0.99, 129.99)}),
+        FrequencyConstraint.between(50, 100), name="t1")
+    t2 = PredicateConstraint(
+        Predicate.range("utc", 11, 13),
+        ValueConstraint({"price": (0.99, 149.99)}),
+        FrequencyConstraint.between(75, 125), name="t2")
+    return PredicateConstraintSet([t1, t2])
+
+
+@pytest.fixture
+def paper_disjoint_pcs() -> PredicateConstraintSet:
+    """The disjoint predicate-constraints of the paper's §4.4 example."""
+    t1 = PredicateConstraint(
+        Predicate.range("utc", 11, 11.999),
+        ValueConstraint({"price": (0.99, 129.99)}),
+        FrequencyConstraint.between(50, 100), name="t1")
+    t2 = PredicateConstraint(
+        Predicate.range("utc", 12, 13),
+        ValueConstraint({"price": (0.99, 149.99)}),
+        FrequencyConstraint.between(50, 100), name="t2")
+    return PredicateConstraintSet([t1, t2])
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)

@@ -1,0 +1,269 @@
+"""Unit tests for the statistical baselines (sampling, histogram, GMM,
+extrapolation, elastic sensitivity)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.baselines.base import IntervalEstimate
+from repro.baselines.elastic_sensitivity import (
+    chain_join_elastic_bound,
+    elastic_sensitivity_join_bound,
+    max_key_frequency,
+    triangle_count_elastic_bound,
+)
+from repro.baselines.extrapolation import SimpleExtrapolationEstimator, extrapolate
+from repro.baselines.gmm import DiagonalGaussianMixture, GenerativeModelEstimator
+from repro.baselines.histogram import HistogramEstimator
+from repro.baselines.sampling import StratifiedSamplingEstimator, UniformSamplingEstimator
+from repro.core.engine import ContingencyQuery
+from repro.core.predicates import Predicate
+from repro.datasets.intel_wireless import generate_intel_wireless
+from repro.exceptions import WorkloadError
+from repro.relational.aggregates import AggregateFunction
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+from repro.workloads.missing import remove_correlated
+
+
+@pytest.fixture(scope="module")
+def missing_partition() -> Relation:
+    relation = generate_intel_wireless(num_rows=4_000, seed=9)
+    return remove_correlated(relation, 0.4, "light", highest=True).missing
+
+
+class TestIntervalEstimate:
+    def test_contains_and_width(self):
+        estimate = IntervalEstimate(1.0, 3.0, 2.0, "test")
+        assert estimate.contains(2.0)
+        assert not estimate.contains(5.0)
+        assert estimate.contains(None)
+        assert estimate.width == 2.0
+
+    def test_degenerate_interval_normalised(self):
+        estimate = IntervalEstimate(5.0, 1.0)
+        assert estimate.lower <= estimate.upper
+
+    def test_over_estimation_rate(self):
+        assert IntervalEstimate(0, 10).over_estimation_rate(5) == 2.0
+        assert IntervalEstimate(0, 10).over_estimation_rate(0) == math.inf
+        assert IntervalEstimate(0, math.inf).over_estimation_rate(5) == math.inf
+
+    def test_shifted(self):
+        shifted = IntervalEstimate(1.0, 2.0, 1.5).shifted(10)
+        assert (shifted.lower, shifted.upper, shifted.point) == (11.0, 12.0, 11.5)
+
+
+class TestUniformSampling:
+    def test_requires_fit(self, missing_partition):
+        estimator = UniformSamplingEstimator(100)
+        with pytest.raises(RuntimeError):
+            estimator.estimate(ContingencyQuery.count())
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            UniformSamplingEstimator(0)
+        with pytest.raises(WorkloadError):
+            UniformSamplingEstimator(10, method="bootstrap")
+
+    def test_count_estimate_close_to_truth(self, missing_partition):
+        estimator = UniformSamplingEstimator(500, rng=np.random.default_rng(0))
+        estimator.fit(missing_partition)
+        query = ContingencyQuery.count(Predicate.range("time", 0, 360))
+        truth = query.ground_truth(missing_partition)
+        estimate = estimator.estimate(query)
+        assert estimate.point == pytest.approx(truth, rel=0.3)
+        assert estimate.lower <= estimate.point <= estimate.upper
+
+    def test_sum_estimate_scales_with_population(self, missing_partition):
+        estimator = UniformSamplingEstimator(500, rng=np.random.default_rng(1))
+        estimator.fit(missing_partition)
+        query = ContingencyQuery.sum("light")
+        truth = query.ground_truth(missing_partition)
+        estimate = estimator.estimate(query)
+        assert estimate.point == pytest.approx(truth, rel=0.5)
+
+    def test_parametric_interval_narrower_than_nonparametric(self, missing_partition):
+        query = ContingencyQuery.sum("light")
+        parametric = UniformSamplingEstimator(300, method="parametric",
+                                              rng=np.random.default_rng(2))
+        nonparametric = UniformSamplingEstimator(300, method="nonparametric",
+                                                 rng=np.random.default_rng(2))
+        parametric.fit(missing_partition)
+        nonparametric.fit(missing_partition)
+        assert parametric.estimate(query).width <= nonparametric.estimate(query).width
+
+    def test_min_max_estimates(self, missing_partition):
+        estimator = UniformSamplingEstimator(200, rng=np.random.default_rng(3))
+        estimator.fit(missing_partition)
+        maximum = estimator.estimate(ContingencyQuery.max("light"))
+        minimum = estimator.estimate(ContingencyQuery.min("light"))
+        assert maximum.point <= maximum.upper
+        assert minimum.lower <= minimum.point
+
+    def test_empty_missing_partition(self):
+        schema = Schema.from_pairs([("x", ColumnType.FLOAT)])
+        empty = Relation.empty(schema)
+        estimator = UniformSamplingEstimator(10)
+        estimator.fit(empty)
+        estimate = estimator.estimate(ContingencyQuery.count())
+        assert estimate.upper == 0.0
+
+
+class TestStratifiedSampling:
+    def test_total_estimate(self, missing_partition):
+        estimator = StratifiedSamplingEstimator(400, ["device_id", "time"],
+                                                num_strata=16,
+                                                rng=np.random.default_rng(4))
+        estimator.fit(missing_partition)
+        query = ContingencyQuery.sum("light")
+        truth = query.ground_truth(missing_partition)
+        estimate = estimator.estimate(query)
+        assert estimate.point == pytest.approx(truth, rel=0.5)
+
+    def test_avg_falls_back_to_pooled_sample(self, missing_partition):
+        estimator = StratifiedSamplingEstimator(300, ["device_id"],
+                                                rng=np.random.default_rng(5))
+        estimator.fit(missing_partition)
+        estimate = estimator.estimate(ContingencyQuery.avg("light"))
+        truth = ContingencyQuery.avg("light").ground_truth(missing_partition)
+        assert estimate.lower <= truth * 1.5
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            StratifiedSamplingEstimator(0, ["x"])
+        with pytest.raises(WorkloadError):
+            StratifiedSamplingEstimator(10, [])
+
+
+class TestHistogramEstimator:
+    def test_hard_bounds_never_fail(self, missing_partition):
+        estimator = HistogramEstimator(["device_id", "time"], num_buckets=64,
+                                       value_attributes=["light"])
+        estimator.fit(missing_partition)
+        rng = np.random.default_rng(6)
+        for _ in range(25):
+            low = float(rng.uniform(0, 300))
+            region = Predicate.range("time", low, low + 120)
+            for query in (ContingencyQuery.count(region),
+                          ContingencyQuery.sum("light", region)):
+                truth = query.ground_truth(missing_partition)
+                estimate = estimator.estimate(query)
+                assert estimate.contains(truth), (query.describe(), truth, estimate)
+
+    def test_full_region_count_is_exact(self, missing_partition):
+        estimator = HistogramEstimator(["time"], num_buckets=16,
+                                       value_attributes=["light"])
+        estimator.fit(missing_partition)
+        estimate = estimator.estimate(ContingencyQuery.count())
+        assert estimate.lower == pytest.approx(missing_partition.num_rows)
+        assert estimate.upper == pytest.approx(missing_partition.num_rows)
+
+    def test_min_max_avg_queries(self, missing_partition):
+        estimator = HistogramEstimator(["time"], num_buckets=16,
+                                       value_attributes=["light"])
+        estimator.fit(missing_partition)
+        for query in (ContingencyQuery.max("light"), ContingencyQuery.min("light"),
+                      ContingencyQuery.avg("light")):
+            truth = query.ground_truth(missing_partition)
+            assert estimator.estimate(query).contains(truth)
+
+    def test_bucket_count_reported(self, missing_partition):
+        estimator = HistogramEstimator(["time"], num_buckets=8)
+        estimator.fit(missing_partition)
+        assert 0 < estimator.num_buckets_used() <= 8
+
+    def test_invalid_arguments(self):
+        with pytest.raises(WorkloadError):
+            HistogramEstimator([], 8)
+        with pytest.raises(WorkloadError):
+            HistogramEstimator(["x"], 0)
+
+
+class TestGMM:
+    def test_em_recovers_two_clusters(self):
+        rng = np.random.default_rng(7)
+        data = np.concatenate([
+            rng.normal(loc=0.0, scale=0.5, size=(300, 2)),
+            rng.normal(loc=10.0, scale=0.5, size=(300, 2)),
+        ])
+        model = DiagonalGaussianMixture.fit(data, num_components=2, rng=rng)
+        means = sorted(model.means[:, 0].tolist())
+        assert means[0] == pytest.approx(0.0, abs=1.0)
+        assert means[1] == pytest.approx(10.0, abs=1.0)
+        samples = model.sample(500, rng=rng)
+        assert samples.shape == (500, 2)
+
+    def test_fit_rejects_empty_matrix(self):
+        with pytest.raises(WorkloadError):
+            DiagonalGaussianMixture.fit(np.zeros((0, 2)))
+
+    def test_generative_estimator_reasonable(self, missing_partition):
+        estimator = GenerativeModelEstimator(num_components=3, num_trials=5,
+                                             rng=np.random.default_rng(8))
+        estimator.fit(missing_partition)
+        query = ContingencyQuery.count(Predicate.range("time", 0, 360))
+        truth = query.ground_truth(missing_partition)
+        estimate = estimator.estimate(query)
+        assert estimate.point == pytest.approx(truth, rel=0.6)
+
+    def test_generative_estimator_empty_data(self):
+        schema = Schema.from_pairs([("x", ColumnType.FLOAT)])
+        estimator = GenerativeModelEstimator()
+        estimator.fit(Relation.empty(schema))
+        assert estimator.estimate(ContingencyQuery.count()).upper == 0.0
+
+
+class TestExtrapolation:
+    def test_extrapolate_function(self):
+        assert extrapolate(100.0, 50, 50, AggregateFunction.SUM) == pytest.approx(200.0)
+        assert extrapolate(10.0, 50, 50, AggregateFunction.AVG) == 10.0
+        assert extrapolate(0.0, 0, 10, AggregateFunction.SUM) == 0.0
+        with pytest.raises(WorkloadError):
+            extrapolate(1.0, -1, 0, AggregateFunction.SUM)
+
+    def test_correlated_missingness_underestimates(self):
+        relation = generate_intel_wireless(num_rows=3_000, seed=10)
+        scenario = remove_correlated(relation, 0.5, "light", highest=True)
+        estimator = SimpleExtrapolationEstimator(scenario.observed,
+                                                 scenario.missing.num_rows)
+        estimator.fit(scenario.missing)
+        query = ContingencyQuery.sum("light")
+        truth = query.ground_truth(scenario.missing)
+        estimate = estimator.estimate(query)
+        # The highest-value rows are missing, so extrapolation from the
+        # observed rows must under-estimate the missing total.
+        assert estimate.point < truth
+        assert estimator.relative_error(query, scenario.missing) > 0.2
+
+
+class TestElasticSensitivity:
+    def test_max_key_frequency(self):
+        schema = Schema.from_pairs([("k", ColumnType.INT)])
+        relation = Relation(schema, {"k": [1, 1, 1, 2, 3]})
+        assert max_key_frequency(relation, "k") == 3.0
+        assert max_key_frequency(Relation.empty(schema), "k") == 0.0
+
+    def test_generic_bound(self):
+        bound = elastic_sensitivity_join_bound({"R": 10, "S": 20})
+        assert bound.bound == pytest.approx(min(10 * 20, 20 * 10))
+        with pytest.raises(Exception):
+            elastic_sensitivity_join_bound({})
+
+    def test_triangle_bound_tracks_cartesian_growth(self):
+        small = triangle_count_elastic_bound(10).bound
+        large = triangle_count_elastic_bound(1000).bound
+        assert large / small == pytest.approx((1000 / 10) ** 3, rel=1e-6)
+
+    def test_chain_bound_is_cartesian_without_frequencies(self):
+        bound = chain_join_elastic_bound([10, 10, 10, 10, 10])
+        assert bound.bound == pytest.approx(10.0 ** 5)
+
+    def test_chain_bound_with_frequencies(self):
+        bound = chain_join_elastic_bound([10, 10], max_frequencies=[2, 2])
+        assert bound.bound <= 10.0 ** 2
+        with pytest.raises(Exception):
+            chain_join_elastic_bound([10, 10], max_frequencies=[2])

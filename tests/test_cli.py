@@ -1,0 +1,163 @@
+"""Tests for the command-line interface and the GROUP BY analyzer support."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.bounds import BoundOptions
+from repro.core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from repro.core.engine import ContingencyQuery, PCAnalyzer
+from repro.core.io import save_pcset
+from repro.core.pcset import PredicateConstraintSet
+from repro.core.predicates import Predicate
+from repro.exceptions import QueryError
+from repro.relational.csvio import write_csv
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+from repro.solvers.sat import AttributeDomain
+
+
+@pytest.fixture
+def constraint_text_file(tmp_path):
+    path = tmp_path / "constraints.txt"
+    path.write_text(
+        "# outage window\n"
+        "11 <= utc <= 12 => 0.99 <= price <= 129.99, (50, 100)\n"
+        "12 <= utc <= 13 => 0.99 <= price <= 149.99, (50, 100)\n")
+    return path
+
+
+@pytest.fixture
+def constraint_json_file(tmp_path):
+    pcset = PredicateConstraintSet([
+        PredicateConstraint(Predicate.range("utc", 11, 13),
+                            ValueConstraint({"price": (0.0, 100.0)}),
+                            FrequencyConstraint(0, 10), name="window"),
+    ])
+    return save_pcset(pcset, tmp_path / "constraints.json")
+
+
+class TestCliParsing:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "figure3" in output and "table2" in output
+
+    def test_run_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["run", "figure99"])
+
+
+class TestCliRun:
+    def test_run_figure1_with_overrides(self, capsys):
+        assert main(["run", "figure1", "--num-rows", "1500"]) == 0
+        output = capsys.readouterr().out
+        assert "Figure 1" in output
+        assert "relative_error" in output
+
+    def test_run_figure7_ignores_inapplicable_flag(self, capsys):
+        assert main(["run", "figure7", "--num-rows", "800",
+                     "--num-constraints", "6", "--num-queries", "5"]) == 0
+        captured = capsys.readouterr()
+        assert "Figure 7" in captured.out
+        assert "does not take" in captured.err
+
+
+class TestCliBound:
+    def test_bound_with_text_constraints(self, capsys, constraint_text_file):
+        code = main(["bound", "--constraints", str(constraint_text_file),
+                     "--aggregate", "sum", "--attribute", "price",
+                     "--no-closure-check"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "result range" in output
+        assert "27998.0" in output
+
+    def test_bound_with_json_constraints_and_where(self, capsys, constraint_json_file):
+        code = main(["bound", "--constraints", str(constraint_json_file),
+                     "--aggregate", "count", "--where", "11 <= utc <= 12",
+                     "--no-closure-check"])
+        assert code == 0
+        assert "COUNT(*)" in capsys.readouterr().out
+
+    def test_bound_with_observed_csv(self, capsys, tmp_path, constraint_text_file):
+        schema = Schema.from_pairs([("utc", ColumnType.FLOAT),
+                                    ("price", ColumnType.FLOAT)])
+        observed = Relation(schema, {"utc": [10.0, 10.5], "price": [5.0, 6.0]})
+        observed_path = write_csv(observed, tmp_path / "observed.csv")
+        code = main(["bound", "--constraints", str(constraint_text_file),
+                     "--aggregate", "sum", "--attribute", "price",
+                     "--observed", str(observed_path), "--no-closure-check"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "observed rows   : 2" in output
+
+    def test_bound_missing_constraint_file(self, capsys):
+        code = main(["bound", "--constraints", "/nonexistent/file.json",
+                     "--aggregate", "count"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestGroupByAnalysis:
+    def build_analyzer(self) -> PCAnalyzer:
+        chicago = PredicateConstraint(
+            Predicate.equals("branch", "Chicago"),
+            ValueConstraint({"price": (0.0, 150.0)}),
+            FrequencyConstraint(0, 5), name="chicago")
+        new_york = PredicateConstraint(
+            Predicate.equals("branch", "New York"),
+            ValueConstraint({"price": (0.0, 100.0)}),
+            FrequencyConstraint(0, 10), name="new-york")
+        pcset = PredicateConstraintSet(
+            [chicago, new_york],
+            domains={"branch": AttributeDomain.categorical(["Chicago", "New York"])})
+        return PCAnalyzer(pcset, options=BoundOptions(check_closure=False))
+
+    def test_group_values_from_domain(self):
+        analyzer = self.build_analyzer()
+        reports = analyzer.analyze_group_by(ContingencyQuery.sum("price"), "branch")
+        assert set(reports) == {"Chicago", "New York"}
+        assert reports["Chicago"].upper == pytest.approx(5 * 150.0)
+        assert reports["New York"].upper == pytest.approx(10 * 100.0)
+
+    def test_explicit_groups(self):
+        analyzer = self.build_analyzer()
+        reports = analyzer.analyze_group_by(ContingencyQuery.count(), "branch",
+                                            groups=["Chicago"])
+        assert list(reports) == ["Chicago"]
+        assert reports["Chicago"].upper == pytest.approx(5.0)
+
+    def test_group_by_without_domain_or_observed_raises(self):
+        pcset = PredicateConstraintSet([
+            PredicateConstraint(Predicate.range("x", 0, 1), ValueConstraint(),
+                                FrequencyConstraint(0, 1), name="a")])
+        analyzer = PCAnalyzer(pcset, options=BoundOptions(check_closure=False))
+        with pytest.raises(QueryError):
+            analyzer.analyze_group_by(ContingencyQuery.count(), "x")
+
+    def test_group_by_numeric_groups_from_observed(self):
+        schema = Schema.from_pairs([("device", ColumnType.INT),
+                                    ("value", ColumnType.FLOAT)])
+        observed = Relation(schema, {"device": [1, 1, 2], "value": [5.0, 6.0, 7.0]})
+        pcset = PredicateConstraintSet([
+            PredicateConstraint(Predicate.range("device", 1, 2),
+                                ValueConstraint({"value": (0.0, 10.0)}),
+                                FrequencyConstraint(0, 4), name="missing-devices")])
+        analyzer = PCAnalyzer(pcset, observed=observed,
+                              options=BoundOptions(check_closure=False))
+        reports = analyzer.analyze_group_by(ContingencyQuery.sum("value"), "device")
+        assert set(reports) == {1, 2}
+        assert reports[1].observed_value == pytest.approx(11.0)
+        assert reports[1].upper == pytest.approx(11.0 + 4 * 10.0)

@@ -1,0 +1,171 @@
+"""Unit tests for the automatic PC builders (Corr-PC, Rand-PC, partitions)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builders import (
+    build_corr_pcs,
+    build_histogram_pcs,
+    build_overlapping_pcs,
+    build_partition_pcs,
+    build_random_overlapping_boxes,
+    build_random_pcs,
+    infer_domains,
+    select_correlated_attributes,
+)
+from repro.core.bounds import BoundOptions, PCBoundSolver
+from repro.datasets.intel_wireless import generate_intel_wireless
+from repro.exceptions import DatasetError
+from repro.relational.aggregates import AggregateFunction
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+
+
+@pytest.fixture(scope="module")
+def sensor_data() -> Relation:
+    return generate_intel_wireless(num_rows=3_000, seed=5)
+
+
+class TestInferDomains:
+    def test_domain_kinds(self, sensor_data):
+        domains = infer_domains(sensor_data)
+        assert domains["device_id"].is_numeric
+        assert domains["light"].is_numeric
+
+    def test_categorical_domain(self):
+        schema = Schema.from_pairs([("tag", ColumnType.STRING)])
+        relation = Relation(schema, {"tag": ["a", "b", "a"]})
+        domains = infer_domains(relation)
+        assert not domains["tag"].is_numeric
+        assert domains["tag"].categories.values == frozenset({"a", "b"})
+
+
+class TestCorrelatedAttributeSelection:
+    def test_finds_constructed_correlation(self):
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=500)
+        schema = Schema.from_pairs([("target", ColumnType.FLOAT),
+                                    ("strong", ColumnType.FLOAT),
+                                    ("noise", ColumnType.FLOAT)])
+        relation = Relation(schema, {
+            "target": base,
+            "strong": base * 2.0 + rng.normal(scale=0.01, size=500),
+            "noise": rng.normal(size=500),
+        })
+        selected = select_correlated_attributes(relation, "target", count=1)
+        assert selected == ["strong"]
+
+    def test_constant_column_scores_zero(self):
+        schema = Schema.from_pairs([("target", ColumnType.FLOAT),
+                                    ("flat", ColumnType.FLOAT)])
+        relation = Relation(schema, {"target": [1.0, 2.0, 3.0], "flat": [5.0, 5.0, 5.0]})
+        assert select_correlated_attributes(relation, "target", count=1) == ["flat"]
+
+
+class TestPartitionBuilders:
+    def test_partition_counts_and_validity(self, sensor_data):
+        pcset = build_partition_pcs(sensor_data, ["device_id", "time"], 25,
+                                    value_attributes=["light"])
+        assert 10 <= len(pcset) <= 40
+        assert pcset.is_pairwise_disjoint()
+        assert pcset.is_closed()
+        # Constraints built from the data must hold on that data.
+        assert pcset.is_satisfied_by(sensor_data)
+
+    def test_partition_total_capacity_covers_rows(self, sensor_data):
+        pcset = build_partition_pcs(sensor_data, ["time"], 10,
+                                    value_attributes=["light"])
+        assert pcset.total_max_rows() == sensor_data.num_rows
+
+    def test_exact_counts_mode(self, sensor_data):
+        pcset = build_partition_pcs(sensor_data, ["time"], 5,
+                                    value_attributes=["light"], exact_counts=True)
+        assert pcset.total_min_rows() == sensor_data.num_rows
+
+    def test_invalid_arguments(self, sensor_data):
+        with pytest.raises(DatasetError):
+            build_partition_pcs(sensor_data, ["time"], 0)
+        with pytest.raises(DatasetError):
+            build_partition_pcs(sensor_data, [], 10)
+        empty = Relation.empty(sensor_data.schema)
+        with pytest.raises(DatasetError):
+            build_partition_pcs(empty, ["time"], 10)
+
+    def test_corr_pcs_use_selected_attributes(self, sensor_data):
+        pcset = build_corr_pcs(sensor_data, "light", 16, num_attributes=2,
+                               candidates=["device_id", "time", "temperature"])
+        assert pcset.is_satisfied_by(sensor_data)
+        attributes = pcset.attributes()
+        assert "light" in attributes  # value constraints on the target
+
+    def test_histogram_pcs(self, sensor_data):
+        pcset = build_histogram_pcs(sensor_data, "light", 12)
+        assert len(pcset) == 12
+        assert pcset.is_pairwise_disjoint()
+        assert pcset.is_satisfied_by(sensor_data)
+        with pytest.raises(DatasetError):
+            build_histogram_pcs(sensor_data, "light", 0)
+
+    def test_bounds_from_partition_pcs_contain_truth(self, sensor_data):
+        """End-to-end: summarise the relation, bound SUM, compare to truth."""
+        pcset = build_partition_pcs(sensor_data, ["device_id", "time"], 36,
+                                    value_attributes=["light"])
+        solver = PCBoundSolver(pcset, BoundOptions(check_closure=False))
+        result = solver.bound(AggregateFunction.SUM, "light")
+        truth = sensor_data.column_sum("light")
+        assert result.contains(truth)
+        count_result = solver.bound(AggregateFunction.COUNT)
+        assert count_result.contains(sensor_data.num_rows)
+
+
+class TestRandomBuilders:
+    def test_random_partition_is_valid_and_closed(self, sensor_data):
+        pcset = build_random_pcs(sensor_data, ["device_id", "time"], 25,
+                                 value_attributes=["light"],
+                                 rng=np.random.default_rng(1))
+        assert pcset.is_satisfied_by(sensor_data)
+        assert pcset.is_closed()
+        assert pcset.is_pairwise_disjoint()
+
+    def test_random_boxes_overlap_and_stay_valid(self, sensor_data):
+        pcset = build_random_overlapping_boxes(sensor_data, ["device_id", "time"], 8,
+                                               value_attributes=["light"],
+                                               rng=np.random.default_rng(2))
+        assert pcset.is_satisfied_by(sensor_data)
+        assert len(pcset) == 8
+        assert pcset.is_closed()  # catch-all constraint guarantees closure
+
+    def test_random_boxes_without_catch_all(self, sensor_data):
+        pcset = build_random_overlapping_boxes(sensor_data, ["time"], 5,
+                                               value_attributes=["light"],
+                                               rng=np.random.default_rng(3),
+                                               include_catch_all=False)
+        assert len(pcset) == 5
+
+    def test_invalid_arguments(self, sensor_data):
+        with pytest.raises(DatasetError):
+            build_random_pcs(sensor_data, ["time"], 0)
+        with pytest.raises(DatasetError):
+            build_random_overlapping_boxes(Relation.empty(sensor_data.schema),
+                                           ["time"], 3)
+
+
+class TestOverlappingBuilder:
+    def test_overlapping_partitions_are_valid(self, sensor_data):
+        pcset = build_overlapping_pcs(sensor_data, ["time"], 6,
+                                      overlap_fraction=0.5,
+                                      value_attributes=["light"])
+        assert pcset.is_satisfied_by(sensor_data)
+        assert not pcset.is_pairwise_disjoint()
+
+    def test_zero_overlap_returns_partition(self, sensor_data):
+        pcset = build_overlapping_pcs(sensor_data, ["time"], 6,
+                                      overlap_fraction=0.0,
+                                      value_attributes=["light"])
+        assert pcset.is_pairwise_disjoint()
+
+    def test_invalid_overlap_fraction(self, sensor_data):
+        with pytest.raises(DatasetError):
+            build_overlapping_pcs(sensor_data, ["time"], 6, overlap_fraction=1.5)

@@ -1,0 +1,152 @@
+"""Unit tests for repro.core.constraints (value/frequency/predicate constraints)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from repro.core.predicates import Predicate
+from repro.exceptions import ConstraintError
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+
+
+class TestValueConstraint:
+    def test_bounds_and_defaults(self):
+        constraint = ValueConstraint({"price": (0.0, 149.99)})
+        assert constraint.lower("price") == 0.0
+        assert constraint.upper("price") == 149.99
+        assert constraint.lower("other") == float("-inf")
+        assert constraint.upper("other") == float("inf")
+        assert constraint.constrains("price")
+        assert not constraint.constrains("other")
+
+    def test_invalid_range_rejected(self):
+        with pytest.raises(ConstraintError):
+            ValueConstraint({"price": (10.0, 1.0)})
+
+    def test_satisfied_by_row(self):
+        constraint = ValueConstraint({"price": (0.0, 100.0)})
+        assert constraint.satisfied_by_row({"price": 50.0})
+        assert not constraint.satisfied_by_row({"price": 150.0})
+        assert not constraint.satisfied_by_row({})
+        assert not constraint.satisfied_by_row({"price": "not-a-number"})
+
+    def test_intersect_takes_most_restrictive(self):
+        first = ValueConstraint({"price": (0.0, 100.0), "qty": (0, 10)})
+        second = ValueConstraint({"price": (50.0, 200.0)})
+        merged = first.intersect(second)
+        assert merged.interval("price") == (50.0, 100.0)
+        assert merged.interval("qty") == (0, 10)
+
+    def test_intersect_can_become_empty(self):
+        first = ValueConstraint({"price": (0.0, 10.0)})
+        second = ValueConstraint({"price": (20.0, 30.0)})
+        merged = first.intersect(second)
+        assert merged.is_empty_on("price")
+
+    def test_widened(self):
+        constraint = ValueConstraint({"price": (10.0, 20.0)})
+        widened = constraint.widened({"price": 5.0})
+        assert widened.interval("price") == (5.0, 25.0)
+
+    def test_equality(self):
+        assert ValueConstraint({"a": (0, 1)}) == ValueConstraint({"a": (0, 1)})
+        assert ValueConstraint({"a": (0, 1)}) != ValueConstraint({"a": (0, 2)})
+
+
+class TestFrequencyConstraint:
+    def test_validation(self):
+        with pytest.raises(ConstraintError):
+            FrequencyConstraint(5, 1)
+        with pytest.raises(ConstraintError):
+            FrequencyConstraint(-1, 1)
+
+    def test_constructors_and_contains(self):
+        assert FrequencyConstraint.at_most(5).contains(0)
+        assert FrequencyConstraint.at_most(5).contains(5)
+        assert not FrequencyConstraint.at_most(5).contains(6)
+        assert FrequencyConstraint.exactly(3).lower == 3
+        assert FrequencyConstraint.between(2, 4).contains(3)
+
+    def test_scaled(self):
+        scaled = FrequencyConstraint(3, 10).scaled(0.5)
+        assert scaled.lower == 1
+        assert scaled.upper == 5
+        with pytest.raises(ConstraintError):
+            FrequencyConstraint(0, 1).scaled(-1)
+
+
+@pytest.fixture
+def sales() -> Relation:
+    schema = Schema.from_pairs([("branch", ColumnType.STRING),
+                                ("price", ColumnType.FLOAT)])
+    rows = [("Chicago", 10.0), ("Chicago", 140.0), ("New York", 90.0),
+            ("Trenton", 20.0)]
+    return Relation.from_rows(schema, rows)
+
+
+class TestPredicateConstraint:
+    def test_paper_example_c1_satisfied(self, sales):
+        """c1: branch = Chicago => 0 <= price <= 149.99, (0, 5)."""
+        c1 = PredicateConstraint.build(
+            Predicate.equals("branch", "Chicago"),
+            {"price": (0.0, 149.99)}, max_rows=5, name="c1")
+        assert c1.is_satisfied_by(sales)
+        assert c1.violations(sales) == []
+
+    def test_frequency_violation(self, sales):
+        constraint = PredicateConstraint.build(
+            Predicate.equals("branch", "Chicago"),
+            {"price": (0.0, 149.99)}, max_rows=1, name="tight")
+        violations = constraint.violations(sales)
+        assert len(violations) == 1
+        assert violations[0].kind == "frequency"
+        assert "tight" in str(violations[0])
+
+    def test_value_violation(self, sales):
+        constraint = PredicateConstraint.build(
+            Predicate.equals("branch", "Chicago"),
+            {"price": (0.0, 99.0)}, max_rows=10, name="low-cap")
+        violations = constraint.violations(sales)
+        assert any(v.kind == "value" for v in violations)
+
+    def test_missing_attribute_violation(self, sales):
+        constraint = PredicateConstraint.build(
+            Predicate.true(), {"weight": (0.0, 1.0)}, max_rows=10)
+        violations = constraint.violations(sales)
+        assert any(v.kind == "schema" for v in violations)
+
+    def test_minimum_rows_violation(self, sales):
+        constraint = PredicateConstraint.build(
+            Predicate.equals("branch", "Boston"), {"price": (0.0, 10.0)},
+            max_rows=10, min_rows=1, name="requires-boston")
+        violations = constraint.violations(sales)
+        assert any(v.kind == "frequency" for v in violations)
+
+    def test_value_bounds_consider_predicate_ranges(self):
+        """Histogram-style tautologies bound values through the predicate."""
+        constraint = PredicateConstraint.build(
+            Predicate.range("price", 10.0, 20.0), {}, max_rows=5)
+        assert constraint.value_upper("price") == 20.0
+        assert constraint.value_lower("price") == 10.0
+        assert constraint.value_upper("other") == float("inf")
+
+    def test_value_bounds_take_most_restrictive_of_both(self):
+        constraint = PredicateConstraint.build(
+            Predicate.range("price", 0.0, 200.0), {"price": (5.0, 150.0)},
+            max_rows=5)
+        assert constraint.value_upper("price") == 150.0
+        assert constraint.value_lower("price") == 5.0
+
+    def test_rename_and_accessors(self):
+        constraint = PredicateConstraint.build(Predicate.true(), {}, max_rows=7,
+                                               min_rows=2, name="orig")
+        renamed = constraint.rename("fresh")
+        assert renamed.name == "fresh"
+        assert renamed.max_rows() == 7
+        assert renamed.min_rows() == 2

@@ -1,0 +1,225 @@
+"""Unit and property tests for constraint serialisation and parsing."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.bounds import BoundOptions, PCBoundSolver
+from repro.core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from repro.core.io import (
+    constraint_from_dict,
+    constraint_to_dict,
+    load_pcset,
+    parse_constraint,
+    parse_constraints,
+    pcset_from_dict,
+    pcset_to_dict,
+    predicate_from_dict,
+    predicate_to_dict,
+    save_pcset,
+)
+from repro.core.pcset import PredicateConstraintSet
+from repro.core.predicates import Predicate
+from repro.exceptions import ConstraintError, PredicateError
+from repro.relational.aggregates import AggregateFunction
+from repro.solvers.sat import AttributeDomain
+
+
+class TestPredicateRoundTrip:
+    def test_ranges_and_memberships(self):
+        predicate = Predicate.range("x", 0, 10, integral=True).with_equals("tag", "a")
+        restored = predicate_from_dict(predicate_to_dict(predicate))
+        assert restored == predicate
+
+    def test_unbounded_range(self):
+        predicate = Predicate.range("x", 5, float("inf"))
+        restored = predicate_from_dict(predicate_to_dict(predicate))
+        assert restored.range_for("x").high == float("inf")
+
+    def test_tautology(self):
+        assert predicate_from_dict(predicate_to_dict(Predicate.true())).is_tautology()
+
+
+class TestConstraintRoundTrip:
+    def test_full_round_trip(self):
+        constraint = PredicateConstraint(
+            Predicate.equals("branch", "Chicago"),
+            ValueConstraint({"price": (0.0, 149.99)}),
+            FrequencyConstraint(2, 5), name="c1")
+        restored = constraint_from_dict(constraint_to_dict(constraint))
+        assert restored.name == "c1"
+        assert restored.predicate == constraint.predicate
+        assert restored.values == constraint.values
+        assert restored.frequency == constraint.frequency
+
+    def test_malformed_frequency(self):
+        with pytest.raises(ConstraintError):
+            constraint_from_dict({"predicate": {}, "frequency": [1]})
+
+
+class TestPCSetRoundTrip:
+    def build_set(self) -> PredicateConstraintSet:
+        return PredicateConstraintSet([
+            PredicateConstraint(Predicate.range("utc", 11, 12),
+                                ValueConstraint({"price": (0.99, 129.99)}),
+                                FrequencyConstraint(50, 100), name="day1"),
+            PredicateConstraint(Predicate.equals("branch", "Chicago"),
+                                ValueConstraint({"price": (0.0, 149.99)}),
+                                FrequencyConstraint(0, 5), name="chicago"),
+        ], domains={"branch": AttributeDomain.categorical(["Chicago", "New York"]),
+                    "utc": AttributeDomain.numeric(0, 24)})
+
+    def test_dict_round_trip_preserves_bounds(self):
+        pcset = self.build_set()
+        restored = pcset_from_dict(pcset_to_dict(pcset))
+        assert len(restored) == len(pcset)
+        assert set(restored.domains) == set(pcset.domains)
+        solver_a = PCBoundSolver(pcset, BoundOptions(check_closure=False))
+        solver_b = PCBoundSolver(restored, BoundOptions(check_closure=False))
+        for aggregate, attribute in ((AggregateFunction.SUM, "price"),
+                                     (AggregateFunction.COUNT, None)):
+            original = solver_a.bound(aggregate, attribute)
+            round_tripped = solver_b.bound(aggregate, attribute)
+            assert original.upper == pytest.approx(round_tripped.upper)
+            assert original.lower == pytest.approx(round_tripped.lower)
+
+    def test_file_round_trip(self, tmp_path):
+        pcset = self.build_set()
+        path = save_pcset(pcset, tmp_path / "constraints.json")
+        assert json.loads(path.read_text())["format"] == "repro.predicate-constraints"
+        restored = load_pcset(path)
+        assert len(restored) == 2
+
+    def test_load_rejects_foreign_documents(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ConstraintError):
+            load_pcset(path)
+
+    def test_disjoint_hint_round_trips(self):
+        pcset = PredicateConstraintSet([
+            PredicateConstraint(Predicate.range("x", 0, 1), ValueConstraint(),
+                                FrequencyConstraint(0, 1), name="a"),
+            PredicateConstraint(Predicate.range("x", 2, 3), ValueConstraint(),
+                                FrequencyConstraint(0, 1), name="b"),
+        ])
+        restored = pcset_from_dict(pcset_to_dict(pcset))
+        assert restored.is_pairwise_disjoint()
+
+
+class TestTextParser:
+    def test_paper_example_c1(self):
+        constraint = parse_constraint(
+            "branch = 'Chicago' => 0.0 <= price <= 149.99, (0, 5)", name="c1")
+        assert constraint.name == "c1"
+        assert constraint.predicate.membership_for("branch").values == \
+            frozenset({"Chicago"})
+        assert constraint.values.interval("price") == (0.0, 149.99)
+        assert constraint.frequency.upper == 5
+
+    def test_tautology_predicate(self):
+        constraint = parse_constraint("TRUE => 0.0 <= price <= 149.99, (0, 100)")
+        assert constraint.predicate.is_tautology()
+
+    def test_conjunction_and_membership(self):
+        constraint = parse_constraint(
+            "branch IN ('Chicago', 'Trenton') AND 0 <= utc <= 24 => "
+            "0 <= price <= 10 AND 0 <= qty <= 3, (1, 7)")
+        assert constraint.predicate.membership_for("branch").values == \
+            frozenset({"Chicago", "Trenton"})
+        assert constraint.predicate.range_for("utc").high == 24
+        assert constraint.values.interval("qty") == (0.0, 3.0)
+        assert constraint.frequency.lower == 1
+
+    def test_numeric_equality_becomes_point_range(self):
+        constraint = parse_constraint("device = 7 => 0 <= light <= 100, (0, 5)")
+        assert constraint.predicate.range_for("device").low == 7.0
+        assert constraint.predicate.range_for("device").high == 7.0
+
+    def test_unbounded_value_range(self):
+        constraint = parse_constraint("TRUE => 0 <= price <= inf, (0, 5)")
+        assert constraint.values.upper("price") == float("inf")
+
+    def test_errors(self):
+        with pytest.raises(ConstraintError):
+            parse_constraint("no arrow here, (0, 5)")
+        with pytest.raises(ConstraintError):
+            parse_constraint("TRUE => 0 <= x <= 1")
+        with pytest.raises(PredicateError):
+            parse_constraint("x LIKE 'foo%' => 0 <= x <= 1, (0, 5)")
+        with pytest.raises(ConstraintError):
+            parse_constraint("TRUE => price > 5, (0, 5)")
+
+    def test_parse_constraints_skips_comments_and_blank_lines(self):
+        lines = [
+            "# the outage window",
+            "",
+            "11 <= utc <= 12 => 0.99 <= price <= 129.99, (50, 100)",
+            "12 <= utc <= 13 => 0.99 <= price <= 149.99, (50, 100)",
+        ]
+        pcset = parse_constraints(lines)
+        assert len(pcset) == 2
+        solver = PCBoundSolver(pcset, BoundOptions(check_closure=False))
+        result = solver.bound(AggregateFunction.SUM, "price")
+        assert result.upper == pytest.approx(100 * 129.99 + 100 * 149.99)
+
+    def test_parsed_and_programmatic_sets_agree(self, paper_overlapping_pcs):
+        lines = [
+            "11 <= utc <= 12 => 0.99 <= price <= 129.99, (50, 100)",
+            "11 <= utc <= 13 => 0.99 <= price <= 149.99, (75, 125)",
+        ]
+        parsed = parse_constraints(lines)
+        solver_parsed = PCBoundSolver(parsed, BoundOptions(check_closure=False))
+        solver_programmatic = PCBoundSolver(paper_overlapping_pcs,
+                                            BoundOptions(check_closure=False))
+        parsed_bound = solver_parsed.bound(AggregateFunction.SUM, "price")
+        programmatic_bound = solver_programmatic.bound(AggregateFunction.SUM, "price")
+        assert parsed_bound.upper == pytest.approx(programmatic_bound.upper)
+        assert parsed_bound.lower == pytest.approx(programmatic_bound.lower)
+
+
+# --------------------------------------------------------------------- #
+# Property: serialisation round-trips arbitrary generated constraint sets.
+# --------------------------------------------------------------------- #
+range_strategy = st.tuples(
+    st.floats(min_value=-100, max_value=100, allow_nan=False),
+    st.floats(min_value=0, max_value=50, allow_nan=False),
+)
+
+
+@st.composite
+def constraint_sets(draw):
+    count = draw(st.integers(min_value=1, max_value=4))
+    constraints = []
+    for index in range(count):
+        low, width = draw(range_strategy)
+        value_low, value_width = draw(range_strategy)
+        max_rows = draw(st.integers(min_value=0, max_value=100))
+        # Keep the lower frequency at zero so that randomly generated
+        # overlapping constraints can never be jointly unsatisfiable (the
+        # library deliberately raises on contradictory mandatory rows).
+        constraints.append(PredicateConstraint(
+            Predicate.range("x", low, low + width),
+            ValueConstraint({"v": (value_low, value_low + value_width)}),
+            FrequencyConstraint(0, max_rows), name=f"c{index}"))
+    return PredicateConstraintSet(constraints)
+
+
+class TestSerialisationProperty:
+    @given(pcset=constraint_sets())
+    @settings(max_examples=30, deadline=None)
+    def test_round_trip_preserves_bounds(self, pcset):
+        restored = pcset_from_dict(json.loads(json.dumps(pcset_to_dict(pcset))))
+        options = BoundOptions(check_closure=False)
+        original = PCBoundSolver(pcset, options).bound(AggregateFunction.SUM, "v")
+        round_tripped = PCBoundSolver(restored, options).bound(AggregateFunction.SUM, "v")
+        assert original.upper == pytest.approx(round_tripped.upper, rel=1e-9, abs=1e-9)
+        assert original.lower == pytest.approx(round_tripped.lower, rel=1e-9, abs=1e-9)

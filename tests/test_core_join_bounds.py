@@ -1,0 +1,155 @@
+"""Unit tests for the multi-table join bounds (paper §5)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.core.bounds import BoundOptions
+from repro.core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from repro.core.joins import (
+    JoinBoundAnalyzer,
+    JoinRelationSpec,
+    fec_join_bound,
+    naive_join_bound,
+)
+from repro.core.pcset import PredicateConstraintSet
+from repro.core.predicates import Predicate
+from repro.datasets.graphs import count_triangles, generate_chain_relations, generate_edge_table
+from repro.exceptions import JoinBoundError
+from repro.relational.aggregates import AggregateFunction
+from repro.relational.joins import natural_join_many
+
+NO_CLOSURE = BoundOptions(check_closure=False)
+
+
+def cardinality_pcset(count: int, value_attribute: str | None = None,
+                      value_cap: float = 0.0) -> PredicateConstraintSet:
+    bounds = {} if value_attribute is None else {value_attribute: (0.0, value_cap)}
+    constraint = PredicateConstraint(Predicate.true(), ValueConstraint(bounds),
+                                     FrequencyConstraint.at_most(count))
+    pcset = PredicateConstraintSet([constraint])
+    pcset.mark_closed(True)
+    pcset.mark_disjoint(True)
+    return pcset
+
+
+def triangle_specs(size: int) -> list[JoinRelationSpec]:
+    return [
+        JoinRelationSpec("R", cardinality_pcset(size), ("a", "b")),
+        JoinRelationSpec("S", cardinality_pcset(size), ("b", "c")),
+        JoinRelationSpec("T", cardinality_pcset(size), ("c", "a")),
+    ]
+
+
+class TestNaiveJoinBound:
+    def test_count_is_product(self):
+        bound = naive_join_bound(triangle_specs(10), AggregateFunction.COUNT,
+                                 options=NO_CLOSURE)
+        assert bound.upper == pytest.approx(1000.0)
+        assert bound.method == "naive"
+
+    def test_sum_uses_home_relation(self):
+        specs = [
+            JoinRelationSpec("R", cardinality_pcset(10, "weight", 5.0), ("a", "b")),
+            JoinRelationSpec("S", cardinality_pcset(20), ("b", "c")),
+        ]
+        bound = naive_join_bound(specs, AggregateFunction.SUM, attribute="weight",
+                                 attribute_relation="R", options=NO_CLOSURE)
+        assert bound.upper == pytest.approx(10 * 5.0 * 20)
+
+    def test_unsupported_aggregate(self):
+        with pytest.raises(JoinBoundError):
+            naive_join_bound(triangle_specs(5), AggregateFunction.MAX,
+                             options=NO_CLOSURE)
+
+    def test_requires_relations(self):
+        with pytest.raises(JoinBoundError):
+            naive_join_bound([], options=NO_CLOSURE)
+
+    def test_duplicate_names_rejected(self):
+        spec = JoinRelationSpec("R", cardinality_pcset(3), ("a",))
+        with pytest.raises(JoinBoundError):
+            naive_join_bound([spec, spec], options=NO_CLOSURE)
+
+
+class TestFecJoinBound:
+    def test_triangle_bound_is_n_to_three_halves(self):
+        bound = fec_join_bound(triangle_specs(100), AggregateFunction.COUNT,
+                               options=NO_CLOSURE)
+        assert bound.upper == pytest.approx(100.0 ** 1.5, rel=1e-6)
+        assert bound.edge_cover is not None
+
+    def test_chain_bound_is_n_cubed(self):
+        specs = [JoinRelationSpec(f"R{i + 1}", cardinality_pcset(50),
+                                  (f"x{i + 1}", f"x{i + 2}")) for i in range(5)]
+        bound = fec_join_bound(specs, AggregateFunction.COUNT, options=NO_CLOSURE)
+        assert bound.upper == pytest.approx(50.0 ** 3, rel=1e-6)
+
+    def test_fec_never_looser_than_naive(self):
+        for size in (5, 50, 500):
+            specs = triangle_specs(size)
+            fec = fec_join_bound(specs, AggregateFunction.COUNT, options=NO_CLOSURE)
+            naive = naive_join_bound(specs, AggregateFunction.COUNT, options=NO_CLOSURE)
+            assert fec.upper <= naive.upper + 1e-9
+
+    def test_sum_bound_pins_home_relation(self):
+        specs = [
+            JoinRelationSpec("R", cardinality_pcset(10, "weight", 2.0), ("a", "b")),
+            JoinRelationSpec("S", cardinality_pcset(10), ("b", "c")),
+            JoinRelationSpec("T", cardinality_pcset(10), ("c", "a")),
+        ]
+        bound = fec_join_bound(specs, AggregateFunction.SUM, attribute="weight",
+                               attribute_relation="R", options=NO_CLOSURE)
+        assert bound.edge_cover.pinned_relation == "R"
+        assert bound.edge_cover.weight("R") == pytest.approx(1.0)
+        # SUM(weight) <= SUM_R(weight) * (|S| |T|)^{1/2} by the GWE bound.
+        assert bound.upper == pytest.approx((10 * 2.0) * math.sqrt(10 * 10), rel=1e-6)
+
+    def test_zero_cardinality_relation_collapses_bound(self):
+        specs = triangle_specs(10)
+        specs[1] = JoinRelationSpec("S", cardinality_pcset(0), ("b", "c"))
+        bound = fec_join_bound(specs, AggregateFunction.COUNT, options=NO_CLOSURE)
+        assert bound.upper == 0.0
+
+    def test_home_relation_inference_failure(self):
+        specs = triangle_specs(10)
+        with pytest.raises(JoinBoundError):
+            fec_join_bound(specs, AggregateFunction.SUM, attribute="weight",
+                           options=NO_CLOSURE)
+
+
+class TestJoinBoundAnalyzer:
+    def test_compare_count(self):
+        analyzer = JoinBoundAnalyzer(triangle_specs(100), NO_CLOSURE)
+        comparison = analyzer.compare(AggregateFunction.COUNT)
+        assert comparison["fec"].upper < comparison["naive"].upper
+
+    def test_compare_sum_requires_attribute(self):
+        analyzer = JoinBoundAnalyzer(triangle_specs(10), NO_CLOSURE)
+        with pytest.raises(JoinBoundError):
+            analyzer.compare(AggregateFunction.SUM)
+
+    def test_bounds_hold_against_true_join_sizes(self):
+        """Integration: both bounds dominate the exact join cardinality."""
+        edges = generate_edge_table(200, seed=3)
+        true_triangles = count_triangles(edges)
+        analyzer = JoinBoundAnalyzer(triangle_specs(200), NO_CLOSURE)
+        assert analyzer.count_bound("fec").upper >= true_triangles
+        assert analyzer.count_bound("naive").upper >= true_triangles
+
+        relations = generate_chain_relations(50, 5, seed=5)
+        true_chain = natural_join_many(relations).num_rows
+        chain_specs = [JoinRelationSpec(f"R{i + 1}", cardinality_pcset(50),
+                                        (f"x{i + 1}", f"x{i + 2}")) for i in range(5)]
+        chain_analyzer = JoinBoundAnalyzer(chain_specs, NO_CLOSURE)
+        assert chain_analyzer.count_bound("fec").upper >= true_chain
+
+    def test_spec_validation(self):
+        with pytest.raises(JoinBoundError):
+            JoinRelationSpec("R", cardinality_pcset(1), ())

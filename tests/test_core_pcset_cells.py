@@ -1,0 +1,239 @@
+"""Unit tests for predicate-constraint sets and cell decomposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.cells import Cell, CellDecomposer, DecompositionStrategy
+from repro.core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from repro.core.pcset import PredicateConstraintSet
+from repro.core.predicates import Predicate
+from repro.exceptions import ClosureError, ConstraintError
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+from repro.solvers.sat import AttributeDomain
+
+
+def pc(predicate: Predicate, bounds=None, max_rows=10, min_rows=0, name="pc"):
+    return PredicateConstraint(predicate, ValueConstraint(bounds or {}),
+                               FrequencyConstraint(min_rows, max_rows), name=name)
+
+
+class TestPredicateConstraintSet:
+    def test_add_and_iterate(self):
+        pcset = PredicateConstraintSet()
+        pcset.add(pc(Predicate.range("x", 0, 1), name="a"))
+        pcset.extend([pc(Predicate.range("x", 1, 2), name="b")])
+        assert len(pcset) == 2
+        assert [c.name for c in pcset] == ["a", "b"]
+        assert pcset[0].name == "a"
+
+    def test_duplicate_names_get_renamed(self):
+        pcset = PredicateConstraintSet()
+        pcset.add(pc(Predicate.range("x", 0, 1), name="dup"))
+        pcset.add(pc(Predicate.range("x", 1, 2), name="dup"))
+        names = [c.name for c in pcset]
+        assert len(set(names)) == 2
+
+    def test_add_rejects_non_constraint(self):
+        pcset = PredicateConstraintSet()
+        with pytest.raises(ConstraintError):
+            pcset.add("not a constraint")
+
+    def test_attributes_and_totals(self):
+        pcset = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 1), {"v": (0, 5)}, max_rows=3, min_rows=1),
+            pc(Predicate.range("y", 0, 1), max_rows=4),
+        ])
+        assert pcset.attributes() == {"x", "y", "v"}
+        assert pcset.total_max_rows() == 7
+        assert pcset.total_min_rows() == 1
+        assert pcset.has_mandatory_rows()
+
+    def test_pairwise_disjoint_detection(self):
+        disjoint = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 1), name="a"),
+            pc(Predicate.range("x", 2, 3), name="b"),
+        ])
+        overlapping = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 5), name="a"),
+            pc(Predicate.range("x", 3, 8), name="b"),
+        ])
+        assert disjoint.is_pairwise_disjoint()
+        assert not overlapping.is_pairwise_disjoint()
+
+    def test_disjoint_hint_is_cleared_on_add(self):
+        pcset = PredicateConstraintSet([pc(Predicate.range("x", 0, 1))])
+        pcset.mark_disjoint(True)
+        assert pcset.is_pairwise_disjoint()
+        pcset.add(pc(Predicate.range("x", 0, 1), name="overlap"))
+        assert not pcset.is_pairwise_disjoint()
+
+    def test_validation_against_relation(self):
+        schema = Schema.from_pairs([("x", ColumnType.FLOAT)])
+        relation = Relation(schema, {"x": [0.5, 1.5, 7.0]})
+        pcset = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 1), {"x": (0, 1)}, max_rows=5, name="low"),
+            pc(Predicate.range("x", 1, 10), {"x": (1, 5)}, max_rows=5, name="high"),
+        ])
+        violations = pcset.validate_against(relation)
+        assert any(v.constraint_name == "high" for v in violations)
+        assert not pcset.is_satisfied_by(relation)
+
+    def test_closure_check(self):
+        pcset = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 5)),
+            pc(Predicate.range("x", 5, 10)),
+        ], domains={"x": AttributeDomain.numeric(0, 10)})
+        assert pcset.is_closed()
+        open_set = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 4)),
+        ], domains={"x": AttributeDomain.numeric(0, 10)})
+        assert not open_set.is_closed()
+        witness = open_set.closure_counterexample()
+        assert witness is not None and witness["x"] > 4
+        with pytest.raises(ClosureError):
+            open_set.require_closed()
+
+    def test_closure_over_region(self):
+        open_set = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 4)),
+        ], domains={"x": AttributeDomain.numeric(0, 10)})
+        assert open_set.is_closed(Predicate.range("x", 1, 3))
+        assert not open_set.is_closed(Predicate.range("x", 3, 6))
+
+    def test_closed_hint_shortcuts_search(self):
+        open_set = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 4)),
+        ], domains={"x": AttributeDomain.numeric(0, 10)})
+        open_set.mark_closed(True)
+        assert open_set.is_closed()
+
+    def test_restricted_to_keeps_mandatory_constraints(self):
+        pcset = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 1), name="inside"),
+            pc(Predicate.range("x", 5, 6), name="outside"),
+            pc(Predicate.range("x", 8, 9), min_rows=1, name="mandatory"),
+        ])
+        restricted = pcset.restricted_to(Predicate.range("x", 0, 2))
+        names = {c.name for c in restricted}
+        assert names == {"inside", "mandatory"}
+
+    def test_map_constraints(self):
+        pcset = PredicateConstraintSet([pc(Predicate.range("x", 0, 1), name="a")])
+        renamed = pcset.map_constraints(lambda c: c.rename(c.name + "_new"))
+        assert [c.name for c in renamed] == ["a_new"]
+
+
+class TestCell:
+    def test_requires_covering(self):
+        with pytest.raises(ConstraintError):
+            Cell(frozenset())
+        cell = Cell(frozenset({1, 3}))
+        assert cell.size == 2
+        assert cell.is_covered_by(3)
+        assert not cell.is_covered_by(2)
+
+
+class TestCellDecomposition:
+    def overlapping_pcset(self) -> PredicateConstraintSet:
+        """Figure 2-style overlapping predicates on one attribute."""
+        return PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 6), name="p0"),
+            pc(Predicate.range("x", 4, 10), name="p1"),
+            pc(Predicate.range("x", 5, 7), name="p2"),
+        ])
+
+    def test_paper_example_cells(self, paper_overlapping_pcs):
+        decomposition = CellDecomposer(paper_overlapping_pcs).decompose()
+        covers = {tuple(sorted(cell.covering)) for cell in decomposition.cells}
+        # c1 = t1 ∧ t2, c2 = ¬t1 ∧ t2 are satisfiable; c3 = t1 ∧ ¬t2 is not.
+        assert covers == {(0, 1), (1,)}
+
+    def test_all_strategies_find_the_same_cells(self):
+        pcset = self.overlapping_pcset()
+        results = {}
+        for strategy in DecompositionStrategy:
+            cells = CellDecomposer(pcset, strategy).decompose().cells
+            results[strategy] = {tuple(sorted(cell.covering)) for cell in cells}
+        assert results[DecompositionStrategy.NAIVE] == results[DecompositionStrategy.DFS]
+        assert results[DecompositionStrategy.DFS] == \
+            results[DecompositionStrategy.DFS_REWRITE]
+
+    def clustered_pcset(self) -> PredicateConstraintSet:
+        """Two clusters of overlapping predicates; cross-cluster cells are empty."""
+        constraints = []
+        for index, (low, high) in enumerate([(0, 6), (2, 8), (4, 10),
+                                             (20, 26), (22, 28), (24, 30)]):
+            constraints.append(pc(Predicate.range("x", low, high), name=f"p{index}"))
+        pcset = PredicateConstraintSet(constraints)
+        pcset.mark_disjoint(False)
+        return pcset
+
+    def test_dfs_issues_fewer_solver_calls_than_naive(self):
+        pcset = self.clustered_pcset()
+        naive = CellDecomposer(pcset, DecompositionStrategy.NAIVE).decompose()
+        dfs = CellDecomposer(pcset, DecompositionStrategy.DFS).decompose()
+        rewrite = CellDecomposer(pcset, DecompositionStrategy.DFS_REWRITE).decompose()
+        assert naive.statistics.solver_calls == 2 ** 6
+        assert dfs.statistics.solver_calls < naive.statistics.solver_calls
+        assert rewrite.statistics.solver_calls <= dfs.statistics.solver_calls
+        assert rewrite.statistics.rewrites_saved >= 1
+        assert dfs.statistics.subtrees_pruned > 0
+        # All strategies agree on the satisfiable cells.
+        naive_covers = {tuple(sorted(cell.covering)) for cell in naive.cells}
+        dfs_covers = {tuple(sorted(cell.covering)) for cell in dfs.cells}
+        rewrite_covers = {tuple(sorted(cell.covering)) for cell in rewrite.cells}
+        assert naive_covers == dfs_covers == rewrite_covers
+
+    def test_disjoint_fast_path(self):
+        pcset = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 1), name="a"),
+            pc(Predicate.range("x", 2, 3), name="b"),
+        ])
+        decomposition = CellDecomposer(pcset).decompose()
+        assert len(decomposition.cells) == 2
+        assert all(cell.size == 1 for cell in decomposition.cells)
+
+    def test_query_pushdown_prunes_cells(self):
+        pcset = self.overlapping_pcset()
+        full = CellDecomposer(pcset).decompose()
+        pushed = CellDecomposer(pcset).decompose(Predicate.range("x", 0, 3))
+        assert len(pushed.cells) < len(full.cells)
+        # Only p0 overlaps [0, 3].
+        assert {tuple(sorted(cell.covering)) for cell in pushed.cells} == {(0,)}
+
+    def test_early_stopping_only_adds_cells(self):
+        pcset = self.overlapping_pcset()
+        exact = CellDecomposer(pcset).decompose()
+        approximate = CellDecomposer(pcset, early_stop_depth=1).decompose()
+        exact_covers = {tuple(sorted(cell.covering)) for cell in exact.cells}
+        approx_covers = {tuple(sorted(cell.covering)) for cell in approximate.cells}
+        assert exact_covers <= approx_covers
+        assert approximate.statistics.assumed_satisfiable > 0
+
+    def test_empty_pcset(self):
+        decomposition = CellDecomposer(PredicateConstraintSet()).decompose()
+        assert len(decomposition) == 0
+
+    def test_cells_covered_by(self):
+        pcset = self.overlapping_pcset()
+        decomposition = CellDecomposer(pcset).decompose()
+        positions = decomposition.cells_covered_by(2)
+        for position in positions:
+            assert decomposition.cells[position].is_covered_by(2)
+
+    def test_categorical_cells(self, sales_domains):
+        pcset = PredicateConstraintSet([
+            pc(Predicate.equals("branch", "Chicago"), name="chi"),
+            pc(Predicate.true(), name="all"),
+        ], domains=sales_domains)
+        decomposition = CellDecomposer(pcset).decompose()
+        covers = {tuple(sorted(cell.covering)) for cell in decomposition.cells}
+        # "Chicago and everything" plus "everything except Chicago"; the cell
+        # "Chicago but not everything" is unsatisfiable.
+        assert covers == {(0, 1), (1,)}

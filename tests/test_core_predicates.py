@@ -1,0 +1,141 @@
+"""Unit tests for repro.core.predicates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.predicates import AttributeMembership, AttributeRange, Predicate
+from repro.exceptions import PredicateError
+from repro.relational.expressions import TrueExpression
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+
+
+class TestAttributeRange:
+    def test_validation(self):
+        with pytest.raises(PredicateError):
+            AttributeRange("x", 5, 1)
+
+    def test_contains_and_interval(self):
+        constraint = AttributeRange("x", 1, 5)
+        assert constraint.contains(3)
+        assert not constraint.contains(6)
+        assert constraint.to_interval().low == 1
+
+    def test_intersect(self):
+        merged = AttributeRange("x", 0, 10).intersect(AttributeRange("x", 5, 20))
+        assert (merged.low, merged.high) == (5, 10)
+        with pytest.raises(PredicateError):
+            AttributeRange("x", 0, 1).intersect(AttributeRange("y", 0, 1))
+        with pytest.raises(PredicateError):
+            AttributeRange("x", 0, 1).intersect(AttributeRange("x", 2, 3))
+
+
+class TestAttributeMembership:
+    def test_validation(self):
+        with pytest.raises(PredicateError):
+            AttributeMembership.of("tag", [])
+
+    def test_intersect(self):
+        merged = AttributeMembership.of("tag", ["a", "b"]).intersect(
+            AttributeMembership.of("tag", ["b", "c"]))
+        assert merged.values == frozenset({"b"})
+        with pytest.raises(PredicateError):
+            AttributeMembership.of("tag", ["a"]).intersect(
+                AttributeMembership.of("tag", ["b"]))
+
+
+class TestPredicateConstruction:
+    def test_true_predicate(self):
+        predicate = Predicate.true()
+        assert predicate.is_tautology()
+        assert predicate.matches_row({"anything": 1})
+        assert isinstance(predicate.to_expression(), TrueExpression)
+        assert "TRUE" in repr(predicate)
+
+    def test_range_and_equality(self):
+        predicate = Predicate.range("price", 0, 100).with_equals("branch", "Chicago")
+        assert predicate.attributes() == {"price", "branch"}
+        assert predicate.matches_row({"price": 50, "branch": "Chicago"})
+        assert not predicate.matches_row({"price": 150, "branch": "Chicago"})
+        assert not predicate.matches_row({"price": 50, "branch": "Trenton"})
+        assert not predicate.matches_row({"price": 50})
+
+    def test_box_constructor(self):
+        predicate = Predicate.box({"x": (0, 1), "y": (2, 3)}, {"tag": ["a"]})
+        assert predicate.attributes() == {"x", "y", "tag"}
+
+    def test_conflicting_kinds_rejected(self):
+        with pytest.raises(PredicateError):
+            Predicate({"x": AttributeRange("x", 0, 1)},
+                      {"x": AttributeMembership.of("x", ["a"])})
+
+    def test_with_range_merges_intersection(self):
+        predicate = Predicate.range("x", 0, 10).with_range("x", 5, 20)
+        assert predicate.range_for("x").low == 5
+        assert predicate.range_for("x").high == 10
+
+    def test_with_membership_merges_intersection(self):
+        predicate = Predicate.isin("tag", ["a", "b"]).with_membership("tag", ["b", "c"])
+        assert predicate.membership_for("tag").values == frozenset({"b"})
+
+    def test_conjoin(self):
+        left = Predicate.range("x", 0, 10)
+        right = Predicate.range("y", 5, 6).with_equals("tag", "a")
+        combined = left.conjoin(right)
+        assert combined.attributes() == {"x", "y", "tag"}
+        with pytest.raises(PredicateError):
+            left.conjoin(Predicate.range("x", 20, 30))
+
+
+class TestPredicateCompilation:
+    def test_to_expression_matches_rows(self):
+        schema = Schema.from_pairs([("price", ColumnType.FLOAT),
+                                    ("branch", ColumnType.STRING)])
+        relation = Relation(schema, {
+            "price": [10.0, 60.0, 80.0],
+            "branch": ["Chicago", "Chicago", "Trenton"],
+        })
+        predicate = Predicate.range("price", 50, 100).with_equals("branch", "Chicago")
+        mask = predicate.to_expression().evaluate(relation)
+        assert mask.tolist() == [False, True, False]
+
+    def test_to_box(self):
+        predicate = Predicate.range("x", 0, 1).with_equals("tag", "a")
+        box = predicate.to_box()
+        assert box.contains_point({"x": 0.5, "tag": "a"})
+        assert not box.contains_point({"x": 0.5, "tag": "b"})
+
+    def test_expression_and_row_matching_agree(self):
+        schema = Schema.from_pairs([("x", ColumnType.FLOAT), ("tag", ColumnType.STRING)])
+        relation = Relation(schema, {"x": [0.0, 1.0, 2.0, 3.0],
+                                     "tag": ["a", "b", "a", "b"]})
+        predicate = Predicate.range("x", 1, 2.5).with_membership("tag", ["a", "b"])
+        mask = predicate.to_expression().evaluate(relation)
+        rows = list(relation.iter_rows())
+        assert [predicate.matches_row(row) for row in rows] == mask.tolist()
+
+
+class TestPredicateOverlap:
+    def test_overlapping_ranges(self):
+        assert Predicate.range("x", 0, 5).overlaps(Predicate.range("x", 5, 10))
+        assert not Predicate.range("x", 0, 4).overlaps(Predicate.range("x", 5, 10))
+
+    def test_overlap_on_different_attributes_is_true(self):
+        assert Predicate.range("x", 0, 1).overlaps(Predicate.range("y", 5, 6))
+
+    def test_categorical_overlap(self):
+        assert Predicate.equals("tag", "a").overlaps(Predicate.isin("tag", ["a", "b"]))
+        assert not Predicate.equals("tag", "a").overlaps(Predicate.equals("tag", "b"))
+
+    def test_tautology_overlaps_everything(self):
+        assert Predicate.true().overlaps(Predicate.range("x", 0, 1))
+
+
+class TestPredicateEquality:
+    def test_equality_and_hash(self):
+        first = Predicate.range("x", 0, 1).with_equals("tag", "a")
+        second = Predicate.equals("tag", "a").with_range("x", 0, 1)
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != Predicate.range("x", 0, 2)

@@ -1,0 +1,166 @@
+"""Unit tests for the synthetic dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.airbnb import AIRBNB_SCHEMA, generate_airbnb
+from repro.datasets.border_crossing import BORDER_SCHEMA, generate_border_crossing
+from repro.datasets.graphs import (
+    count_triangles,
+    generate_chain_relations,
+    generate_edge_table,
+    triangle_relations,
+)
+from repro.datasets.intel_wireless import INTEL_SCHEMA, generate_intel_wireless
+from repro.datasets.synthetic import lognormal_prices, make_rng, zipf_weights
+from repro.exceptions import DatasetError
+from repro.relational.joins import natural_join_many
+
+
+class TestSyntheticHelpers:
+    def test_make_rng_reproducible(self):
+        assert make_rng(5).integers(0, 100) == make_rng(5).integers(0, 100)
+
+    def test_lognormal_prices(self):
+        rng = make_rng(0)
+        prices = lognormal_prices(rng, 1000, median=100.0, sigma=0.5, cap=1000.0)
+        assert prices.shape == (1000,)
+        assert (prices > 0).all()
+        assert prices.max() <= 1000.0
+        with pytest.raises(DatasetError):
+            lognormal_prices(rng, -1, 10.0, 0.5)
+
+    def test_zipf_weights(self):
+        weights = zipf_weights(10)
+        assert weights.sum() == pytest.approx(1.0)
+        assert weights[0] > weights[-1]
+        with pytest.raises(DatasetError):
+            zipf_weights(0)
+
+
+class TestIntelWireless:
+    def test_schema_and_size(self):
+        relation = generate_intel_wireless(num_rows=2_000, seed=1)
+        assert relation.schema == INTEL_SCHEMA
+        assert relation.num_rows == 2_000
+
+    def test_reproducible(self):
+        first = generate_intel_wireless(num_rows=500, seed=2)
+        second = generate_intel_wireless(num_rows=500, seed=2)
+        assert first.column("light").tolist() == second.column("light").tolist()
+
+    def test_light_is_nonnegative_and_skewed(self):
+        relation = generate_intel_wireless(num_rows=5_000, seed=3)
+        light = relation.column("light")
+        assert (light >= 0).all()
+        assert light.max() > 5 * np.median(light)  # right-skewed
+
+    def test_light_correlates_with_time_of_day(self):
+        relation = generate_intel_wireless(num_rows=8_000, seed=4)
+        hour = np.mod(relation.column("time"), 24.0)
+        light = relation.column("light")
+        daytime = light[(hour > 10) & (hour < 14)].mean()
+        night = light[(hour < 4)].mean()
+        assert daytime > 2 * night
+
+    def test_device_ids_in_range(self):
+        relation = generate_intel_wireless(num_rows=1_000, num_devices=10, seed=5)
+        devices = relation.column("device_id")
+        assert devices.min() >= 0 and devices.max() < 10
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            generate_intel_wireless(num_rows=0)
+        with pytest.raises(DatasetError):
+            generate_intel_wireless(num_devices=0)
+
+
+class TestAirbnb:
+    def test_schema_and_size(self):
+        relation = generate_airbnb(num_rows=2_000, seed=1)
+        assert relation.schema == AIRBNB_SCHEMA
+        assert relation.num_rows == 2_000
+
+    def test_prices_heavy_tailed_and_positive(self):
+        relation = generate_airbnb(num_rows=5_000, seed=2)
+        price = relation.column("price")
+        assert (price > 0).all()
+        assert price.max() > 4 * np.median(price)
+
+    def test_location_price_correlation(self):
+        relation = generate_airbnb(num_rows=8_000, seed=3)
+        groups = relation.group_by(["neighbourhood_group"])
+        manhattan = groups.get(("Manhattan",))
+        bronx = groups.get(("Bronx",))
+        if manhattan is not None and bronx is not None and bronx.num_rows > 20:
+            assert manhattan.column_mean("price") > bronx.column_mean("price")
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            generate_airbnb(num_rows=0)
+
+
+class TestBorderCrossing:
+    def test_schema_and_size(self):
+        relation = generate_border_crossing(num_rows=3_000, seed=1)
+        assert relation.schema == BORDER_SCHEMA
+        assert relation.num_rows == 3_000
+
+    def test_port_popularity_is_skewed(self):
+        relation = generate_border_crossing(num_rows=10_000, num_ports=50, seed=2)
+        counts = sorted(relation.value_counts("port_code").values(), reverse=True)
+        assert counts[0] > 5 * counts[-1]
+
+    def test_values_nonnegative(self):
+        relation = generate_border_crossing(num_rows=2_000, seed=3)
+        assert (relation.column("value") >= 0).all()
+
+    def test_invalid_arguments(self):
+        with pytest.raises(DatasetError):
+            generate_border_crossing(num_rows=0)
+        with pytest.raises(DatasetError):
+            generate_border_crossing(num_ports=0)
+
+
+class TestGraphs:
+    def test_edge_table_properties(self):
+        edges = generate_edge_table(500, num_vertices=50, seed=1)
+        assert edges.num_rows == 500
+        assert (edges.column("src") != edges.column("dst")).all()  # no self-loops
+        with pytest.raises(DatasetError):
+            generate_edge_table(0)
+        with pytest.raises(DatasetError):
+            generate_edge_table(10, num_vertices=1)
+
+    def test_triangle_relations_share_columns(self):
+        edges = generate_edge_table(100, seed=2)
+        r, s, t = triangle_relations(edges)
+        assert r.schema.names == ("a", "b")
+        assert s.schema.names == ("b", "c")
+        assert t.schema.names == ("c", "a")
+        assert r.num_rows == s.num_rows == t.num_rows == 100
+
+    def test_count_triangles_matches_manual_join(self):
+        edges = generate_edge_table(150, num_vertices=20, seed=3)
+        expected = natural_join_many(list(triangle_relations(edges))).num_rows
+        assert count_triangles(edges) == expected
+
+    def test_count_triangles_on_known_graph(self):
+        from repro.relational.relation import Relation
+        from repro.relational.schema import ColumnType, Schema
+
+        schema = Schema.from_pairs([("src", ColumnType.INT), ("dst", ColumnType.INT)])
+        cycle = Relation(schema, {"src": [0, 1, 2], "dst": [1, 2, 0]})
+        assert count_triangles(cycle) == 3  # the directed 3-cycle, 3 rotations
+
+    def test_chain_relations(self):
+        relations = generate_chain_relations(50, 4, seed=4)
+        assert len(relations) == 4
+        assert relations[0].schema.names == ("x1", "x2")
+        assert relations[3].schema.names == ("x4", "x5")
+        with pytest.raises(DatasetError):
+            generate_chain_relations(0)
+        with pytest.raises(DatasetError):
+            generate_chain_relations(10, 0)

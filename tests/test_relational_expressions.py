@@ -1,0 +1,171 @@
+"""Unit and property tests for repro.relational.expressions."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import PredicateError
+from repro.relational.expressions import (
+    And,
+    Between,
+    Comparison,
+    ComparisonOperator,
+    FalseExpression,
+    IsIn,
+    Not,
+    Or,
+    TrueExpression,
+    conjunction,
+    disjunction,
+)
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+
+_SCHEMA = Schema.from_pairs([("x", ColumnType.FLOAT), ("tag", ColumnType.STRING)])
+
+
+def make_relation(xs, tags) -> Relation:
+    return Relation(_SCHEMA, {"x": xs, "tag": tags})
+
+
+@pytest.fixture
+def relation() -> Relation:
+    return make_relation([1.0, 2.0, 3.0, 4.0], ["a", "b", "a", "c"])
+
+
+class TestOperators:
+    def test_apply_all_operators(self):
+        assert ComparisonOperator.EQ.apply(2, 2)
+        assert ComparisonOperator.NE.apply(2, 3)
+        assert ComparisonOperator.LT.apply(1, 2)
+        assert ComparisonOperator.LE.apply(2, 2)
+        assert ComparisonOperator.GT.apply(3, 2)
+        assert ComparisonOperator.GE.apply(2, 2)
+
+    def test_negate_is_involutive(self):
+        for operator in ComparisonOperator:
+            assert operator.negate().negate() is operator
+
+
+class TestLeafExpressions:
+    def test_true_false(self, relation):
+        assert TrueExpression().evaluate(relation).all()
+        assert not FalseExpression().evaluate(relation).any()
+        assert TrueExpression().matches_row({"x": 0})
+        assert not FalseExpression().matches_row({"x": 0})
+        assert TrueExpression().attributes() == set()
+
+    def test_comparison(self, relation):
+        expr = Comparison("x", ComparisonOperator.GE, 3.0)
+        assert expr.evaluate(relation).tolist() == [False, False, True, True]
+        assert expr.matches_row({"x": 3.5})
+        assert expr.attributes() == {"x"}
+
+    def test_between(self, relation):
+        expr = Between("x", 2.0, 3.0)
+        assert expr.evaluate(relation).tolist() == [False, True, True, False]
+        assert expr.matches_row({"x": 2.5})
+        assert not expr.matches_row({"x": 5.0})
+
+    def test_between_rejects_inverted_bounds(self):
+        with pytest.raises(PredicateError):
+            Between("x", 3.0, 2.0)
+
+    def test_isin(self, relation):
+        expr = IsIn("tag", ["a", "c"])
+        assert expr.evaluate(relation).tolist() == [True, False, True, True]
+        assert expr.matches_row({"tag": "a"})
+        assert not expr.matches_row({"tag": "b"})
+
+    def test_isin_requires_values(self):
+        with pytest.raises(PredicateError):
+            IsIn("tag", [])
+
+    def test_isin_equality_and_hash(self):
+        assert IsIn("tag", ["a", "b"]) == IsIn("tag", ["b", "a"])
+        assert hash(IsIn("tag", ["a"])) == hash(IsIn("tag", ["a"]))
+
+
+class TestCompoundExpressions:
+    def test_and_or_not(self, relation):
+        in_range = Between("x", 2.0, 4.0)
+        is_a = IsIn("tag", ["a"])
+        both = And([in_range, is_a])
+        either = Or([in_range, is_a])
+        negated = Not(is_a)
+        assert both.evaluate(relation).tolist() == [False, False, True, False]
+        assert either.evaluate(relation).tolist() == [True, True, True, True]
+        assert negated.evaluate(relation).tolist() == [False, True, False, True]
+        assert both.attributes() == {"x", "tag"}
+
+    def test_operator_sugar(self, relation):
+        expr = Between("x", 2.0, 4.0) & ~IsIn("tag", ["c"])
+        assert expr.evaluate(relation).tolist() == [False, True, True, False]
+        union = Between("x", 0.0, 1.0) | Between("x", 4.0, 5.0)
+        assert union.evaluate(relation).tolist() == [True, False, False, True]
+
+    def test_matches_row_consistency(self, relation):
+        expr = (Between("x", 1.5, 3.5) & IsIn("tag", ["a", "b"])) | \
+            Comparison("x", ComparisonOperator.EQ, 4.0)
+        mask = expr.evaluate(relation)
+        for index, row in enumerate(relation.iter_rows()):
+            assert expr.matches_row(row) == bool(mask[index])
+
+    def test_equality_of_compounds(self):
+        first = And((Between("x", 0, 1), IsIn("tag", ["a"])))
+        second = And((Between("x", 0, 1), IsIn("tag", ["a"])))
+        assert first == second
+        assert hash(first) == hash(second)
+
+
+class TestSimplifiers:
+    def test_conjunction_simplification(self):
+        assert isinstance(conjunction([]), TrueExpression)
+        assert isinstance(conjunction([TrueExpression()]), TrueExpression)
+        single = Between("x", 0, 1)
+        assert conjunction([single, TrueExpression()]) is single
+        assert isinstance(conjunction([single, FalseExpression()]), FalseExpression)
+        assert isinstance(conjunction([single, Between("x", 2, 3)]), And)
+
+    def test_disjunction_simplification(self):
+        assert isinstance(disjunction([]), FalseExpression)
+        single = Between("x", 0, 1)
+        assert disjunction([single, FalseExpression()]) is single
+        assert isinstance(disjunction([single, TrueExpression()]), TrueExpression)
+        assert isinstance(disjunction([single, Between("x", 2, 3)]), Or)
+
+
+class TestVectorisedAgainstRowAtATime:
+    """Property: vectorised evaluation agrees with row-at-a-time evaluation."""
+
+    @given(
+        xs=st.lists(st.floats(min_value=-100, max_value=100,
+                              allow_nan=False), min_size=1, max_size=30),
+        low=st.floats(min_value=-50, max_value=50, allow_nan=False),
+        width=st.floats(min_value=0, max_value=60, allow_nan=False),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_between_agrees(self, xs, low, width):
+        tags = ["a"] * len(xs)
+        relation = make_relation(xs, tags)
+        expr = Between("x", low, low + width)
+        mask = expr.evaluate(relation)
+        expected = [expr.matches_row(row) for row in relation.iter_rows()]
+        assert mask.tolist() == expected
+
+    @given(
+        xs=st.lists(st.floats(min_value=-100, max_value=100, allow_nan=False),
+                    min_size=1, max_size=25),
+        threshold=st.floats(min_value=-100, max_value=100, allow_nan=False),
+        operator=st.sampled_from(list(ComparisonOperator)),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_comparison_agrees(self, xs, threshold, operator):
+        relation = make_relation(xs, ["t"] * len(xs))
+        expr = Comparison("x", operator, threshold)
+        mask = expr.evaluate(relation)
+        expected = [expr.matches_row(row) for row in relation.iter_rows()]
+        assert mask.tolist() == expected

@@ -1,0 +1,112 @@
+"""Unit tests for repro.relational.joins and repro.relational.csvio."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError
+from repro.relational.csvio import read_csv, write_csv
+from repro.relational.joins import hash_join, join_size, natural_join, natural_join_many
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+
+
+def make_relation(name: str, columns: dict[str, list], types: dict[str, ColumnType]) -> Relation:
+    schema = Schema.from_pairs([(key, types[key]) for key in columns])
+    return Relation(schema, columns, name=name)
+
+
+@pytest.fixture
+def left() -> Relation:
+    return make_relation("L", {"a": [1, 2, 2, 3], "b": [10, 20, 21, 30]},
+                         {"a": ColumnType.INT, "b": ColumnType.INT})
+
+
+@pytest.fixture
+def right() -> Relation:
+    return make_relation("R", {"b": [10, 20, 20, 99], "c": [100, 200, 201, 999]},
+                         {"b": ColumnType.INT, "c": ColumnType.INT})
+
+
+class TestHashJoin:
+    def test_join_matches_nested_loop(self, left, right):
+        joined = hash_join(left, right, ["b"])
+        expected = []
+        for l_row in left.iter_rows():
+            for r_row in right.iter_rows():
+                if l_row["b"] == r_row["b"]:
+                    expected.append((l_row["a"], l_row["b"], r_row["c"]))
+        assert sorted(joined.to_rows()) == sorted(expected)
+
+    def test_join_requires_keys(self, left, right):
+        with pytest.raises(SchemaError):
+            hash_join(left, right, [])
+
+    def test_join_on_missing_key(self, left, right):
+        with pytest.raises(Exception):
+            hash_join(left, right, ["zzz"])
+
+    def test_empty_result(self, left):
+        other = make_relation("O", {"b": [777], "c": [1]},
+                              {"b": ColumnType.INT, "c": ColumnType.INT})
+        joined = hash_join(left, other, ["b"])
+        assert joined.num_rows == 0
+        assert joined.schema.names == ("a", "b", "c")
+
+
+class TestNaturalJoin:
+    def test_uses_shared_attributes(self, left, right):
+        joined = natural_join(left, right)
+        assert joined.num_rows == hash_join(left, right, ["b"]).num_rows
+
+    def test_cartesian_product_when_disjoint(self):
+        first = make_relation("F", {"a": [1, 2]}, {"a": ColumnType.INT})
+        second = make_relation("S", {"z": [7, 8, 9]}, {"z": ColumnType.INT})
+        product = natural_join(first, second)
+        assert product.num_rows == 6
+
+    def test_many_requires_input(self):
+        with pytest.raises(SchemaError):
+            natural_join_many([])
+
+    def test_triangle_join_counts_directed_triangles(self):
+        # Graph: 0->1, 1->2, 2->0 forms one directed triangle (three rotations).
+        edges = {"pairs": [(0, 1), (1, 2), (2, 0), (0, 2)]}
+        src = [pair[0] for pair in edges["pairs"]]
+        dst = [pair[1] for pair in edges["pairs"]]
+        r = make_relation("R", {"a": src, "b": dst}, {"a": ColumnType.INT, "b": ColumnType.INT})
+        s = make_relation("S", {"b": src, "c": dst}, {"b": ColumnType.INT, "c": ColumnType.INT})
+        t = make_relation("T", {"c": src, "a": dst}, {"c": ColumnType.INT, "a": ColumnType.INT})
+        joined = natural_join_many([r, s, t])
+        # The directed cycle 0->1->2->0 appears once per starting edge: 3 rows.
+        assert joined.num_rows == 3
+
+    def test_join_size_helper(self, left, right):
+        assert join_size([left, right]) == natural_join(left, right).num_rows
+
+
+class TestCsvIO:
+    def test_roundtrip(self, tmp_path, left):
+        path = write_csv(left, tmp_path / "left.csv")
+        restored = read_csv(path)
+        assert restored.schema == left.schema
+        assert restored.to_rows() == left.to_rows()
+
+    def test_roundtrip_with_strings_and_floats(self, tmp_path):
+        relation = make_relation("M", {"x": [1.5, 2.5], "s": ["hi", "yo"]},
+                                 {"x": ColumnType.FLOAT, "s": ColumnType.STRING})
+        restored = read_csv(write_csv(relation, tmp_path / "m.csv"))
+        assert restored.to_rows() == relation.to_rows()
+
+    def test_bad_header_rejected(self, tmp_path):
+        target = tmp_path / "bad.csv"
+        target.write_text("a,b\n1,2\n")
+        with pytest.raises(SchemaError):
+            read_csv(target)
+
+    def test_empty_file_rejected(self, tmp_path):
+        target = tmp_path / "empty.csv"
+        target.write_text("")
+        with pytest.raises(SchemaError):
+            read_csv(target)

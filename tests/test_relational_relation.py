@@ -1,0 +1,186 @@
+"""Unit tests for repro.relational.relation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError, TypeMismatchError
+from repro.relational.expressions import Comparison, ComparisonOperator
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+
+
+@pytest.fixture
+def schema() -> Schema:
+    return Schema.from_pairs([("x", ColumnType.FLOAT), ("k", ColumnType.INT),
+                              ("tag", ColumnType.STRING)])
+
+
+@pytest.fixture
+def relation(schema: Schema) -> Relation:
+    return Relation(schema, {
+        "x": [1.0, 2.0, 3.0, 4.0],
+        "k": [10, 20, 30, 40],
+        "tag": ["a", "b", "a", "c"],
+    }, name="t")
+
+
+class TestConstruction:
+    def test_basic_properties(self, relation: Relation):
+        assert relation.num_rows == 4
+        assert len(relation) == 4
+        assert relation.name == "t"
+        assert "rows=4" in repr(relation)
+
+    def test_missing_column_rejected(self, schema: Schema):
+        with pytest.raises(SchemaError, match="missing columns"):
+            Relation(schema, {"x": [1.0], "k": [1]})
+
+    def test_extra_column_rejected(self, schema: Schema):
+        with pytest.raises(SchemaError, match="not declared"):
+            Relation(schema, {"x": [1.0], "k": [1], "tag": ["a"], "zzz": [0]})
+
+    def test_ragged_columns_rejected(self, schema: Schema):
+        with pytest.raises(SchemaError, match="length"):
+            Relation(schema, {"x": [1.0, 2.0], "k": [1], "tag": ["a", "b"]})
+
+    def test_from_rows_and_to_rows_roundtrip(self, schema: Schema):
+        rows = [(1.5, 3, "u"), (2.5, 4, "v")]
+        relation = Relation.from_rows(schema, rows)
+        assert relation.to_rows() == [(1.5, 3, "u"), (2.5, 4, "v")]
+
+    def test_from_rows_wrong_width(self, schema: Schema):
+        with pytest.raises(SchemaError):
+            Relation.from_rows(schema, [(1.0, 2)])
+
+    def test_from_dicts(self, schema: Schema):
+        relation = Relation.from_dicts(schema, [{"x": 1.0, "k": 2, "tag": "z"}])
+        assert relation.row(0) == {"x": 1.0, "k": 2, "tag": "z"}
+
+    def test_empty(self, schema: Schema):
+        empty = Relation.empty(schema)
+        assert empty.num_rows == 0
+
+
+class TestAccessors:
+    def test_column(self, relation: Relation):
+        assert relation.column("x").tolist() == [1.0, 2.0, 3.0, 4.0]
+
+    def test_row_bounds(self, relation: Relation):
+        with pytest.raises(IndexError):
+            relation.row(4)
+
+    def test_iter_rows(self, relation: Relation):
+        rows = list(relation.iter_rows())
+        assert len(rows) == 4
+        assert rows[1]["tag"] == "b"
+
+    def test_rename_shares_columns(self, relation: Relation):
+        renamed = relation.rename("other")
+        assert renamed.name == "other"
+        assert renamed.num_rows == relation.num_rows
+        assert renamed.column("x") is relation.column("x")
+
+
+class TestOperations:
+    def test_filter_with_mask(self, relation: Relation):
+        mask = np.array([True, False, True, False])
+        filtered = relation.filter(mask)
+        assert filtered.column("k").tolist() == [10, 30]
+
+    def test_filter_with_expression(self, relation: Relation):
+        expr = Comparison("x", ComparisonOperator.GT, 2.0)
+        assert relation.filter(expr).num_rows == 2
+
+    def test_filter_bad_mask_shape(self, relation: Relation):
+        with pytest.raises(TypeMismatchError):
+            relation.filter(np.array([True, False]))
+
+    def test_filter_bad_condition_type(self, relation: Relation):
+        with pytest.raises(TypeMismatchError):
+            relation.filter("not a condition")
+
+    def test_take_and_head(self, relation: Relation):
+        assert relation.take([3, 0]).column("k").tolist() == [40, 10]
+        assert relation.head(2).num_rows == 2
+        assert relation.head(100).num_rows == 4
+
+    def test_project(self, relation: Relation):
+        projected = relation.project(["tag", "x"])
+        assert projected.schema.names == ("tag", "x")
+        assert projected.num_rows == 4
+
+    def test_with_column_new_and_replace(self, relation: Relation):
+        extended = relation.with_column("y", ColumnType.FLOAT, [0.0, 1.0, 2.0, 3.0])
+        assert "y" in extended.schema
+        replaced = extended.with_column("y", ColumnType.FLOAT, [9.0, 9.0, 9.0, 9.0])
+        assert replaced.column("y").tolist() == [9.0] * 4
+
+    def test_concat(self, relation: Relation):
+        combined = relation.concat(relation)
+        assert combined.num_rows == 8
+
+    def test_concat_schema_mismatch(self, relation: Relation):
+        other_schema = Schema.from_pairs([("x", ColumnType.FLOAT)])
+        other = Relation(other_schema, {"x": [1.0]})
+        with pytest.raises(SchemaError):
+            relation.concat(other)
+
+    def test_sample_without_replacement(self, relation: Relation):
+        sample = relation.sample(2, rng=np.random.default_rng(0))
+        assert sample.num_rows == 2
+        oversized = relation.sample(10, rng=np.random.default_rng(0))
+        assert oversized.num_rows == 4
+
+    def test_sample_empty_relation(self, schema: Schema):
+        empty = Relation.empty(schema)
+        assert empty.sample(3).num_rows == 0
+
+    def test_shuffle_preserves_multiset(self, relation: Relation):
+        shuffled = relation.shuffle(rng=np.random.default_rng(1))
+        assert sorted(shuffled.column("k").tolist()) == [10, 20, 30, 40]
+
+    def test_sort_by(self, relation: Relation):
+        descending = relation.sort_by("x", descending=True)
+        assert descending.column("x").tolist() == [4.0, 3.0, 2.0, 1.0]
+
+    def test_split_by_mask(self, relation: Relation):
+        matching, rest = relation.split_by_mask(np.array([True, True, False, False]))
+        assert matching.num_rows == 2
+        assert rest.num_rows == 2
+
+    def test_group_by(self, relation: Relation):
+        groups = relation.group_by(["tag"])
+        assert set(groups) == {("a",), ("b",), ("c",)}
+        assert groups[("a",)].num_rows == 2
+
+
+class TestStatistics:
+    def test_min_max_sum_mean(self, relation: Relation):
+        assert relation.column_min("x") == 1.0
+        assert relation.column_max("x") == 4.0
+        assert relation.column_sum("x") == 10.0
+        assert relation.column_mean("x") == 2.5
+        assert relation.column_range("k") == (10.0, 40.0)
+
+    def test_empty_statistics_raise(self, schema: Schema):
+        empty = Relation.empty(schema)
+        assert empty.column_sum("x") == 0.0
+        with pytest.raises(ValueError):
+            empty.column_min("x")
+        with pytest.raises(ValueError):
+            empty.column_mean("x")
+
+    def test_non_numeric_statistics_rejected(self, relation: Relation):
+        with pytest.raises(TypeMismatchError):
+            relation.column_min("tag")
+
+    def test_distinct_and_value_counts(self, relation: Relation):
+        assert relation.distinct_values("tag").tolist() == ["a", "b", "c"]
+        assert relation.value_counts("tag") == {"a": 2, "b": 1, "c": 1}
+
+    def test_describe(self, relation: Relation):
+        summary = relation.describe()
+        assert summary["x"]["count"] == 4.0
+        assert "tag" not in summary

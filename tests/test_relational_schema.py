@@ -1,0 +1,117 @@
+"""Unit tests for repro.relational.schema."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.exceptions import SchemaError, TypeMismatchError, UnknownAttributeError
+from repro.relational.schema import Column, ColumnType, Schema
+
+
+class TestColumnType:
+    def test_numeric_flags(self):
+        assert ColumnType.FLOAT.is_numeric
+        assert ColumnType.INT.is_numeric
+        assert not ColumnType.STRING.is_numeric
+
+    def test_numpy_dtypes(self):
+        assert ColumnType.FLOAT.numpy_dtype() == np.float64
+        assert ColumnType.INT.numpy_dtype() == np.int64
+        assert ColumnType.STRING.numpy_dtype() == np.dtype(object)
+
+    def test_coerce_float(self):
+        array = ColumnType.FLOAT.coerce([1, 2.5, "3.5"])
+        assert array.dtype == np.float64
+        assert array.tolist() == [1.0, 2.5, 3.5]
+
+    def test_coerce_int_rejects_text(self):
+        with pytest.raises(TypeMismatchError):
+            ColumnType.INT.coerce(["not-a-number"])
+
+    def test_coerce_string_keeps_objects(self):
+        array = ColumnType.STRING.coerce(["a", "b"])
+        assert array.tolist() == ["a", "b"]
+
+
+class TestColumn:
+    def test_requires_name(self):
+        with pytest.raises(SchemaError):
+            Column("", ColumnType.FLOAT)
+
+    def test_is_numeric(self):
+        assert Column("x", ColumnType.INT).is_numeric
+        assert not Column("s", ColumnType.STRING).is_numeric
+
+
+class TestSchema:
+    def test_from_pairs_and_names(self):
+        schema = Schema.from_pairs([("a", ColumnType.FLOAT), ("b", ColumnType.STRING)])
+        assert schema.names == ("a", "b")
+        assert schema.numeric_names == ("a",)
+        assert len(schema) == 2
+
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(SchemaError):
+            Schema.from_pairs([("a", ColumnType.FLOAT), ("a", ColumnType.INT)])
+
+    def test_column_lookup(self):
+        schema = Schema.from_pairs([("a", ColumnType.FLOAT)])
+        assert schema.column("a").ctype is ColumnType.FLOAT
+        with pytest.raises(UnknownAttributeError):
+            schema.column("missing")
+
+    def test_unknown_attribute_error_lists_available(self):
+        schema = Schema.from_pairs([("a", ColumnType.FLOAT)])
+        with pytest.raises(UnknownAttributeError, match="available: a"):
+            schema.column("b")
+
+    def test_require_numeric(self):
+        schema = Schema.from_pairs([("a", ColumnType.FLOAT), ("s", ColumnType.STRING)])
+        assert schema.require_numeric("a").name == "a"
+        with pytest.raises(TypeMismatchError):
+            schema.require_numeric("s")
+
+    def test_index_of(self):
+        schema = Schema.from_pairs([("a", ColumnType.FLOAT), ("b", ColumnType.INT)])
+        assert schema.index_of("b") == 1
+        with pytest.raises(UnknownAttributeError):
+            schema.index_of("zzz")
+
+    def test_contains_and_iter(self):
+        schema = Schema.from_pairs([("a", ColumnType.FLOAT)])
+        assert "a" in schema
+        assert "b" not in schema
+        assert [column.name for column in schema] == ["a"]
+
+    def test_project(self):
+        schema = Schema.from_pairs([("a", ColumnType.FLOAT), ("b", ColumnType.INT),
+                                    ("c", ColumnType.STRING)])
+        projected = schema.project(["c", "a"])
+        assert projected.names == ("c", "a")
+
+    def test_equality_and_hash(self):
+        first = Schema.from_pairs([("a", ColumnType.FLOAT)])
+        second = Schema.from_pairs([("a", ColumnType.FLOAT)])
+        third = Schema.from_pairs([("a", ColumnType.INT)])
+        assert first == second
+        assert hash(first) == hash(second)
+        assert first != third
+
+    def test_merge_shared_column(self):
+        left = Schema.from_pairs([("a", ColumnType.INT), ("b", ColumnType.FLOAT)])
+        right = Schema.from_pairs([("b", ColumnType.FLOAT), ("c", ColumnType.STRING)])
+        merged = left.merge(right)
+        assert merged.names == ("a", "b", "c")
+
+    def test_merge_conflicting_types_rejected(self):
+        left = Schema.from_pairs([("a", ColumnType.INT)])
+        right = Schema.from_pairs([("a", ColumnType.STRING)])
+        with pytest.raises(SchemaError):
+            left.merge(right)
+
+    def test_merge_disallow_shared(self):
+        left = Schema.from_pairs([("a", ColumnType.INT)])
+        right = Schema.from_pairs([("a", ColumnType.INT)])
+        with pytest.raises(SchemaError):
+            left.merge(right, allow_shared=False)

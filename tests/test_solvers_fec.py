@@ -1,0 +1,112 @@
+"""Unit tests for the fractional edge cover LP (join bound substrate)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.exceptions import JoinBoundError
+from repro.solvers.fec import (
+    Hyperedge,
+    JoinHypergraph,
+    fractional_edge_cover_number,
+    solve_fractional_edge_cover,
+)
+
+
+def triangle_hypergraph() -> JoinHypergraph:
+    return JoinHypergraph.from_mapping({
+        "R": ["a", "b"],
+        "S": ["b", "c"],
+        "T": ["c", "a"],
+    })
+
+
+def chain_hypergraph(length: int = 5) -> JoinHypergraph:
+    return JoinHypergraph.from_mapping({
+        f"R{i + 1}": [f"x{i + 1}", f"x{i + 2}"] for i in range(length)
+    })
+
+
+class TestHypergraph:
+    def test_construction(self):
+        graph = triangle_hypergraph()
+        assert len(graph) == 3
+        assert set(graph.attributes) == {"a", "b", "c"}
+        assert set(graph.relations_covering("b")) == {"R", "S"}
+
+    def test_empty_edge_rejected(self):
+        with pytest.raises(JoinBoundError):
+            Hyperedge.of("R", [])
+
+    def test_duplicate_relations_rejected(self):
+        with pytest.raises(JoinBoundError):
+            JoinHypergraph([Hyperedge.of("R", ["a"]), Hyperedge.of("R", ["b"])])
+
+    def test_add_relation(self):
+        graph = JoinHypergraph()
+        graph.add_relation("R", ["a"])
+        assert graph.relation_names == ("R",)
+
+
+class TestFractionalEdgeCover:
+    def test_triangle_cover_number_is_three_halves(self):
+        assert fractional_edge_cover_number(triangle_hypergraph()) == pytest.approx(1.5)
+
+    def test_chain_cover_number_is_three(self):
+        """R1 and R5 are forced; R3 covers the middle: rho* = 3."""
+        assert fractional_edge_cover_number(chain_hypergraph(5)) == pytest.approx(3.0)
+
+    def test_single_relation(self):
+        graph = JoinHypergraph.from_mapping({"R": ["a", "b"]})
+        assert fractional_edge_cover_number(graph) == pytest.approx(1.0)
+
+    def test_triangle_count_bound_matches_agm(self):
+        graph = triangle_hypergraph()
+        size = 100.0
+        cover = solve_fractional_edge_cover(graph, {name: math.log(size)
+                                                    for name in graph.relation_names})
+        assert cover.bound == pytest.approx(size ** 1.5, rel=1e-6)
+
+    def test_uneven_sizes_prefer_small_relations(self):
+        graph = triangle_hypergraph()
+        log_sizes = {"R": math.log(10.0), "S": math.log(10.0), "T": math.log(10000.0)}
+        cover = solve_fractional_edge_cover(graph, log_sizes)
+        # Covering with R and S alone (weight 1 each) costs 10*10 = 100, far
+        # cheaper than any cover leaning on T.
+        assert cover.bound == pytest.approx(100.0, rel=1e-6)
+        assert cover.weight("T") == pytest.approx(0.0, abs=1e-6)
+
+    def test_pinned_relation_weight_is_one(self):
+        graph = triangle_hypergraph()
+        cover = solve_fractional_edge_cover(
+            graph, {name: math.log(50.0) for name in graph.relation_names},
+            pinned_relation="R")
+        assert cover.weight("R") == pytest.approx(1.0)
+        assert cover.pinned_relation == "R"
+
+    def test_unknown_pinned_relation_rejected(self):
+        graph = triangle_hypergraph()
+        with pytest.raises(JoinBoundError):
+            solve_fractional_edge_cover(graph, {name: 1.0 for name in
+                                                graph.relation_names},
+                                        pinned_relation="ZZZ")
+
+    def test_missing_log_sizes_rejected(self):
+        graph = triangle_hypergraph()
+        with pytest.raises(JoinBoundError):
+            solve_fractional_edge_cover(graph, {"R": 1.0})
+
+    def test_empty_hypergraph_rejected(self):
+        with pytest.raises(JoinBoundError):
+            solve_fractional_edge_cover(JoinHypergraph(), {})
+
+    def test_cover_constraints_hold(self):
+        graph = chain_hypergraph(4)
+        cover = solve_fractional_edge_cover(
+            graph, {name: 1.0 for name in graph.relation_names})
+        for attribute in graph.attributes:
+            total = sum(cover.weight(name)
+                        for name in graph.relations_covering(attribute))
+            assert total >= 1.0 - 1e-9

@@ -1,0 +1,200 @@
+"""Unit and property tests for the LP and MILP solving layers."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleProblemError, SolverError, UnboundedProblemError
+from repro.solvers.lp import LinearProgram, Sense, SolutionStatus
+from repro.solvers.milp import MILPBackend, MILPModel, solve_milp
+
+
+class TestLinearProgram:
+    def test_simple_maximisation(self):
+        program = LinearProgram(Sense.MAXIMIZE)
+        program.add_variable("x", 0, 10)
+        program.add_variable("y", 0, 10)
+        program.add_constraint({"x": 1, "y": 1}, upper=12)
+        program.set_objective({"x": 2, "y": 3})
+        solution = program.solve().raise_for_status()
+        assert solution.objective == pytest.approx(2 * 2 + 3 * 10, rel=1e-6) or \
+            solution.objective == pytest.approx(30 + 2 * 2, rel=1e-6)
+        # optimum: y=10, x=2 -> 34
+        assert solution.objective == pytest.approx(34.0, rel=1e-6)
+        assert solution.value("y") == pytest.approx(10.0, abs=1e-6)
+
+    def test_minimisation_with_lower_bounds(self):
+        program = LinearProgram(Sense.MINIMIZE)
+        program.add_variable("x", 0, 100)
+        program.add_variable("y", 0, 100)
+        program.add_constraint({"x": 1, "y": 2}, lower=10)
+        program.set_objective({"x": 3, "y": 1})
+        solution = program.solve().raise_for_status()
+        assert solution.objective == pytest.approx(5.0, rel=1e-6)
+
+    def test_infeasible(self):
+        program = LinearProgram(Sense.MAXIMIZE)
+        program.add_variable("x", 0, 1)
+        program.add_constraint({"x": 1}, lower=5)
+        program.set_objective({"x": 1})
+        solution = program.solve()
+        assert solution.status is SolutionStatus.INFEASIBLE
+        with pytest.raises(InfeasibleProblemError):
+            solution.raise_for_status()
+
+    def test_unbounded(self):
+        program = LinearProgram(Sense.MAXIMIZE)
+        program.add_variable("x", 0, math.inf)
+        program.set_objective({"x": 1})
+        solution = program.solve()
+        assert solution.status is SolutionStatus.UNBOUNDED
+        with pytest.raises(UnboundedProblemError):
+            solution.raise_for_status()
+
+    def test_empty_program(self):
+        assert LinearProgram().solve().objective == 0.0
+
+    def test_duplicate_variable_rejected(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_variable("x")
+
+    def test_unknown_variable_in_constraint_rejected(self):
+        program = LinearProgram()
+        program.add_variable("x")
+        with pytest.raises(SolverError):
+            program.add_constraint({"zzz": 1.0}, upper=1)
+        with pytest.raises(SolverError):
+            program.set_objective({"zzz": 1.0})
+
+    def test_invalid_bounds_rejected(self):
+        program = LinearProgram()
+        with pytest.raises(SolverError):
+            program.add_variable("x", lower=5, upper=1)
+        program.add_variable("y")
+        with pytest.raises(SolverError):
+            program.add_constraint({"y": 1}, lower=2, upper=1)
+
+    def test_value_of_unknown_variable(self):
+        program = LinearProgram()
+        program.add_variable("x", 0, 1)
+        program.set_objective({"x": 1})
+        solution = program.solve()
+        with pytest.raises(SolverError):
+            solution.value("nope")
+
+
+def build_allocation_model(uppers, capacities, group_limit) -> MILPModel:
+    """A miniature version of the paper's cell-allocation program."""
+    model = MILPModel()
+    for index, (value, capacity) in enumerate(zip(uppers, capacities)):
+        model.add_variable(f"x{index}", 0, capacity, objective=value)
+    model.add_constraint({f"x{index}": 1.0 for index in range(len(uppers))},
+                         upper=group_limit)
+    return model
+
+
+class TestMILPBackends:
+    def test_simple_integer_solution(self):
+        model = build_allocation_model([5.0, 3.0], [4, 4], group_limit=5)
+        solution = solve_milp(model).raise_for_status()
+        assert solution.objective == pytest.approx(4 * 5 + 1 * 3)
+
+    def test_greedy_requires_pure_box(self):
+        model = build_allocation_model([5.0], [4], group_limit=5)
+        with pytest.raises(SolverError):
+            solve_milp(model, backend=MILPBackend.GREEDY)
+
+    def test_greedy_on_disjoint_model(self):
+        model = MILPModel()
+        model.add_variable("a", 0, 3, objective=2.0)
+        model.add_variable("b", 0, 5, objective=-1.0)
+        solution = solve_milp(model, backend=MILPBackend.GREEDY).raise_for_status()
+        assert solution.objective == pytest.approx(6.0)
+        assert solution.values["b"] == 0.0
+
+    def test_greedy_minimisation(self):
+        model = MILPModel(sense=Sense.MINIMIZE)
+        model.add_variable("a", 1, 3, objective=2.0)
+        model.add_variable("b", 0, 5, objective=-1.0)
+        solution = solve_milp(model, backend=MILPBackend.GREEDY).raise_for_status()
+        assert solution.objective == pytest.approx(2.0 * 1 - 1.0 * 5)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SolverError):
+            solve_milp(MILPModel(), backend="simplex-of-doom")
+
+    def test_empty_model(self):
+        assert solve_milp(MILPModel()).objective == 0.0
+
+    def test_infeasible_model(self):
+        model = MILPModel()
+        model.add_variable("x", 0, 1)
+        model.add_constraint({"x": 1.0}, lower=5)
+        solution = solve_milp(model)
+        assert solution.status is SolutionStatus.INFEASIBLE
+
+    def test_relaxation_at_least_as_large_for_max(self):
+        model = build_allocation_model([7.0, 2.0], [3, 3], group_limit=4)
+        integral = solve_milp(model, backend=MILPBackend.SCIPY).objective
+        relaxed = solve_milp(model, backend=MILPBackend.RELAXATION).objective
+        assert relaxed >= integral - 1e-9
+
+    def test_branch_and_bound_agrees_with_scipy_on_knapsack(self):
+        model = MILPModel()
+        values = [6.0, 5.0, 4.0]
+        weights = [3.0, 2.0, 2.0]
+        for index, value in enumerate(values):
+            model.add_variable(f"x{index}", 0, 1, objective=value)
+        model.add_constraint({f"x{index}": weights[index] for index in range(3)},
+                             upper=4.0)
+        scipy_solution = solve_milp(model, backend=MILPBackend.SCIPY)
+        bb_solution = solve_milp(model, backend=MILPBackend.BRANCH_AND_BOUND)
+        assert scipy_solution.objective == pytest.approx(bb_solution.objective)
+        assert bb_solution.objective == pytest.approx(9.0)
+
+    def test_branch_and_bound_infeasible(self):
+        model = MILPModel()
+        model.add_variable("x", 0, 1)
+        model.add_constraint({"x": 1.0}, lower=3)
+        solution = solve_milp(model, backend=MILPBackend.BRANCH_AND_BOUND)
+        assert solution.status is SolutionStatus.INFEASIBLE
+
+    def test_duplicate_variable_rejected(self):
+        model = MILPModel()
+        model.add_variable("x")
+        with pytest.raises(SolverError):
+            model.add_variable("x")
+
+    def test_constraint_references_unknown_variable(self):
+        model = MILPModel()
+        model.add_variable("x")
+        with pytest.raises(SolverError):
+            model.add_constraint({"nope": 1.0}, upper=1)
+
+
+class TestMILPBackendProperty:
+    """Property: HiGHS and the pure-Python branch-and-bound agree."""
+
+    @given(
+        uppers=st.lists(st.floats(min_value=0, max_value=20, allow_nan=False),
+                        min_size=1, max_size=5),
+        capacities=st.lists(st.integers(min_value=0, max_value=8),
+                            min_size=1, max_size=5),
+        limit=st.integers(min_value=0, max_value=20),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_backends_agree(self, uppers, capacities, limit):
+        size = min(len(uppers), len(capacities))
+        model = build_allocation_model(uppers[:size], capacities[:size], limit)
+        scipy_solution = solve_milp(model, backend=MILPBackend.SCIPY)
+        bb_solution = solve_milp(model, backend=MILPBackend.BRANCH_AND_BOUND)
+        assert scipy_solution.is_optimal and bb_solution.is_optimal
+        assert scipy_solution.objective == pytest.approx(bb_solution.objective,
+                                                         rel=1e-6, abs=1e-6)

@@ -1,0 +1,129 @@
+"""Unit tests for the workload generators (queries, missingness, noise)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.builders import build_corr_pcs, build_overlapping_pcs
+from repro.core.predicates import Predicate
+from repro.datasets.intel_wireless import generate_intel_wireless
+from repro.exceptions import WorkloadError
+from repro.relational.aggregates import AggregateFunction
+from repro.workloads.missing import remove_correlated, remove_random, remove_region
+from repro.workloads.noise import corrupt_frequency_constraints, corrupt_value_constraints
+from repro.workloads.queries import QueryWorkloadSpec, generate_query_workload, random_region
+
+
+@pytest.fixture(scope="module")
+def relation():
+    return generate_intel_wireless(num_rows=3_000, seed=21)
+
+
+class TestQueryWorkloads:
+    def test_spec_validation(self):
+        with pytest.raises(WorkloadError):
+            QueryWorkloadSpec(AggregateFunction.COUNT, None, ("time",), num_queries=0)
+        with pytest.raises(WorkloadError):
+            QueryWorkloadSpec(AggregateFunction.COUNT, None, ("time",),
+                              min_selectivity=0.5, max_selectivity=0.1)
+
+    def test_random_region_within_data_range(self, relation):
+        rng = np.random.default_rng(0)
+        region = random_region(relation, ["time", "device_id"], rng)
+        time_range = region.range_for("time")
+        low, high = relation.column_range("time")
+        assert low <= time_range.low <= time_range.high <= high
+        with pytest.raises(WorkloadError):
+            random_region(relation, [], rng)
+
+    def test_generate_query_workload_is_deterministic(self, relation):
+        spec = QueryWorkloadSpec(AggregateFunction.SUM, "light", ("time",),
+                                 num_queries=10)
+        first = generate_query_workload(relation, spec, seed=1)
+        second = generate_query_workload(relation, spec, seed=1)
+        assert len(first) == 10
+        assert all(f.region == s.region for f, s in zip(first, second))
+
+    def test_queries_have_nonzero_selectivity_on_average(self, relation):
+        spec = QueryWorkloadSpec(AggregateFunction.COUNT, None, ("time",),
+                                 num_queries=20)
+        queries = generate_query_workload(relation, spec, seed=2)
+        matched = [query.ground_truth(relation) for query in queries]
+        assert np.mean(matched) > 0
+
+
+class TestMissingScenarios:
+    def test_remove_correlated_takes_extremes(self, relation):
+        scenario = remove_correlated(relation, 0.3, "light", highest=True)
+        assert scenario.total_rows == relation.num_rows
+        assert scenario.actual_fraction == pytest.approx(0.3, abs=0.01)
+        assert scenario.missing.column_min("light") >= scenario.observed.column_max("light") - 1e-9
+
+    def test_remove_correlated_lowest(self, relation):
+        scenario = remove_correlated(relation, 0.2, "light", highest=False)
+        assert scenario.missing.column_max("light") <= scenario.observed.column_min("light") + 1e-9
+
+    def test_remove_random_partitions_rows(self, relation):
+        scenario = remove_random(relation, 0.25, rng=np.random.default_rng(3))
+        assert scenario.total_rows == relation.num_rows
+        assert scenario.mechanism == "random"
+
+    def test_remove_region(self, relation):
+        region = Predicate.range("device_id", 0, 10)
+        scenario = remove_region(relation, region)
+        assert (scenario.missing.column("device_id") <= 10).all()
+        assert (scenario.observed.column("device_id") > 10).all()
+
+    def test_invalid_fraction(self, relation):
+        with pytest.raises(WorkloadError):
+            remove_correlated(relation, 1.5, "light")
+        with pytest.raises(WorkloadError):
+            remove_random(relation, -0.1)
+
+
+class TestNoiseInjection:
+    def test_value_noise_perturbs_bounds(self, relation):
+        pcset = build_corr_pcs(relation, "light", 16,
+                               candidates=["device_id", "time"])
+        noisy = corrupt_value_constraints(pcset, 1.0, np.random.default_rng(4))
+        assert len(noisy) == len(pcset)
+        changed = 0
+        for original, corrupted in zip(pcset, noisy):
+            if original.values.bounds != corrupted.values.bounds:
+                changed += 1
+            # Bounds stay well-ordered even after corruption.
+            for low, high in corrupted.values.bounds.values():
+                assert low <= high
+        assert changed > 0
+
+    def test_zero_noise_is_identity_on_bounds(self, relation):
+        pcset = build_corr_pcs(relation, "light", 9, candidates=["device_id", "time"])
+        unchanged = corrupt_value_constraints(pcset, 0.0)
+        for original, copy in zip(pcset, unchanged):
+            assert original.values.bounds == copy.values.bounds
+
+    def test_structural_hints_preserved(self, relation):
+        pcset = build_corr_pcs(relation, "light", 9, candidates=["device_id", "time"])
+        noisy = corrupt_value_constraints(pcset, 0.5, np.random.default_rng(5))
+        assert noisy.is_pairwise_disjoint() == pcset.is_pairwise_disjoint()
+
+    def test_overlapping_sets_survive_corruption(self, relation):
+        pcset = build_overlapping_pcs(relation, ["time"], 6, overlap_fraction=0.5,
+                                      value_attributes=["light"])
+        noisy = corrupt_value_constraints(pcset, 2.0, np.random.default_rng(6))
+        assert len(noisy) == len(pcset)
+
+    def test_frequency_noise(self, relation):
+        pcset = build_corr_pcs(relation, "light", 9, candidates=["device_id", "time"])
+        noisy = corrupt_frequency_constraints(pcset, 0.5, np.random.default_rng(7))
+        assert len(noisy) == len(pcset)
+        for constraint in noisy:
+            assert constraint.frequency.lower <= constraint.frequency.upper
+
+    def test_negative_noise_rejected(self, relation):
+        pcset = build_corr_pcs(relation, "light", 4, candidates=["device_id", "time"])
+        with pytest.raises(WorkloadError):
+            corrupt_value_constraints(pcset, -1.0)
+        with pytest.raises(WorkloadError):
+            corrupt_frequency_constraints(pcset, -1.0)
