@@ -1,0 +1,115 @@
+"""Service layer: registered sessions, batched concurrent queries, cache stats.
+
+The quickstart answers one query with a throwaway analyzer.  This example
+shows the deployment shape instead: a :class:`repro.ContingencyService`
+holds named, versioned constraint sessions and answers whole batches
+concurrently, amortising the expensive cell decomposition across every query
+that shares a WHERE region — and skipping the solver entirely for repeated
+queries.
+
+Run with::
+
+    python examples/service_batch.py
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro import (
+    BoundOptions,
+    ContingencyQuery,
+    ContingencyService,
+    FrequencyConstraint,
+    Predicate,
+    PredicateConstraint,
+    PredicateConstraintSet,
+    Relation,
+    Schema,
+    ValueConstraint,
+)
+from repro.relational import ColumnType
+
+
+def build_observed_sales() -> Relation:
+    schema = Schema.from_pairs([
+        ("utc", ColumnType.FLOAT),
+        ("price", ColumnType.FLOAT),
+    ])
+    rows = [(9.4, 3.02), (9.8, 6.71), (10.1, 78.50), (10.6, 12.00),
+            (13.2, 18.99), (13.9, 44.10), (14.5, 129.99)]
+    return Relation.from_rows(schema, rows, name="sales")
+
+
+def build_outage_constraints() -> PredicateConstraintSet:
+    """Two overlapping beliefs about the lost rows of days 11-13."""
+    early = PredicateConstraint(
+        Predicate.range("utc", 11.0, 12.5),
+        ValueConstraint({"price": (0.99, 129.99)}),
+        FrequencyConstraint.between(50, 100), name="early-outage")
+    late = PredicateConstraint(
+        Predicate.range("utc", 12.0, 13.0),
+        ValueConstraint({"price": (0.99, 149.99)}),
+        FrequencyConstraint.between(20, 60), name="late-outage")
+    constraints = PredicateConstraintSet([early, late])
+    constraints.mark_closed(True)
+    return constraints
+
+
+def build_dashboard_batch() -> list[ContingencyQuery]:
+    """The queries one dashboard refresh fires: many share WHERE regions."""
+    outage = Predicate.range("utc", 11.0, 13.0)
+    early = Predicate.range("utc", 11.0, 12.0)
+    queries = [
+        ContingencyQuery.count(),
+        ContingencyQuery.sum("price"),
+        ContingencyQuery.count(outage),
+        ContingencyQuery.sum("price", outage),
+        ContingencyQuery.avg("price", outage),
+        ContingencyQuery.min("price", outage),
+        ContingencyQuery.max("price", outage),
+        ContingencyQuery.count(early),
+        ContingencyQuery.sum("price", early),
+        ContingencyQuery.max("price", early),
+    ]
+    return queries
+
+
+def main() -> None:
+    service = ContingencyService(max_workers=4)
+
+    # Register once; re-registering identical content is a no-op (same
+    # version), so clients can register defensively on every connect.
+    session = service.register("sales-outage", build_outage_constraints(),
+                               observed=build_observed_sales(),
+                               options=BoundOptions())
+    duplicate = service.register("sales-outage", build_outage_constraints(),
+                                 observed=build_observed_sales(),
+                                 options=BoundOptions())
+    print(f"registered session {session.name} v{session.version} "
+          f"(fingerprint {session.fingerprint[:12]})")
+    print(f"re-registration reused version {duplicate.version}\n")
+
+    queries = build_dashboard_batch()
+
+    started = time.perf_counter()
+    cold = service.execute_batch("sales-outage", queries)
+    cold_ms = (time.perf_counter() - started) * 1000
+
+    print(f"cold batch: {cold.statistics.summary()}")
+    for query, report in zip(queries, cold.reports):
+        print(f"  {query.describe():<48s} [{report.lower}, {report.upper}]")
+    print()
+
+    # The same dashboard refreshes again: everything is served from cache.
+    started = time.perf_counter()
+    service.execute_batch("sales-outage", queries)
+    warm_ms = (time.perf_counter() - started) * 1000
+
+    print(f"warm batch: {warm_ms:.2f} ms "
+          f"(cold was {cold_ms:.1f} ms, {cold_ms / max(warm_ms, 1e-6):.0f}x)\n")
+    print(service.statistics().summary())
+
+
+if __name__ == "__main__":
+    main()

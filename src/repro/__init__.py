@@ -23,6 +23,10 @@ Sub-packages
     The in-memory relational substrate (ground truth evaluation, joins).
 ``repro.solvers``
     Satisfiability, LP/MILP, and fractional-edge-cover substrates.
+``repro.service``
+    The long-lived service layer: named/versioned constraint sessions,
+    fingerprint-keyed decomposition and report caches, and concurrent batch
+    execution (:class:`ContingencyService`).
 ``repro.baselines``
     The statistical estimators the paper compares against (§6.1).
 ``repro.datasets`` / ``repro.workloads`` / ``repro.experiments``
@@ -57,8 +61,18 @@ from .relational import (
     Relation,
     Schema,
 )
+from .service import (
+    BatchExecutor,
+    BatchResult,
+    CacheStatistics,
+    ContingencyService,
+    LRUCache,
+    RegisteredSession,
+    ServiceStatistics,
+    SessionRegistry,
+)
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BoundOptions",
@@ -84,5 +98,13 @@ __all__ = [
     "ColumnType",
     "Relation",
     "Schema",
+    "BatchExecutor",
+    "BatchResult",
+    "CacheStatistics",
+    "ContingencyService",
+    "LRUCache",
+    "RegisteredSession",
+    "ServiceStatistics",
+    "SessionRegistry",
     "__version__",
 ]

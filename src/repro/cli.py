@@ -8,6 +8,12 @@ Two groups of commands:
 * ``repro bound`` — load a predicate-constraint file (JSON produced by
   :func:`repro.core.io.save_pcset` or the one-line text syntax) and bound an
   aggregate query, optionally against an observed CSV relation.
+* ``repro serve-batch`` — register a constraint file as a service session
+  and execute a whole query file concurrently through the caching
+  :class:`~repro.service.ContingencyService` (repeat the batch to watch the
+  caches warm up).
+* ``repro sessions`` — register one or more constraint files and print the
+  resulting session registry (names, versions, content fingerprints).
 
 Run ``python -m repro --help`` for the full option listing.
 """
@@ -15,6 +21,7 @@ Run ``python -m repro --help`` for the full option listing.
 from __future__ import annotations
 
 import argparse
+import re
 import sys
 from pathlib import Path
 from typing import Callable, Sequence
@@ -87,6 +94,35 @@ def build_parser() -> argparse.ArgumentParser:
                               help="skip the closed-world check (assume closure)")
     bound_parser.set_defaults(handler=_command_bound)
 
+    serve_parser = subparsers.add_parser(
+        "serve-batch",
+        help="execute a query file against a cached service session")
+    serve_parser.add_argument("--constraints", required=True,
+                              help="path to a .json or .txt constraint file")
+    serve_parser.add_argument("--queries", required=True,
+                              help="query file: one '<agg> [attr] [WHERE ...]' "
+                                   "per line, e.g. 'sum price WHERE 11 <= utc <= 13'")
+    serve_parser.add_argument("--observed", default=None,
+                              help="optional CSV file with the observed partition")
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="thread-pool width for batch execution")
+    serve_parser.add_argument("--repeat", type=int, default=1,
+                              help="run the batch this many times (>1 shows "
+                                   "the effect of warm caches)")
+    serve_parser.add_argument("--no-closure-check", action="store_true",
+                              help="skip the closed-world check (assume closure)")
+    serve_parser.set_defaults(handler=_command_serve_batch)
+
+    sessions_parser = subparsers.add_parser(
+        "sessions",
+        help="register constraint files and print the session registry")
+    sessions_parser.add_argument("constraints", nargs="+",
+                                 help="one or more .json/.txt constraint files")
+    sessions_parser.add_argument("--observed", default=None,
+                                 help="optional CSV observed partition shared "
+                                      "by every session")
+    sessions_parser.set_defaults(handler=_command_sessions)
+
     return parser
 
 
@@ -158,6 +194,83 @@ def _command_bound(args: argparse.Namespace) -> int:
           f"{report.missing_range.upper}]")
     print(f"closed world    : {report.missing_range.closed}")
     print(f"solve time      : {report.elapsed_seconds * 1000:.1f} ms")
+    return 0
+
+
+def _parse_query_line(text: str) -> ContingencyQuery:
+    """Parse one ``<aggregate> [attribute] [WHERE <predicate>]`` line."""
+    from .core.io import _parse_predicate  # shared with the constraint syntax
+
+    parts = re.split(r"\bWHERE\b", text, maxsplit=1, flags=re.IGNORECASE)
+    region = _parse_predicate(parts[1]) if len(parts) > 1 else None
+    tokens = parts[0].split()
+    if not tokens or len(tokens) > 2:
+        raise ReproError(
+            f"cannot parse query line {text!r}: expected "
+            "'<aggregate> [attribute] [WHERE <predicate>]'")
+    aggregate = AggregateFunction.parse(tokens[0])
+    attribute = tokens[1] if len(tokens) > 1 else None
+    return ContingencyQuery(aggregate, attribute, region)
+
+
+def _load_queries(path_text: str) -> list[ContingencyQuery]:
+    path = Path(path_text)
+    if not path.exists():
+        raise ReproError(f"query file {path} does not exist")
+    queries = []
+    for line in path.read_text().splitlines():
+        stripped = line.strip()
+        if not stripped or stripped.startswith("#"):
+            continue
+        queries.append(_parse_query_line(stripped))
+    if not queries:
+        raise ReproError(f"query file {path} contains no queries")
+    return queries
+
+
+def _command_serve_batch(args: argparse.Namespace) -> int:
+    from .core.bounds import BoundOptions
+    from .service import ContingencyService
+
+    if args.repeat < 1:
+        raise ReproError("--repeat must be at least 1")
+    if args.workers is not None and args.workers < 1:
+        raise ReproError("--workers must be at least 1")
+    pcset = _load_constraints(args.constraints)
+    queries = _load_queries(args.queries)
+    observed = read_csv(args.observed) if args.observed else None
+    options = BoundOptions(check_closure=not args.no_closure_check)
+
+    service = ContingencyService(max_workers=args.workers)
+    session_name = Path(args.constraints).stem
+    session = service.register(session_name, pcset, observed=observed,
+                               options=options)
+    print(f"session         : {session.name} v{session.version} "
+          f"({session.fingerprint[:12]}, {len(pcset)} constraints)")
+    for round_number in range(1, args.repeat + 1):
+        result = service.execute_batch(session_name, queries)
+        print(f"batch round {round_number}   : {result.statistics.summary()}")
+    for query, report in zip(queries, result.reports):
+        print(f"  {query.describe():<50s} [{report.lower}, {report.upper}]")
+    print(service.statistics().summary())
+    return 0
+
+
+def _command_sessions(args: argparse.Namespace) -> int:
+    from .service import ContingencyService
+
+    observed = read_csv(args.observed) if args.observed else None
+    service = ContingencyService()
+    for path_text in args.constraints:
+        pcset = _load_constraints(path_text)
+        service.register(Path(path_text).stem, pcset, observed=observed)
+    print(f"{'name':<24s} {'version':>7s} {'constraints':>11s} "
+          f"{'max rows':>9s} {'observed':>8s}  fingerprint")
+    for session in service.sessions():
+        info = session.describe()
+        print(f"{info['name']:<24.24s} {info['version']:>7d} "
+              f"{info['constraints']:>11d} {info['total_max_rows']:>9d} "
+              f"{info['observed_rows']:>8d}  {session.fingerprint[:16]}")
     return 0
 
 

@@ -30,6 +30,7 @@ from .cells import (
     CellDecomposition,
     DecompositionStatistics,
     DecompositionStrategy,
+    decompose_cached,
 )
 from .constraints import (
     ConstraintViolation,
@@ -75,6 +76,7 @@ __all__ = [
     "CellDecomposition",
     "DecompositionStatistics",
     "DecompositionStrategy",
+    "decompose_cached",
     "ConstraintViolation",
     "FrequencyConstraint",
     "PredicateConstraint",

@@ -23,6 +23,7 @@ sound (the feasible region is a superset of the true one).
 from __future__ import annotations
 
 import math
+import threading
 from dataclasses import dataclass, field
 from typing import Callable
 
@@ -31,10 +32,10 @@ from ..relational.aggregates import AggregateFunction
 from ..solvers.lp import SolutionStatus, Sense
 from ..solvers.milp import MILPBackend, MILPModel, solve_milp
 from .cells import (
-    CellDecomposer,
     CellDecomposition,
     DecompositionStatistics,
     DecompositionStrategy,
+    decompose_cached,
 )
 from .pcset import PredicateConstraintSet
 from .predicates import Predicate
@@ -173,13 +174,39 @@ class BoundExplanation:
 
 
 class PCBoundSolver:
-    """Computes result ranges for one predicate-constraint set."""
+    """Computes result ranges for one predicate-constraint set.
+
+    Parameters
+    ----------
+    pcset, options:
+        The constraint set and tuning knobs.
+    decomposition_cache:
+        Optional shared cache (any object with ``get_or_compute(key,
+        factory)``, e.g. :class:`repro.service.LRUCache`).  When given,
+        decompositions are stored there under a content-derived namespace so
+        equal constraint sets share work across solvers and threads; when
+        omitted, the solver keeps a private per-instance dict exactly as
+        before (single-threaded use).
+    cache_namespace:
+        Overrides the namespace used inside a shared cache.  Defaults to a
+        structural key derived from the constraint set's content and the
+        decomposition knobs (see ``cells._structural_namespace``), which is
+        always sound; the service layer passes its fingerprint-based
+        namespace instead.
+    """
 
     def __init__(self, pcset: PredicateConstraintSet,
-                 options: BoundOptions | None = None):
+                 options: BoundOptions | None = None,
+                 decomposition_cache=None,
+                 cache_namespace: object = None):
         self._pcset = pcset
         self._options = options or BoundOptions()
+        self._shared_cache = decomposition_cache
+        self._cache_namespace = cache_namespace
         self._decomposition_cache: dict[object, CellDecomposition] = {}
+        self._decompositions_computed = 0
+        self._decomposition_solver_calls = 0
+        self._counter_lock = threading.Lock()
 
     @property
     def pcset(self) -> PredicateConstraintSet:
@@ -188,6 +215,21 @@ class PCBoundSolver:
     @property
     def options(self) -> BoundOptions:
         return self._options
+
+    @property
+    def decompositions_computed(self) -> int:
+        """How many decompositions this solver actually ran (cache misses)."""
+        return self._decompositions_computed
+
+    @property
+    def decomposition_solver_calls(self) -> int:
+        """Cumulative satisfiability-solver calls across fresh decompositions.
+
+        Cache hits (shared or private) leave this counter untouched — it is
+        the observable the service's acceptance tests pin down: answering a
+        repeated query must not move it.
+        """
+        return self._decomposition_solver_calls
 
     # ------------------------------------------------------------------ #
     # Public bound API
@@ -295,13 +337,39 @@ class PCBoundSolver:
     # ------------------------------------------------------------------ #
     # Decomposition and cell profiles
     # ------------------------------------------------------------------ #
+    def decompose(self, region: Predicate | None = None) -> CellDecomposition:
+        """The (cached) cell decomposition for ``region``.
+
+        Public so callers can reuse or pre-warm decompositions — the batch
+        executor warms each distinct region once before fanning queries out
+        over its thread pool.
+        """
+        return self._decompose(region)
+
+    def _record_decomposition(self, decomposition: CellDecomposition) -> None:
+        # Distinct regions can decompose concurrently under a shared cache
+        # (the batch executor warms them in parallel), so the read-modify-
+        # write on the counters needs a lock to stay exact.
+        with self._counter_lock:
+            self._decompositions_computed += 1
+            self._decomposition_solver_calls += decomposition.statistics.solver_calls
+
     def _decompose(self, region: Predicate | None) -> CellDecomposition:
-        key = region
-        if key not in self._decomposition_cache:
-            decomposer = CellDecomposer(self._pcset, self._options.strategy,
-                                        self._options.early_stop_depth)
-            self._decomposition_cache[key] = decomposer.decompose(region)
-        return self._decomposition_cache[key]
+        if self._shared_cache is not None:
+            return decompose_cached(
+                self._pcset, region,
+                strategy=self._options.strategy,
+                early_stop_depth=self._options.early_stop_depth,
+                cache=self._shared_cache,
+                namespace=self._cache_namespace,
+                on_compute=self._record_decomposition)
+        if region not in self._decomposition_cache:
+            self._decomposition_cache[region] = decompose_cached(
+                self._pcset, region,
+                strategy=self._options.strategy,
+                early_stop_depth=self._options.early_stop_depth,
+                on_compute=self._record_decomposition)
+        return self._decomposition_cache[region]
 
     def _profiles(self, decomposition: CellDecomposition, attribute: str | None,
                   region: Predicate | None) -> list[_CellProfile]:

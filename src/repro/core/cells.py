@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Sequence
+from typing import Callable, Sequence
 
 from ..exceptions import ConstraintError
 from ..solvers.sat import Box, BoxSolver
@@ -35,7 +35,8 @@ from .pcset import PredicateConstraintSet
 from .predicates import Predicate
 
 __all__ = ["Cell", "DecompositionStrategy", "DecompositionStatistics",
-           "CellDecomposition", "CellDecomposer"]
+           "CellDecomposition", "CellDecomposer", "decompose_cached",
+           "decomposition_cache_key"]
 
 
 @dataclass(frozen=True)
@@ -274,3 +275,80 @@ class CellDecomposer:
             positives.append(query_box)
         negatives = [self._boxes[index] for index in excluded]
         return self._solver.is_satisfiable(positives, negatives)
+
+
+# --------------------------------------------------------------------- #
+# Reusable decompositions
+# --------------------------------------------------------------------- #
+def decomposition_cache_key(namespace: object,
+                            query_region: Predicate | None) -> tuple:
+    """The cache key under which one decomposition is stored.
+
+    ``namespace`` identifies the constraint set *and* the decomposition
+    strategy (the service layer derives it from content fingerprints so
+    equal constraint sets share entries across analyzers); the query region
+    completes the key because predicate pushdown makes the cell list
+    region-specific.  :class:`~repro.core.predicates.Predicate` hashes by
+    content, so syntactically equal regions collide as intended.
+    """
+    return ("decomposition", namespace, query_region)
+
+
+def _structural_namespace(pcset: PredicateConstraintSet,
+                          strategy: DecompositionStrategy,
+                          early_stop_depth: int | None) -> tuple:
+    """A content-derived namespace for callers that did not supply one.
+
+    Built purely from hashable-by-content pieces (predicates, value and
+    frequency constraints, domains, strategy knobs), so two equal constraint
+    sets share cache entries while *any* difference — including the
+    decomposition strategy — keys separately.  Keying by object identity
+    instead would be unsound: a shared cache would hand one set's cells to
+    another.
+    """
+    constraints = tuple((pc.predicate, pc.values, pc.frequency)
+                        for pc in pcset)
+    domains = frozenset(pcset.domains.items())
+    return (constraints, domains, strategy, early_stop_depth)
+
+
+def decompose_cached(
+    pcset: PredicateConstraintSet,
+    query_region: Predicate | None = None,
+    *,
+    strategy: DecompositionStrategy = DecompositionStrategy.DFS_REWRITE,
+    early_stop_depth: int | None = None,
+    cache=None,
+    namespace: object = None,
+    on_compute: Callable[[CellDecomposition], None] | None = None,
+) -> CellDecomposition:
+    """Decompose ``pcset``, reusing a previously computed decomposition.
+
+    This is the single entry point through which the bounding engine and the
+    service layer obtain decompositions: callers that pass a ``cache`` (any
+    object with ``get_or_compute(key, factory)``, e.g.
+    :class:`repro.service.LRUCache`) skip the exponential cell enumeration
+    whenever an equal (namespace, region) pair was decomposed before —
+    across queries, analyzers and threads.  ``on_compute`` fires only for
+    fresh decompositions, which is how callers keep exact solver-call
+    accounting even when most traffic is cache hits.
+
+    ``namespace`` defaults to a structural key derived from the constraint
+    set's content and the strategy knobs, so omitting it is always sound;
+    pass one explicitly (e.g. a service-layer fingerprint) only to make the
+    key cheaper or stable across processes.
+    """
+
+    def compute() -> CellDecomposition:
+        decomposer = CellDecomposer(pcset, strategy, early_stop_depth)
+        decomposition = decomposer.decompose(query_region)
+        if on_compute is not None:
+            on_compute(decomposition)
+        return decomposition
+
+    if cache is None:
+        return compute()
+    if namespace is None:
+        namespace = _structural_namespace(pcset, strategy, early_stop_depth)
+    return cache.get_or_compute(decomposition_cache_key(namespace, query_region),
+                                compute)

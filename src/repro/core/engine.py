@@ -134,15 +134,27 @@ class PCAnalyzer:
     options:
         Solver tuning knobs (decomposition strategy, MILP backend, closure
         checking, AVG tolerance).
+    decomposition_cache:
+        Optional shared decomposition cache (see
+        :class:`~repro.core.bounds.PCBoundSolver`).  The service layer passes
+        one :class:`repro.service.LRUCache` to every analyzer it creates so
+        repeated or region-sharing queries skip re-decomposition.
+    cache_namespace:
+        Overrides the namespace used inside the shared cache (defaults to a
+        content fingerprint of the constraint set and options).
     """
 
     def __init__(self, pcset: PredicateConstraintSet,
                  observed: Relation | None = None,
-                 options: BoundOptions | None = None):
+                 options: BoundOptions | None = None,
+                 decomposition_cache=None,
+                 cache_namespace: object = None):
         self._pcset = pcset
         self._observed = observed
         self._options = options or BoundOptions()
-        self._solver = PCBoundSolver(pcset, self._options)
+        self._solver = PCBoundSolver(pcset, self._options,
+                                     decomposition_cache=decomposition_cache,
+                                     cache_namespace=cache_namespace)
 
     @property
     def pcset(self) -> PredicateConstraintSet:
@@ -155,6 +167,20 @@ class PCAnalyzer:
     @property
     def options(self) -> BoundOptions:
         return self._options
+
+    @property
+    def solver(self) -> PCBoundSolver:
+        """The underlying bound solver (exposes decomposition counters)."""
+        return self._solver
+
+    def prepare(self, region: Predicate | None = None) -> None:
+        """Warm the decomposition for a query region before answering.
+
+        The batch executor calls this once per distinct region so the
+        expensive cell enumeration happens exactly once even when dozens of
+        queries share the region.
+        """
+        self._solver.decompose(region)
 
     # ------------------------------------------------------------------ #
     # Main API

@@ -1,0 +1,47 @@
+"""The contingency-analysis service layer (registry, caches, batching).
+
+This subpackage turns the one-shot :class:`~repro.core.engine.PCAnalyzer`
+into a long-lived service: constraint sets are registered once under stable
+names, cell decompositions and finished reports are cached by content
+fingerprint, and query batches execute concurrently over a thread pool.
+
+Layering: ``repro.service`` sits strictly above ``repro.core`` — core never
+imports it at module scope.  The one upward reference (the bound solver
+deriving a default cache namespace) is a lazy import that only triggers when
+a shared cache is in play.
+"""
+
+from .batch import BatchExecutor, BatchResult, BatchStatistics
+from .cache import CacheStatistics, LRUCache
+from .fingerprint import (
+    combine_fingerprints,
+    decomposition_namespace,
+    fingerprint_bound_options,
+    fingerprint_constraint,
+    fingerprint_pcset,
+    fingerprint_predicate,
+    fingerprint_query,
+    fingerprint_relation,
+)
+from .registry import RegisteredSession, SessionRegistry
+from .service import ContingencyService, ServiceStatistics
+
+__all__ = [
+    "BatchExecutor",
+    "BatchResult",
+    "BatchStatistics",
+    "CacheStatistics",
+    "LRUCache",
+    "combine_fingerprints",
+    "decomposition_namespace",
+    "fingerprint_bound_options",
+    "fingerprint_constraint",
+    "fingerprint_pcset",
+    "fingerprint_predicate",
+    "fingerprint_query",
+    "fingerprint_relation",
+    "RegisteredSession",
+    "SessionRegistry",
+    "ContingencyService",
+    "ServiceStatistics",
+]

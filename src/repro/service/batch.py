@@ -1,0 +1,160 @@
+"""Concurrent execution of contingency-query batches.
+
+Production traffic arrives as batches — a dashboard refresh fires dozens of
+aggregate queries against the same constraint session at once.  Two
+observations shape the executor:
+
+* Queries cluster on a few WHERE regions (per-widget filters), and the
+  expensive step — cell decomposition — depends only on the region.  The
+  executor therefore groups the batch by region and *warms* each distinct
+  region's decomposition first, so the MILP solves that follow all run
+  against cached decompositions.
+* Warm queries are independent, so they fan out over a thread pool.  The
+  MILP/LP solves release the GIL inside scipy and the box-SAT work is
+  already cached, which makes the fan-out worthwhile even on CPython.
+
+Results come back in input order, each paired with the same
+:class:`~repro.core.engine.ContingencyReport` a sequential
+:meth:`PCAnalyzer.analyze` call would produce, plus batch-level statistics.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+
+from ..core.engine import ContingencyQuery, ContingencyReport, PCAnalyzer
+from ..core.predicates import Predicate
+
+__all__ = ["BatchStatistics", "BatchResult", "BatchExecutor"]
+
+
+def _default_workers() -> int:
+    return min(8, os.cpu_count() or 1)
+
+
+@dataclass
+class BatchStatistics:
+    """What one batch execution cost."""
+
+    total_queries: int = 0
+    region_groups: int = 0
+    max_workers: int = 0
+    warm_seconds: float = 0.0
+    execute_seconds: float = 0.0
+    group_sizes: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def wall_seconds(self) -> float:
+        return self.warm_seconds + self.execute_seconds
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "total_queries": self.total_queries,
+            "region_groups": self.region_groups,
+            "max_workers": self.max_workers,
+            "warm_seconds": self.warm_seconds,
+            "execute_seconds": self.execute_seconds,
+            "wall_seconds": self.wall_seconds,
+            "group_sizes": dict(self.group_sizes),
+        }
+
+    def summary(self) -> str:
+        return (f"{self.total_queries} queries in {self.region_groups} region "
+                f"group(s) over {self.max_workers} worker(s): "
+                f"warm {self.warm_seconds * 1000:.1f} ms + "
+                f"execute {self.execute_seconds * 1000:.1f} ms")
+
+
+@dataclass
+class BatchResult:
+    """Per-query reports (input order) plus batch statistics."""
+
+    reports: list[ContingencyReport]
+    statistics: BatchStatistics
+
+    def __len__(self) -> int:
+        return len(self.reports)
+
+    def __iter__(self):
+        return iter(self.reports)
+
+    def summary(self) -> str:
+        lines = [self.statistics.summary()]
+        lines.extend(f"  {report.summary()}" for report in self.reports)
+        return "\n".join(lines)
+
+
+class BatchExecutor:
+    """Runs query batches against an analyzer, concurrently and region-grouped.
+
+    Parameters
+    ----------
+    max_workers:
+        Thread-pool width (default: ``min(8, cpu_count)``).  ``1`` degrades
+        gracefully to sequential execution — useful for debugging and for
+        analyzers that are not safe to share across threads (a plain
+        :class:`PCAnalyzer` without a shared thread-safe decomposition cache
+        should be driven with ``max_workers=1``; analyzers built by the
+        service layer are always safe).
+    """
+
+    def __init__(self, max_workers: int | None = None):
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self._max_workers = max_workers or _default_workers()
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
+    def group_by_region(self, queries: list[ContingencyQuery]
+                        ) -> dict[Predicate | None, list[int]]:
+        """Input positions grouped by (content-equal) query region."""
+        groups: dict[Predicate | None, list[int]] = {}
+        for position, query in enumerate(queries):
+            groups.setdefault(query.region, []).append(position)
+        return groups
+
+    def execute(self, analyzer: PCAnalyzer,
+                queries: list[ContingencyQuery]) -> BatchResult:
+        """Answer every query; reports come back in input order."""
+        statistics = BatchStatistics(total_queries=len(queries),
+                                     max_workers=self._max_workers)
+        if not queries:
+            return BatchResult([], statistics)
+
+        groups = self.group_by_region(queries)
+        statistics.region_groups = len(groups)
+        statistics.group_sizes = {
+            "TRUE" if region is None else repr(region): len(positions)
+            for region, positions in groups.items()
+        }
+
+        # Phase 1 — warm one decomposition per distinct region.  Distinct
+        # regions decompose in parallel; the per-key locking inside a shared
+        # cache dedupes any overlap with concurrent batches.
+        started = time.perf_counter()
+        regions = list(groups)
+        if self._max_workers == 1 or len(regions) == 1:
+            for region in regions:
+                analyzer.prepare(region)
+        else:
+            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                list(pool.map(analyzer.prepare, regions))
+        statistics.warm_seconds = time.perf_counter() - started
+
+        # Phase 2 — every query now runs against a warm decomposition.
+        started = time.perf_counter()
+        if self._max_workers == 1:
+            reports = [analyzer.analyze(query) for query in queries]
+        else:
+            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
+                reports = list(pool.map(analyzer.analyze, queries))
+        statistics.execute_seconds = time.perf_counter() - started
+        return BatchResult(reports, statistics)

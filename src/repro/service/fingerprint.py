@@ -1,0 +1,194 @@
+"""Stable content fingerprints for the service layer.
+
+The service caches decompositions and reports across requests, sessions and
+threads, so cache keys cannot rely on object identity or on Python's
+randomised ``hash()``.  This module derives *content hashes*: two objects
+that are semantically identical — same predicates, same value/frequency
+constraints, same solver options — fingerprint identically in every process,
+which is what lets a registry deduplicate re-registered constraint sets and
+lets independent analyzers share one decomposition cache.
+
+Fingerprints are hex SHA-256 digests of a canonical token stream.  Constraint
+*names* are deliberately excluded: renaming a predicate-constraint changes
+reports cosmetically but never changes a bound, so it must not invalidate
+caches.  Constraint *order* is preserved: cell decompositions index
+constraints positionally, so two sets with the same constraints in different
+orders are different cache namespaces.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+import numpy as np
+
+from ..core.bounds import BoundOptions
+from ..core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from ..core.engine import ContingencyQuery
+from ..core.pcset import PredicateConstraintSet
+from ..core.predicates import Predicate
+from ..relational.relation import Relation
+from ..solvers.sat import AttributeDomain
+
+__all__ = [
+    "fingerprint_predicate",
+    "fingerprint_constraint",
+    "fingerprint_pcset",
+    "fingerprint_query",
+    "fingerprint_bound_options",
+    "fingerprint_relation",
+    "decomposition_namespace",
+    "combine_fingerprints",
+]
+
+
+def _digest(tokens: Iterable[str]) -> str:
+    hasher = hashlib.sha256()
+    for token in tokens:
+        hasher.update(token.encode("utf-8"))
+        hasher.update(b"\x1f")  # unit separator: "a"+"bc" != "ab"+"c"
+    return hasher.hexdigest()
+
+
+def _number(value: float) -> str:
+    """Canonical rendering of a numeric endpoint (inf-safe, int/float stable)."""
+    value = float(value)
+    if math.isinf(value):
+        return "+inf" if value > 0 else "-inf"
+    return repr(value)
+
+
+def _literal(value: object) -> str:
+    """Canonical rendering of a categorical literal."""
+    return f"{type(value).__name__}:{value!r}"
+
+
+def _predicate_tokens(predicate: Predicate) -> list[str]:
+    tokens = ["predicate"]
+    for attribute, constraint in sorted(predicate.ranges.items()):
+        tokens.append(f"range:{attribute}:{_number(constraint.low)}"
+                      f":{_number(constraint.high)}:{int(constraint.integral)}")
+    for attribute, constraint in sorted(predicate.memberships.items()):
+        values = ",".join(sorted(_literal(v) for v in constraint.values))
+        tokens.append(f"member:{attribute}:{values}")
+    return tokens
+
+
+def _value_tokens(values: ValueConstraint) -> list[str]:
+    tokens = ["values"]
+    for attribute, (low, high) in sorted(values.bounds.items()):
+        tokens.append(f"bound:{attribute}:{_number(low)}:{_number(high)}")
+    return tokens
+
+
+def _frequency_tokens(frequency: FrequencyConstraint) -> list[str]:
+    return ["frequency", str(frequency.lower), str(frequency.upper)]
+
+
+def _domain_tokens(attribute: str, domain: AttributeDomain) -> list[str]:
+    if domain.is_numeric:
+        interval = domain.interval
+        assert interval is not None
+        return [f"domain:{attribute}:numeric:{_number(interval.low)}"
+                f":{_number(interval.high)}:{int(interval.integral)}"]
+    assert domain.categories is not None
+    values = ",".join(sorted(_literal(v) for v in domain.categories.values))
+    return [f"domain:{attribute}:categorical:{values}"]
+
+
+def fingerprint_predicate(predicate: Predicate) -> str:
+    """Content hash of a box predicate (conjunct order never matters)."""
+    return _digest(_predicate_tokens(predicate))
+
+
+def fingerprint_constraint(constraint: PredicateConstraint) -> str:
+    """Content hash of one predicate-constraint (its name is excluded)."""
+    tokens = ["constraint"]
+    tokens.extend(_predicate_tokens(constraint.predicate))
+    tokens.extend(_value_tokens(constraint.values))
+    tokens.extend(_frequency_tokens(constraint.frequency))
+    return _digest(tokens)
+
+
+def fingerprint_pcset(pcset: PredicateConstraintSet) -> str:
+    """Content hash of a constraint set (order-sensitive, domain-sensitive)."""
+    tokens = ["pcset", str(len(pcset))]
+    for constraint in pcset:
+        tokens.append(fingerprint_constraint(constraint))
+    for attribute, domain in sorted(pcset.domains.items()):
+        tokens.extend(_domain_tokens(attribute, domain))
+    return _digest(tokens)
+
+
+def fingerprint_query(query: ContingencyQuery) -> str:
+    """Content hash of a contingency query (aggregate, attribute, region)."""
+    tokens = ["query", query.aggregate.value, query.attribute or ""]
+    if query.region is not None:
+        tokens.extend(_predicate_tokens(query.region))
+    return _digest(tokens)
+
+
+def fingerprint_bound_options(options: BoundOptions) -> str:
+    """Content hash of the solver tuning knobs."""
+    tokens = [
+        "options",
+        options.strategy.value,
+        str(options.milp_backend),
+        "" if options.early_stop_depth is None else str(options.early_stop_depth),
+        str(int(options.check_closure)),
+        _number(options.avg_tolerance),
+        str(options.avg_max_iterations),
+    ]
+    return _digest(tokens)
+
+
+def fingerprint_relation(relation: Relation) -> str:
+    """Exact content hash of an observed relation.
+
+    Session deduplication and the report cache treat this as *identity*:
+    two relations must fingerprint equally iff their schemas and cell values
+    match, otherwise a re-registration with changed data would silently keep
+    serving reports computed from the old rows.  Numeric columns are
+    digested from their raw array bytes (one C-speed pass per column);
+    string columns fall back to per-value rendering.  The relation's display
+    name is excluded — renaming does not change any query answer.
+    """
+    tokens = ["relation", str(relation.num_rows)]
+    for column in relation.schema:
+        tokens.append(f"column:{column.name}:{column.ctype.value}")
+        values = relation.column(column.name)
+        if column.is_numeric:
+            data = np.ascontiguousarray(values).tobytes()
+            tokens.append(hashlib.sha256(data).hexdigest())
+        else:
+            tokens.append(_digest(_literal(value) for value in values))
+    return _digest(tokens)
+
+
+def decomposition_namespace(pcset: PredicateConstraintSet,
+                            options: BoundOptions) -> str:
+    """The cache namespace for decompositions of ``pcset`` under ``options``.
+
+    Only the knobs that change the *decomposition itself* participate:
+    strategy and early-stop depth.  The MILP backend, the closure check and
+    the AVG search tolerance all act after decomposition, so solvers that
+    differ only in those still share cached decompositions.
+    """
+    tokens = [
+        "decomposition-namespace",
+        fingerprint_pcset(pcset),
+        options.strategy.value,
+        "" if options.early_stop_depth is None else str(options.early_stop_depth),
+    ]
+    return _digest(tokens)
+
+
+def combine_fingerprints(*fingerprints: str) -> str:
+    """Fold several fingerprints into one (used for session identities)."""
+    return _digest(["combined", *fingerprints])

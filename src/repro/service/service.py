@@ -1,0 +1,236 @@
+"""The contingency-analysis service facade.
+
+:class:`ContingencyService` is the deployment-shaped entry point the ROADMAP
+asks for: register constraint sets once, then answer single queries and
+concurrent batches against them with all the amortisation machinery wired
+together —
+
+* a **decomposition cache** (shared LRU) so any two queries over equal
+  constraint sets and regions pay for one cell enumeration total,
+* a **report cache** so a byte-identical repeated query is answered without
+  touching the solver at all,
+* a **session registry** with content-fingerprint deduplication and
+  versioning,
+* a **batch executor** that groups queries by region and fans them out over
+  a thread pool.
+
+Usage::
+
+    service = ContingencyService()
+    service.register("sales-outage", pcset, observed=sales)
+    report = service.analyze("sales-outage", ContingencyQuery.sum("price"))
+    batch = service.execute_batch("sales-outage", queries)
+    print(service.statistics().summary())
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+
+from ..core.bounds import BoundOptions
+from ..core.engine import ContingencyQuery, ContingencyReport
+from ..core.pcset import PredicateConstraintSet
+from ..relational.relation import Relation
+from .batch import BatchExecutor, BatchResult
+from .cache import CacheStatistics, LRUCache
+from .fingerprint import fingerprint_query
+from .registry import RegisteredSession, SessionRegistry
+
+__all__ = ["ServiceStatistics", "ContingencyService"]
+
+
+@dataclass
+class ServiceStatistics:
+    """A snapshot of the service's cumulative behaviour."""
+
+    decomposition_cache: CacheStatistics
+    report_cache: CacheStatistics
+    queries_answered: int
+    batches_executed: int
+    sessions_registered: int
+    decompositions_computed: int
+    decomposition_solver_calls: int
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "decomposition_cache": self.decomposition_cache.as_dict(),
+            "report_cache": self.report_cache.as_dict(),
+            "queries_answered": self.queries_answered,
+            "batches_executed": self.batches_executed,
+            "sessions_registered": self.sessions_registered,
+            "decompositions_computed": self.decompositions_computed,
+            "decomposition_solver_calls": self.decomposition_solver_calls,
+        }
+
+    def summary(self) -> str:
+        decomposition = self.decomposition_cache
+        report = self.report_cache
+        return "\n".join([
+            f"queries answered       : {self.queries_answered} "
+            f"({self.batches_executed} batch(es), "
+            f"{self.sessions_registered} session(s))",
+            f"decomposition cache    : {decomposition.hits} hit(s) / "
+            f"{decomposition.misses} miss(es) / "
+            f"{decomposition.evictions} eviction(s) "
+            f"(hit rate {decomposition.hit_rate:.1%})",
+            f"report cache           : {report.hits} hit(s) / "
+            f"{report.misses} miss(es) / {report.evictions} eviction(s) "
+            f"(hit rate {report.hit_rate:.1%})",
+            f"decompositions computed: {self.decompositions_computed} "
+            f"({self.decomposition_solver_calls} satisfiability call(s))",
+        ])
+
+
+class ContingencyService:
+    """Registry + caches + batch executor behind one object.
+
+    Parameters
+    ----------
+    decomposition_cache_entries:
+        Capacity of the shared decomposition LRU (each entry is one
+        region-specific cell decomposition).
+    report_cache_entries:
+        Capacity of the per-(session, query) report LRU.
+    max_workers:
+        Thread-pool width for batch execution.
+    default_options:
+        :class:`BoundOptions` applied to sessions registered without
+        explicit options.
+    """
+
+    def __init__(self, *, decomposition_cache_entries: int = 256,
+                 report_cache_entries: int = 2048,
+                 max_workers: int | None = None,
+                 default_options: BoundOptions | None = None):
+        self._decomposition_cache = LRUCache(decomposition_cache_entries,
+                                             name="decomposition")
+        self._report_cache = LRUCache(report_cache_entries, name="report")
+        self._registry = SessionRegistry(
+            decomposition_cache=self._decomposition_cache)
+        self._executor = BatchExecutor(max_workers)
+        self._default_options = default_options
+        self._queries_answered = 0
+        self._batches_executed = 0
+        self._counter_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Registry facade
+    # ------------------------------------------------------------------ #
+    @property
+    def registry(self) -> SessionRegistry:
+        return self._registry
+
+    @property
+    def decomposition_cache(self) -> LRUCache:
+        return self._decomposition_cache
+
+    @property
+    def report_cache(self) -> LRUCache:
+        return self._report_cache
+
+    def register(self, name: str, pcset: PredicateConstraintSet,
+                 observed: Relation | None = None,
+                 options: BoundOptions | None = None) -> RegisteredSession:
+        """Register (or idempotently re-register) a constraint session."""
+        return self._registry.register(
+            name, pcset, observed=observed,
+            options=options or self._default_options)
+
+    def session(self, name: str,
+                version: int | None = None) -> RegisteredSession:
+        return self._registry.get(name, version)
+
+    def sessions(self) -> list[RegisteredSession]:
+        return self._registry.sessions()
+
+    # ------------------------------------------------------------------ #
+    # Query answering
+    # ------------------------------------------------------------------ #
+    def analyze(self, name: str, query: ContingencyQuery,
+                version: int | None = None) -> ContingencyReport:
+        """Answer one query against a registered session, through the caches.
+
+        The report cache key is (session fingerprint, query fingerprint):
+        session fingerprints cover constraints, observed data and options,
+        so a cached report can never leak across semantically different
+        sessions, while re-registered identical content keeps its warm
+        cache.
+        """
+        session = self._registry.get(name, version)
+        return self._analyze_in_session(session, query)
+
+    def _analyze_in_session(self, session: RegisteredSession,
+                            query: ContingencyQuery) -> ContingencyReport:
+        with self._counter_lock:
+            self._queries_answered += 1
+        key = ("report", session.fingerprint, fingerprint_query(query))
+        return self._report_cache.get_or_compute(
+            key, lambda: session.analyze(query))
+
+    def execute_batch(self, name: str, queries: list[ContingencyQuery],
+                      version: int | None = None) -> BatchResult:
+        """Answer a batch concurrently; reports come back in input order.
+
+        Queries already in the report cache are answered inline, and
+        identical queries *within* the batch are deduplicated before
+        dispatch — only distinct cache misses go through the region-grouped
+        concurrent executor, so a dashboard that fires the same query from
+        several widgets pays for one solve.
+        """
+        session = self._registry.get(name, version)
+        with self._counter_lock:
+            self._batches_executed += 1
+            self._queries_answered += len(queries)
+
+        cached: dict[int, ContingencyReport] = {}
+        missing_by_query: dict[str, list[int]] = {}
+        for position, query in enumerate(queries):
+            query_fingerprint = fingerprint_query(query)
+            key = ("report", session.fingerprint, query_fingerprint)
+            report = self._report_cache.get(key)
+            if report is None:
+                missing_by_query.setdefault(query_fingerprint, []).append(position)
+            else:
+                cached[position] = report
+
+        distinct_positions = [positions[0]
+                              for positions in missing_by_query.values()]
+        distinct_queries = [queries[position]
+                            for position in distinct_positions]
+        result = self._executor.execute(session.analyzer, distinct_queries)
+        for (query_fingerprint, positions), report in zip(
+                missing_by_query.items(), result.reports):
+            self._report_cache.put(
+                ("report", session.fingerprint, query_fingerprint), report)
+            for position in positions:
+                cached[position] = report
+
+        reports = [cached[position] for position in range(len(queries))]
+        result.statistics.total_queries = len(queries)
+        return BatchResult(reports, result.statistics)
+
+    # ------------------------------------------------------------------ #
+    # Observability
+    # ------------------------------------------------------------------ #
+    def statistics(self) -> ServiceStatistics:
+        decompositions = 0
+        solver_calls = 0
+        for session in self._registry.sessions():
+            session_decompositions, session_calls = session.solver_counters()
+            decompositions += session_decompositions
+            solver_calls += session_calls
+        return ServiceStatistics(
+            decomposition_cache=self._decomposition_cache.statistics.snapshot(),
+            report_cache=self._report_cache.statistics.snapshot(),
+            queries_answered=self._queries_answered,
+            batches_executed=self._batches_executed,
+            sessions_registered=len(self._registry),
+            decompositions_computed=decompositions,
+            decomposition_solver_calls=solver_calls,
+        )
+
+    def clear_caches(self) -> None:
+        """Drop cached decompositions and reports (counters are kept)."""
+        self._decomposition_cache.clear()
+        self._report_cache.clear()

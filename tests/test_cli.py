@@ -161,3 +161,85 @@ class TestGroupByAnalysis:
         assert set(reports) == {1, 2}
         assert reports[1].observed_value == pytest.approx(11.0)
         assert reports[1].upper == pytest.approx(11.0 + 4 * 10.0)
+
+
+@pytest.fixture
+def query_file(tmp_path):
+    path = tmp_path / "queries.txt"
+    path.write_text(
+        "# dashboard batch\n"
+        "count\n"
+        "sum price\n"
+        "sum price WHERE 11 <= utc <= 13\n"
+        "max price WHERE 11 <= utc <= 13\n"
+        "count WHERE 11 <= utc <= 12\n")
+    return path
+
+
+class TestCliServeBatch:
+    def test_serve_batch_executes_and_reports(self, capsys, constraint_text_file,
+                                              query_file):
+        code = main(["serve-batch", "--constraints", str(constraint_text_file),
+                     "--queries", str(query_file), "--no-closure-check",
+                     "--workers", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "session         : constraints v1" in output
+        assert "batch round 1" in output
+        assert "SUM(price)" in output
+        assert "decomposition cache" in output
+
+    def test_serve_batch_repeat_hits_report_cache(self, capsys,
+                                                  constraint_text_file,
+                                                  query_file):
+        code = main(["serve-batch", "--constraints", str(constraint_text_file),
+                     "--queries", str(query_file), "--no-closure-check",
+                     "--repeat", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "batch round 2" in output
+        # Round two answers every query from the report cache: no region
+        # groups are executed at all.
+        assert "5 queries in 0 region group(s)" in output
+
+    def test_serve_batch_missing_query_file(self, capsys, constraint_text_file):
+        code = main(["serve-batch", "--constraints", str(constraint_text_file),
+                     "--queries", "/nonexistent/queries.txt"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_serve_batch_rejects_bad_query_line(self, capsys,
+                                                constraint_text_file, tmp_path):
+        bad = tmp_path / "bad.txt"
+        bad.write_text("sum price extra tokens\n")
+        code = main(["serve-batch", "--constraints", str(constraint_text_file),
+                     "--queries", str(bad)])
+        assert code == 2
+        assert "cannot parse query line" in capsys.readouterr().err
+
+    def test_serve_batch_rejects_zero_repeat(self, capsys, constraint_text_file,
+                                             query_file):
+        code = main(["serve-batch", "--constraints", str(constraint_text_file),
+                     "--queries", str(query_file), "--repeat", "0"])
+        assert code == 2
+
+
+class TestCliSessions:
+    def test_sessions_lists_registrations(self, capsys, constraint_text_file,
+                                          constraint_json_file):
+        code = main(["sessions", str(constraint_text_file),
+                     str(constraint_json_file)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "fingerprint" in output
+        assert "constraints" in output  # the .txt file's stem
+        # Both files registered, one line each plus the header.
+        assert len(output.strip().splitlines()) == 3
+
+    def test_sessions_same_file_twice_is_one_version(self, capsys,
+                                                     constraint_text_file):
+        code = main(["sessions", str(constraint_text_file),
+                     str(constraint_text_file)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert len(output.strip().splitlines()) == 2  # header + one session

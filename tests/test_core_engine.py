@@ -139,3 +139,60 @@ class TestPCAnalyzerAccessors:
         assert analyzer.pcset is outage_pcs
         assert analyzer.observed is observed
         assert analyzer.options.check_closure is False
+
+
+class TestQueryHashability:
+    """Queries and predicates key the service caches: hash/eq must agree.
+
+    ``ContingencyQuery`` is a frozen dataclass over a ``Predicate`` field;
+    if ``Predicate.__hash__``/``__eq__`` ever drifted (e.g. mutable mapping
+    fields sneaking into the hash), dict-keyed caching would silently break.
+    """
+
+    def test_predicate_equality_implies_equal_hash(self):
+        first = Predicate.range("utc", 11, 12).with_equals("branch", "Chicago")
+        second = Predicate.equals("branch", "Chicago").with_range("utc", 11, 12)
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_predicate_as_dict_key(self):
+        lookup = {Predicate.range("utc", 11, 12): "window"}
+        assert lookup[Predicate.range("utc", 11, 12)] == "window"
+        assert Predicate.range("utc", 11, 13) not in lookup
+        assert Predicate.true() not in lookup
+        lookup[Predicate.true()] = "everything"
+        assert lookup[Predicate.true()] == "everything"
+
+    def test_query_equality_implies_equal_hash(self):
+        region = Predicate.range("utc", 11, 13)
+        first = ContingencyQuery.sum("price", region)
+        second = ContingencyQuery.sum("price", Predicate.range("utc", 11, 13))
+        assert first == second
+        assert hash(first) == hash(second)
+
+    def test_query_inequality(self):
+        region = Predicate.range("utc", 11, 13)
+        base = ContingencyQuery.sum("price", region)
+        assert base != ContingencyQuery.avg("price", region)
+        assert base != ContingencyQuery.sum("utc", region)
+        assert base != ContingencyQuery.sum("price")
+        assert base != ContingencyQuery.sum(
+            "price", Predicate.range("utc", 11, 14))
+
+    def test_query_as_dict_key_end_to_end(self):
+        region = Predicate.range("utc", 11, 13)
+        cache: dict[ContingencyQuery, str] = {}
+        cache[ContingencyQuery.sum("price", region)] = "cached"
+        cache[ContingencyQuery.count()] = "count"
+        # A structurally equal query built from fresh objects must hit.
+        assert cache[ContingencyQuery.sum(
+            "price", Predicate.range("utc", 11, 13))] == "cached"
+        assert cache[ContingencyQuery.count()] == "count"
+        assert len({ContingencyQuery.count(), ContingencyQuery.count(),
+                    ContingencyQuery.count(region)}) == 2
+
+    def test_membership_predicate_hash_ignores_value_order(self):
+        first = Predicate.isin("branch", ["Chicago", "Trenton"])
+        second = Predicate.isin("branch", ["Trenton", "Chicago"])
+        assert first == second
+        assert hash(first) == hash(second)

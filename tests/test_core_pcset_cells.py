@@ -237,3 +237,138 @@ class TestCellDecomposition:
         # "Chicago and everything" plus "everything except Chicago"; the cell
         # "Chicago but not everything" is unsatisfiable.
         assert covers == {(0, 1), (1,)}
+
+
+class TestCellDecomposerEdgeCases:
+    """Degenerate decompositions that must still produce sound bounds."""
+
+    def test_zero_constraints_bound_to_empty_partition(self):
+        from repro.core.bounds import BoundOptions, PCBoundSolver
+        from repro.relational.aggregates import AggregateFunction
+
+        pcset = PredicateConstraintSet()
+        decomposition = CellDecomposer(pcset).decompose()
+        assert len(decomposition) == 0
+        assert decomposition.statistics.solver_calls == 0
+        # With nothing covering the missing partition the COUNT is exactly 0.
+        solver = PCBoundSolver(pcset, BoundOptions(check_closure=False))
+        result = solver.bound(AggregateFunction.COUNT)
+        assert (result.lower, result.upper) == (0.0, 0.0)
+
+    def test_single_constraint_with_unsatisfiable_negation(self):
+        # The domain restricts x to [0, 10]; the predicate covers all of it,
+        # so NOT psi is unsatisfiable and the only cell is {0}.  Force the
+        # DFS path (a singleton set is trivially "disjoint" otherwise).
+        pcset = PredicateConstraintSet(
+            [pc(Predicate.range("x", 0, 10), name="everything")],
+            domains={"x": AttributeDomain.numeric(0, 10)})
+        pcset.mark_disjoint(False)
+        decomposition = CellDecomposer(
+            pcset, DecompositionStrategy.DFS).decompose()
+        assert [tuple(sorted(cell.covering)) for cell in decomposition.cells] \
+            == [(0,)]
+        # The exclude branch was pruned, not recursed into.
+        assert decomposition.statistics.subtrees_pruned == 1
+
+    def test_early_stop_depth_zero_assumes_every_cell(self):
+        pcset = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 2), name="a"),
+            pc(Predicate.range("x", 5, 6), name="b"),   # disjoint from a
+            pc(Predicate.range("x", 1, 3), name="c"),
+        ])
+        pcset.mark_disjoint(False)
+        assumed = CellDecomposer(pcset, early_stop_depth=0).decompose()
+        # Depth 0 skips every satisfiability check: all 2^n - 1 covered
+        # subsets survive, including impossible ones like {a, b}.
+        assert len(assumed.cells) == 2 ** len(pcset) - 1
+        assert assumed.statistics.solver_calls == 0
+        assert assumed.statistics.assumed_satisfiable > 0
+        exact = CellDecomposer(pcset).decompose()
+        exact_covers = {tuple(sorted(cell.covering)) for cell in exact.cells}
+        assumed_covers = {tuple(sorted(cell.covering)) for cell in assumed.cells}
+        assert exact_covers < assumed_covers
+
+    def test_early_stop_depth_zero_only_loosens_bounds(self):
+        from repro.core.bounds import BoundOptions, PCBoundSolver
+        from repro.relational.aggregates import AggregateFunction
+
+        def build():
+            pcset = PredicateConstraintSet([
+                pc(Predicate.range("x", 0, 2), {"v": (0.0, 5.0)},
+                   max_rows=4, min_rows=1, name="a"),
+                pc(Predicate.range("x", 5, 6), {"v": (-3.0, 2.0)},
+                   max_rows=3, name="b"),
+                pc(Predicate.range("x", 1, 3), {"v": (1.0, 9.0)},
+                   max_rows=2, name="c"),
+            ])
+            pcset.mark_disjoint(False)
+            return pcset
+
+        exact_solver = PCBoundSolver(build(), BoundOptions(check_closure=False))
+        loose_solver = PCBoundSolver(build(), BoundOptions(check_closure=False,
+                                                           early_stop_depth=0))
+        for aggregate, attribute in [(AggregateFunction.COUNT, None),
+                                     (AggregateFunction.SUM, "v"),
+                                     (AggregateFunction.AVG, "v"),
+                                     (AggregateFunction.MIN, "v"),
+                                     (AggregateFunction.MAX, "v")]:
+            exact = exact_solver.bound(aggregate, attribute)
+            loose = loose_solver.bound(aggregate, attribute)
+            # Assumed-satisfiable cells can only widen the range: the loose
+            # interval must contain the exact one, never cut into it.
+            if exact.lower is not None:
+                assert loose.lower is not None and loose.lower <= exact.lower
+            if exact.upper is not None:
+                assert loose.upper is not None and loose.upper >= exact.upper
+
+
+class TestDecomposeCached:
+    def test_without_cache_computes_every_time(self):
+        from repro.core.cells import decompose_cached
+
+        pcset = PredicateConstraintSet([pc(Predicate.range("x", 0, 2))])
+        computed = []
+        decompose_cached(pcset, on_compute=computed.append)
+        decompose_cached(pcset, on_compute=computed.append)
+        assert len(computed) == 2
+
+    def test_shared_cache_reuses_by_namespace_and_region(self):
+        from repro.core.cells import decompose_cached
+        from repro.service.cache import LRUCache
+
+        pcset = PredicateConstraintSet([pc(Predicate.range("x", 0, 2))])
+        cache = LRUCache(max_entries=8)
+        computed = []
+        region = Predicate.range("x", 0, 1)
+        first = decompose_cached(pcset, region, cache=cache, namespace="ns",
+                                 on_compute=computed.append)
+        again = decompose_cached(pcset, Predicate.range("x", 0, 1),
+                                 cache=cache, namespace="ns",
+                                 on_compute=computed.append)
+        assert again is first and len(computed) == 1
+        # A different namespace (other constraint set / strategy) recomputes.
+        decompose_cached(pcset, region, cache=cache, namespace="other",
+                         on_compute=computed.append)
+        assert len(computed) == 2
+
+    def test_default_namespace_is_content_derived(self):
+        """Omitting the namespace must never mix up constraint sets."""
+        from repro.core.cells import decompose_cached
+        from repro.service.cache import LRUCache
+
+        cache = LRUCache(max_entries=8)
+        one_constraint = PredicateConstraintSet([pc(Predicate.range("x", 0, 2))])
+        two_constraints = PredicateConstraintSet([
+            pc(Predicate.range("x", 0, 2), name="a"),
+            pc(Predicate.range("x", 5, 6), name="b"),
+        ])
+        first = decompose_cached(one_constraint, cache=cache)
+        second = decompose_cached(two_constraints, cache=cache)
+        assert second is not first
+        assert len(second.cells) == 2 and len(first.cells) == 1
+        # Equal content (fresh objects) still shares the entry.
+        equal = PredicateConstraintSet([pc(Predicate.range("x", 0, 2))])
+        assert decompose_cached(equal, cache=cache) is first
+        # Different strategy knobs key separately even for equal content.
+        assert decompose_cached(equal, cache=cache,
+                                early_stop_depth=0) is not first
