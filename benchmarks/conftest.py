@@ -10,12 +10,28 @@ paper's exact sizes.
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import pytest
 
 
 def pytest_configure(config):
     config.addinivalue_line(
         "markers", "paper_artifact(name): the paper table/figure a benchmark regenerates")
+
+
+_BENCH_DIR = Path(__file__).parent
+
+
+def pytest_collection_modifyitems(items):
+    """Mark everything under benchmarks/ as ``bench``.
+
+    pytest.ini deselects ``bench`` by default, so the benchmark suite only
+    runs when explicitly requested (``pytest -m bench benchmarks``).
+    """
+    for item in items:
+        if _BENCH_DIR in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.bench)
 
 
 @pytest.fixture

@@ -21,8 +21,13 @@ Sub-packages
     The predicate-constraint framework itself (paper §3–§5).
 ``repro.relational``
     The in-memory relational substrate (ground truth evaluation, joins).
+``repro.plan``
+    The bound-plan pipeline (plan → optimize → compile → solve): the
+    logical :class:`BoundPlan` IR, bound-preserving optimizer passes, and
+    compiled :class:`BoundProgram` artifacts the service layer caches.
 ``repro.solvers``
-    Satisfiability, LP/MILP, and fractional-edge-cover substrates.
+    Satisfiability, LP/MILP, fractional-edge-cover substrates, and the
+    MILP backend registry.
 ``repro.service``
     The long-lived service layer: named/versioned constraint sessions,
     fingerprint-keyed decomposition and report caches, and concurrent batch
@@ -53,6 +58,14 @@ from .core import (
     build_histogram_pcs,
     build_partition_pcs,
     build_random_pcs,
+)
+from .plan import (
+    BoundPlan,
+    BoundProgram,
+    BoundQuery,
+    build_plan,
+    compile_plan,
+    optimize_plan,
 )
 from .relational import (
     AggregateFunction,
@@ -93,6 +106,12 @@ __all__ = [
     "build_histogram_pcs",
     "build_partition_pcs",
     "build_random_pcs",
+    "BoundPlan",
+    "BoundProgram",
+    "BoundQuery",
+    "build_plan",
+    "compile_plan",
+    "optimize_plan",
     "AggregateFunction",
     "AggregateQuery",
     "ColumnType",

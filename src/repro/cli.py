@@ -92,6 +92,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(written by repro.relational.write_csv)")
     bound_parser.add_argument("--no-closure-check", action="store_true",
                               help="skip the closed-world check (assume closure)")
+    _add_solver_arguments(bound_parser)
     bound_parser.set_defaults(handler=_command_bound)
 
     serve_parser = subparsers.add_parser(
@@ -111,6 +112,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "the effect of warm caches)")
     serve_parser.add_argument("--no-closure-check", action="store_true",
                               help="skip the closed-world check (assume closure)")
+    _add_solver_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve_batch)
 
     sessions_parser = subparsers.add_parser(
@@ -124,6 +126,62 @@ def build_parser() -> argparse.ArgumentParser:
     sessions_parser.set_defaults(handler=_command_sessions)
 
     return parser
+
+
+def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
+    """The plan-pipeline knobs shared by ``bound`` and ``serve-batch``."""
+    from .core.cells import DecompositionStrategy
+
+    group = parser.add_argument_group("solver options")
+    group.add_argument("--backend", default=None, metavar="NAME",
+                       help="MILP backend for the bound programs: scipy "
+                            "(HiGHS, the default), branch-and-bound, "
+                            "relaxation, or any name added via "
+                            "repro.solvers.register_backend")
+    group.add_argument("--strategy", default=None,
+                       choices=[member.value for member in DecompositionStrategy],
+                       help="cell-decomposition strategy "
+                            "(default: dfs-rewrite)")
+    group.add_argument("--early-stop-depth", type=int, default=None,
+                       metavar="DEPTH",
+                       help="assume satisfiability below this DFS depth "
+                            "(approximate, still sound; default: exact)")
+    group.add_argument("--cell-budget", type=int, default=None,
+                       metavar="CELLS",
+                       help="let the plan optimizer early-stop automatically "
+                            "when the worst-case cell count exceeds CELLS")
+
+
+def _solver_options(args: argparse.Namespace):
+    """Build :class:`BoundOptions` from the shared solver flags."""
+    from .core.bounds import BoundOptions
+    from .core.cells import DecompositionStrategy
+
+    options = BoundOptions(check_closure=not args.no_closure_check)
+    if args.backend is not None:
+        # Importing the package (not just .registry) guarantees the
+        # built-in backends have registered themselves.
+        from .solvers import available_backends
+        from .solvers.registry import has_backend
+
+        # Validated against the live registry (not a hard-coded list) so
+        # backends registered by extensions are addressable from the CLI.
+        if not has_backend(args.backend):
+            raise ReproError(
+                f"unknown MILP backend {args.backend!r}; available: "
+                + ", ".join(available_backends()))
+        options.milp_backend = args.backend
+    if args.strategy is not None:
+        options.strategy = DecompositionStrategy.parse(args.strategy)
+    if args.early_stop_depth is not None:
+        if args.early_stop_depth < 1:
+            raise ReproError("--early-stop-depth must be at least 1")
+        options.early_stop_depth = args.early_stop_depth
+    if args.cell_budget is not None:
+        if args.cell_budget < 1:
+            raise ReproError("--cell-budget must be at least 1")
+        options.cell_budget = args.cell_budget
+    return options
 
 
 # --------------------------------------------------------------------- #
@@ -179,13 +237,21 @@ def _command_bound(args: argparse.Namespace) -> int:
                              else args.attribute,
                              region)
 
-    from .core.bounds import BoundOptions
-
-    options = BoundOptions(check_closure=not args.no_closure_check)
+    options = _solver_options(args)
     analyzer = PCAnalyzer(pcset, observed=observed, options=options)
     report = analyzer.analyze(query)
+    # The program was compiled (and cached) by analyze(); reading its plan
+    # back avoids running the optimizer pipeline a second time.
+    plan = analyzer.solver.program(query.region, query.attribute).plan
     print(f"query           : {query.describe()}")
     print(f"constraints     : {len(pcset)} from {args.constraints}")
+    print(f"plan            : {plan.num_constraints} constraint(s), "
+          f"strategy {plan.strategy.value}"
+          + ("" if plan.early_stop_depth is None
+             else f" (early-stop depth {plan.early_stop_depth})")
+          + f", backend {plan.milp_backend}")
+    for note in plan.trace:
+        print(f"                  - {note}")
     if observed is not None:
         print(f"observed rows   : {observed.num_rows} "
               f"(value {report.observed_value})")
@@ -229,7 +295,6 @@ def _load_queries(path_text: str) -> list[ContingencyQuery]:
 
 
 def _command_serve_batch(args: argparse.Namespace) -> int:
-    from .core.bounds import BoundOptions
     from .service import ContingencyService
 
     if args.repeat < 1:
@@ -239,7 +304,7 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     pcset = _load_constraints(args.constraints)
     queries = _load_queries(args.queries)
     observed = read_csv(args.observed) if args.observed else None
-    options = BoundOptions(check_closure=not args.no_closure_check)
+    options = _solver_options(args)
 
     service = ContingencyService(max_workers=args.workers)
     session_name = Path(args.constraints).stem
@@ -250,8 +315,11 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     for round_number in range(1, args.repeat + 1):
         result = service.execute_batch(session_name, queries)
         print(f"batch round {round_number}   : {result.statistics.summary()}")
-    for query, report in zip(queries, result.reports):
-        print(f"  {query.describe():<50s} [{report.lower}, {report.upper}]")
+    from .experiments.reporting import format_result_range_table
+
+    print(format_result_range_table(
+        [(query.describe(), report.result_range)
+         for query, report in zip(queries, result.reports)]))
     print(service.statistics().summary())
     return 0
 

@@ -3,13 +3,18 @@
 Given a predicate-constraint set and a query, :class:`PCBoundSolver` computes
 the *result range* — the tightest ``[lower, upper]`` interval containing the
 aggregate's value over every relation instance that satisfies the
-constraints.  The computation follows the paper:
+constraints.
 
-* decompose the (possibly overlapping) predicates into satisfiable cells,
-* pose the allocation problem of §4.2 as a mixed-integer linear program
-  (rows allocated per cell, frequency constraints per predicate-constraint),
-* read SUM/COUNT bounds straight off the optimum, binary-search AVG bounds,
-  and take cell-wise extrema for MIN/MAX.
+Since the plan-pipeline refactor the solver is a thin facade over
+:mod:`repro.plan`: every query is lowered to a logical
+:class:`~repro.plan.BoundPlan`, optimized (region pruning, duplicate
+merging, budget-driven strategy selection), compiled into a
+:class:`~repro.plan.BoundProgram` — decomposition, cell profiles, slack
+layout and MILP skeleton materialized once — and executed by patching
+parameters into that program.  Programs are cached per (region, attribute),
+privately or in a shared LRU supplied by the service layer, so repeated
+queries (and every probe of AVG's binary search) skip model construction
+entirely.
 
 One deviation from the paper's informal description is documented here
 because it matters for soundness: when a query predicate is pushed down and
@@ -22,23 +27,23 @@ sound (the feasible region is a superset of the true one).
 
 from __future__ import annotations
 
-import math
 import threading
-from dataclasses import dataclass, field
-from typing import Callable
+from dataclasses import dataclass
 
 from ..exceptions import SolverError
+from ..plan.ir import BoundPlan, BoundQuery, build_plan
+from ..plan.passes import optimize_plan
+from ..plan.program import BoundProgram, compile_plan
 from ..relational.aggregates import AggregateFunction
-from ..solvers.lp import SolutionStatus, Sense
-from ..solvers.milp import MILPBackend, MILPModel, solve_milp
+from ..solvers.milp import MILPBackend
 from .cells import (
     CellDecomposition,
-    DecompositionStatistics,
     DecompositionStrategy,
     decompose_cached,
 )
 from .pcset import PredicateConstraintSet
 from .predicates import Predicate
+from .ranges import ResultRange
 
 __all__ = ["ResultRange", "PCBoundSolver", "BoundOptions", "BoundExplanation",
            "CellAllocation"]
@@ -46,72 +51,25 @@ __all__ = ["ResultRange", "PCBoundSolver", "BoundOptions", "BoundExplanation",
 _INF = float("inf")
 
 
-@dataclass(frozen=True)
-class ResultRange:
-    """A deterministic result range ``[lower, upper]`` for an aggregate.
-
-    ``None`` endpoints mean the value is undefined rather than unbounded:
-    e.g. the MAX over a partition that may contain no rows has no guaranteed
-    lower endpoint.  Unbounded endpoints are ``float('inf')`` /
-    ``float('-inf')``.
-    """
-
-    lower: float | None
-    upper: float | None
-    aggregate: AggregateFunction | None = None
-    attribute: str | None = None
-    closed: bool = True
-    statistics: DecompositionStatistics | None = None
-
-    def contains(self, value: float | None) -> bool:
-        """Whether ``value`` falls inside the range (used to score failures)."""
-        if value is None:
-            return True
-        if self.lower is not None and value < self.lower - 1e-9:
-            return False
-        if self.upper is not None and value > self.upper + 1e-9:
-            return False
-        return True
-
-    @property
-    def width(self) -> float:
-        """Upper minus lower (``inf`` when either side is unbounded/undefined)."""
-        if self.lower is None or self.upper is None:
-            return _INF
-        return self.upper - self.lower
-
-    @property
-    def is_bounded(self) -> bool:
-        return (self.lower is not None and self.upper is not None
-                and math.isfinite(self.lower) and math.isfinite(self.upper))
-
-    def over_estimation_rate(self, truth: float) -> float:
-        """The paper's tightness metric: ``upper / truth`` (∞ if unbounded)."""
-        if self.upper is None or not math.isfinite(self.upper):
-            return _INF
-        if truth == 0:
-            return _INF if self.upper > 0 else 1.0
-        return self.upper / truth
-
-    def shifted(self, offset: float) -> "ResultRange":
-        """Translate both endpoints by ``offset`` (used to add observed data)."""
-        return ResultRange(
-            lower=None if self.lower is None else self.lower + offset,
-            upper=None if self.upper is None else self.upper + offset,
-            aggregate=self.aggregate,
-            attribute=self.attribute,
-            closed=self.closed,
-            statistics=self.statistics,
-        )
-
-    def __str__(self) -> str:
-        label = self.aggregate.value if self.aggregate else "range"
-        return f"{label}[{self.lower}, {self.upper}]"
-
-
 @dataclass
 class BoundOptions:
-    """Tuning knobs for :class:`PCBoundSolver`."""
+    """Tuning knobs for :class:`PCBoundSolver`.
+
+    The first block configures decomposition and solving; the second block
+    configures the plan pipeline itself:
+
+    ``cell_budget``
+        Worst-case cell count above which the strategy-selection pass trades
+        exactness for an early-stopped (still sound, possibly looser)
+        enumeration.  ``None`` (default) always enumerates exactly.
+    ``optimize``
+        Run the bound-preserving optimizer passes (region pruning, duplicate
+        merging, strategy selection).  Disabling executes the raw plan.
+    ``program_reuse``
+        Patch parameters into compiled program skeletons (default).  When
+        disabled, every solve rebuilds the MILP from scratch — the
+        pre-pipeline behaviour, kept as an equivalence/benchmark baseline.
+    """
 
     strategy: DecompositionStrategy = DecompositionStrategy.DFS_REWRITE
     milp_backend: str = MILPBackend.SCIPY
@@ -119,17 +77,9 @@ class BoundOptions:
     check_closure: bool = True
     avg_tolerance: float = 1e-6
     avg_max_iterations: int = 64
-
-
-@dataclass
-class _CellProfile:
-    """Per-cell data extracted from the covering constraints."""
-
-    index: int
-    covering: frozenset[int]
-    capacity: int
-    value_upper: float
-    value_lower: float
+    cell_budget: int | None = None
+    optimize: bool = True
+    program_reuse: bool = True
 
 
 @dataclass(frozen=True)
@@ -185,28 +135,38 @@ class PCBoundSolver:
         factory)``, e.g. :class:`repro.service.LRUCache`).  When given,
         decompositions are stored there under a content-derived namespace so
         equal constraint sets share work across solvers and threads; when
-        omitted, the solver keeps a private per-instance dict exactly as
-        before (single-threaded use).
+        omitted, the solver keeps a private per-instance dict (single-
+        threaded use).
     cache_namespace:
         Overrides the namespace used inside a shared cache.  Defaults to a
         structural key derived from the constraint set's content and the
-        decomposition knobs (see ``cells._structural_namespace``), which is
-        always sound; the service layer passes its fingerprint-based
-        namespace instead.
+        decomposition knobs, which is always sound; the service layer passes
+        its fingerprint-based namespace instead.
+    program_cache:
+        Optional shared cache for compiled :class:`BoundProgram` objects
+        (same protocol as ``decomposition_cache``).  When omitted, programs
+        are cached in a private per-instance dict.
     """
 
     def __init__(self, pcset: PredicateConstraintSet,
                  options: BoundOptions | None = None,
                  decomposition_cache=None,
-                 cache_namespace: object = None):
+                 cache_namespace: object = None,
+                 program_cache=None):
         self._pcset = pcset
         self._options = options or BoundOptions()
         self._shared_cache = decomposition_cache
         self._cache_namespace = cache_namespace
+        self._program_cache = program_cache
         self._decomposition_cache: dict[object, CellDecomposition] = {}
+        self._decomposition_locks: dict[object, threading.Lock] = {}
+        self._local_programs: dict[object, BoundProgram] = {}
+        self._local_program_locks: dict[object, threading.Lock] = {}
         self._decompositions_computed = 0
         self._decomposition_solver_calls = 0
+        self._programs_compiled = 0
         self._counter_lock = threading.Lock()
+        self._program_lock = threading.Lock()
 
     @property
     def pcset(self) -> PredicateConstraintSet:
@@ -231,6 +191,11 @@ class PCBoundSolver:
         """
         return self._decomposition_solver_calls
 
+    @property
+    def programs_compiled(self) -> int:
+        """How many bound programs this solver compiled (program-cache misses)."""
+        return self._programs_compiled
+
     # ------------------------------------------------------------------ #
     # Public bound API
     # ------------------------------------------------------------------ #
@@ -245,18 +210,9 @@ class PCBoundSolver:
         if aggregate.needs_attribute and attribute is None:
             raise SolverError(f"{aggregate.value} bounds require an attribute")
         closed = self._is_closed(region)
-        if aggregate is AggregateFunction.COUNT:
-            result = self._bound_count(region)
-        elif aggregate is AggregateFunction.SUM:
-            result = self._bound_sum(attribute, region)
-        elif aggregate is AggregateFunction.AVG:
-            result = self._bound_avg(attribute, region, known_sum, known_count)
-        elif aggregate is AggregateFunction.MAX:
-            result = self._bound_max(attribute, region)
-        elif aggregate is AggregateFunction.MIN:
-            result = self._bound_min(attribute, region)
-        else:  # pragma: no cover - enum is exhaustive
-            raise SolverError(f"unsupported aggregate {aggregate!r}")
+        program = self.program(region, attribute)
+        result = program.bound(aggregate, known_sum=known_sum,
+                               known_count=known_count)
         if not closed:
             result = self._widen_for_open_world(result, aggregate)
         return result
@@ -269,13 +225,15 @@ class PCBoundSolver:
         in which cell, at what per-row value) and the predicate-constraints
         whose frequency capacity that allocation exhausts.  Only COUNT and
         SUM are supported — their bounds come directly from one MILP solve.
+        Constraint names refer to the optimized plan, so merged duplicates
+        appear under their combined ``a&b`` name.
         """
         if aggregate not in (AggregateFunction.COUNT, AggregateFunction.SUM):
             raise SolverError("explain() supports COUNT and SUM bounds only")
         if aggregate is AggregateFunction.SUM and attribute is None:
             raise SolverError("SUM explanations require an attribute")
-        decomposition = self._decompose(region)
-        profiles = self._profiles(decomposition, attribute, region)
+        program = self.program(region, attribute)
+        profiles = program.profiles
         if not profiles:
             return BoundExplanation(aggregate, attribute, 0.0, (), ())
         coefficients = {
@@ -283,31 +241,114 @@ class PCBoundSolver:
                             else profile.value_upper)
             for profile in profiles
         }
-        model = self._build_model(profiles, coefficients, region, Sense.MAXIMIZE)
-        backend = self._options.milp_backend
-        if model.is_pure_box_problem():
-            backend = MILPBackend.GREEDY
-        solution = solve_milp(model, backend=backend).raise_for_status()
+        solution = program.solve_for_explanation(coefficients).raise_for_status()
         assert solution.objective is not None
 
+        pcset = program.pcset
         allocations = []
-        allocated_per_constraint = {index: 0.0 for index in range(len(self._pcset))}
+        allocated_per_constraint = {index: 0.0 for index in range(len(pcset))}
         for profile in profiles:
             rows = solution.values.get(f"x{profile.index}", 0.0)
             if rows <= 0:
                 continue
-            names = tuple(self._pcset[i].name for i in sorted(profile.covering))
+            names = tuple(pcset[i].name for i in sorted(profile.covering))
             allocations.append(CellAllocation(names, rows,
                                               coefficients[profile.index]))
             for constraint_index in profile.covering:
                 allocated_per_constraint[constraint_index] += rows
         saturated = tuple(
-            self._pcset[index].name
+            pcset[index].name
             for index, allocated in allocated_per_constraint.items()
-            if allocated >= self._pcset[index].max_rows() - 1e-9
-            and self._pcset[index].max_rows() > 0)
+            if allocated >= pcset[index].max_rows() - 1e-9
+            and pcset[index].max_rows() > 0)
         return BoundExplanation(aggregate, attribute, solution.objective,
                                 tuple(allocations), saturated)
+
+    # ------------------------------------------------------------------ #
+    # The pipeline: plan -> optimize -> compile
+    # ------------------------------------------------------------------ #
+    def plan(self, query) -> BoundPlan:
+        """The (optimized) logical plan for anything query-shaped.
+
+        Introspection entry point: ``solver.plan(query).describe()`` shows
+        which constraints survive pruning/merging and which enumeration
+        strategy the compiled program will use.
+        """
+        plan = build_plan(query, self._pcset, self._options)
+        if self._options.optimize:
+            plan = optimize_plan(plan)
+        return plan
+
+    def program(self, region: Predicate | None = None,
+                attribute: str | None = None) -> BoundProgram:
+        """The compiled program for a (region, attribute) pair, cached.
+
+        One program answers every aggregate over the pair, so the cache key
+        ignores the aggregate.  With a shared program cache the per-key
+        locking inside ``get_or_compute`` dedupes concurrent compilations;
+        the private fallback mirrors that per-key scheme, so distinct pairs
+        compile in parallel (the batch executor's warm phase relies on it)
+        while same-key racers share one compile.
+        """
+        if self._program_cache is not None:
+            key = self._program_key(region, attribute)
+            return self._program_cache.get_or_compute(
+                key, lambda: self._compile(region, attribute))
+        key = (region, attribute)
+        with self._program_lock:
+            program = self._local_programs.get(key)
+            if program is not None:
+                return program
+            key_lock = self._local_program_locks.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._program_lock:
+                program = self._local_programs.get(key)
+            if program is None:
+                program = self._compile(region, attribute)
+                with self._program_lock:
+                    self._local_programs[key] = program
+                    self._local_program_locks.pop(key, None)
+            return program
+
+    def _program_key(self, region: Predicate | None,
+                     attribute: str | None) -> tuple:
+        """The shared-cache key for one compiled program.
+
+        The decomposition namespace covers the constraint set's content and
+        the enumeration knobs; the remaining execution knobs (backend, AVG
+        search parameters, pipeline toggles) are appended explicitly because
+        they change the compiled artifact without changing decompositions.
+        """
+        options = self._options
+        return ("program", self._namespace(), options.milp_backend,
+                options.avg_tolerance, options.avg_max_iterations,
+                options.optimize, options.cell_budget, options.program_reuse,
+                region, attribute)
+
+    def _namespace(self) -> object:
+        if self._cache_namespace is not None:
+            return self._cache_namespace
+        from .cells import _structural_namespace
+
+        return _structural_namespace(self._pcset, self._options.strategy,
+                                     self._options.early_stop_depth)
+
+    def _compile(self, region: Predicate | None,
+                 attribute: str | None) -> BoundProgram:
+        # A representative aggregate: the optimizer passes never read it, so
+        # the compiled program serves every aggregate over the pair.
+        aggregate = (AggregateFunction.COUNT if attribute is None
+                     else AggregateFunction.SUM)
+        plan = self.plan(BoundQuery(aggregate, attribute, region))
+        decomposition = self._decompose_plan(plan)
+        program = compile_plan(
+            plan, decomposition,
+            avg_tolerance=self._options.avg_tolerance,
+            avg_max_iterations=self._options.avg_max_iterations,
+            reuse=self._options.program_reuse)
+        with self._counter_lock:
+            self._programs_compiled += 1
+        return program
 
     # ------------------------------------------------------------------ #
     # Closure handling
@@ -335,16 +376,18 @@ class PCBoundSolver:
                            closed=False, statistics=result.statistics)
 
     # ------------------------------------------------------------------ #
-    # Decomposition and cell profiles
+    # Decomposition
     # ------------------------------------------------------------------ #
     def decompose(self, region: Predicate | None = None) -> CellDecomposition:
         """The (cached) cell decomposition for ``region``.
 
         Public so callers can reuse or pre-warm decompositions — the batch
         executor warms each distinct region once before fanning queries out
-        over its thread pool.
+        over its thread pool.  Runs through the plan pipeline, so the cells
+        are those of the *optimized* constraint set.
         """
-        return self._decompose(region)
+        plan = self.plan(BoundQuery(AggregateFunction.COUNT, None, region))
+        return self._decompose_plan(plan)
 
     def _record_decomposition(self, decomposition: CellDecomposition) -> None:
         # Distinct regions can decompose concurrently under a shared cache
@@ -354,332 +397,45 @@ class PCBoundSolver:
             self._decompositions_computed += 1
             self._decomposition_solver_calls += decomposition.statistics.solver_calls
 
-    def _decompose(self, region: Predicate | None) -> CellDecomposition:
+    def _decompose_plan(self, plan: BoundPlan) -> CellDecomposition:
+        region = plan.query.region
         if self._shared_cache is not None:
+            namespace = None
+            if self._cache_namespace is not None:
+                # The caller's namespace covers the original constraint set
+                # and enumeration knobs; the pipeline toggles complete it
+                # because they decide what actually gets decomposed.  The
+                # optimized set itself is a deterministic function of
+                # (namespace, region), which the cache key already carries.
+                namespace = ("plan", self._cache_namespace,
+                             self._options.optimize, self._options.cell_budget)
             return decompose_cached(
-                self._pcset, region,
-                strategy=self._options.strategy,
-                early_stop_depth=self._options.early_stop_depth,
+                plan.pcset, region,
+                strategy=plan.strategy,
+                early_stop_depth=plan.early_stop_depth,
                 cache=self._shared_cache,
-                namespace=self._cache_namespace,
+                namespace=namespace,
                 on_compute=self._record_decomposition)
-        if region not in self._decomposition_cache:
-            self._decomposition_cache[region] = decompose_cached(
-                self._pcset, region,
-                strategy=self._options.strategy,
-                early_stop_depth=self._options.early_stop_depth,
-                on_compute=self._record_decomposition)
-        return self._decomposition_cache[region]
-
-    def _profiles(self, decomposition: CellDecomposition, attribute: str | None,
-                  region: Predicate | None) -> list[_CellProfile]:
-        region_range = None
-        if attribute is not None and region is not None:
-            region_range = region.range_for(attribute)
-        profiles: list[_CellProfile] = []
-        for index, cell in enumerate(decomposition.cells):
-            constraints = [self._pcset[i] for i in cell.covering]
-            capacity = min(pc.max_rows() for pc in constraints)
-            if attribute is None:
-                value_upper, value_lower = 1.0, 1.0
-            else:
-                value_upper = min(pc.value_upper(attribute) for pc in constraints)
-                value_lower = max(pc.value_lower(attribute) for pc in constraints)
-                if region_range is not None:
-                    value_upper = min(value_upper, region_range.high)
-                    value_lower = max(value_lower, region_range.low)
-                if value_upper < value_lower:
-                    # No row can simultaneously satisfy every covering value
-                    # constraint inside the query region: the cell is barren.
-                    capacity = 0
-            profiles.append(_CellProfile(index, cell.covering, capacity,
-                                         value_upper, value_lower))
-        return profiles
-
-    # ------------------------------------------------------------------ #
-    # MILP construction
-    # ------------------------------------------------------------------ #
-    def _build_model(self, profiles: list[_CellProfile],
-                     coefficients: dict[int, float],
-                     region: Predicate | None,
-                     sense: Sense,
-                     extra_constraints: list[tuple[dict[str, float], float, float]]
-                     | None = None) -> MILPModel:
-        model = MILPModel(sense=sense)
-        for profile in profiles:
-            model.add_variable(f"x{profile.index}", lower=0.0,
-                               upper=float(profile.capacity),
-                               objective=coefficients.get(profile.index, 0.0),
-                               is_integer=True)
-        slack_names = self._add_slack_variables(model, region)
-        for constraint_index, pc in enumerate(self._pcset):
-            terms: dict[str, float] = {}
-            covered_capacity_total = 0
-            for profile in profiles:
-                if constraint_index in profile.covering:
-                    terms[f"x{profile.index}"] = 1.0
-                    covered_capacity_total += profile.capacity
-            slack = slack_names.get(constraint_index)
-            if slack is not None:
-                terms[slack] = 1.0
-            if not terms:
-                if pc.min_rows() > 0:
-                    raise SolverError(
-                        f"constraint {pc.name!r} forces rows to exist but its "
-                        "predicate is unsatisfiable"
-                    )
-                continue
-            if (len(terms) == 1 and slack is None and pc.min_rows() == 0
-                    and covered_capacity_total <= pc.max_rows()):
-                # A single cell already bounded by its own capacity: the
-                # frequency constraint is redundant.  Skipping it keeps the
-                # disjoint / partitioned case a pure box problem, which the
-                # greedy backend solves in linear time (paper §4.2).
-                continue
-            model.add_constraint(terms, lower=float(pc.min_rows()),
-                                 upper=float(pc.max_rows()))
-        for terms, low, high in (extra_constraints or []):
-            model.add_constraint(terms, lower=low, upper=high)
-        return model
-
-    def _add_slack_variables(self, model: MILPModel,
-                             region: Predicate | None) -> dict[int, str]:
-        """Zero-objective allocations for rows lying outside the query region."""
-        slack_names: dict[int, str] = {}
-        if region is None:
-            return slack_names
-        solver = self._pcset.solver()
-        region_box = region.to_box()
-        for constraint_index, pc in enumerate(self._pcset):
-            if pc.min_rows() == 0:
-                # Slack allocations only matter when mandatory rows could be
-                # parked outside the query region; with kl = 0 the optimiser
-                # would always leave the slack at zero anyway.
-                continue
-            outside_possible = solver.is_satisfiable(
-                [pc.predicate.to_box()], [region_box])
-            if outside_possible:
-                name = f"s{constraint_index}"
-                model.add_variable(name, lower=0.0, upper=float(pc.max_rows()),
-                                   objective=0.0, is_integer=True)
-                slack_names[constraint_index] = name
-        return slack_names
-
-    def _solve(self, model: MILPModel) -> float:
-        backend = self._options.milp_backend
-        if model.is_pure_box_problem():
-            backend = MILPBackend.GREEDY
-        solution = solve_milp(model, backend=backend)
-        if solution.status is SolutionStatus.INFEASIBLE:
-            raise SolverError(
-                "the predicate-constraint set is unsatisfiable: no allocation of "
-                "missing rows meets every frequency constraint"
-            )
-        if solution.status is SolutionStatus.UNBOUNDED:
-            return _INF if model.sense is Sense.MAXIMIZE else -_INF
-        solution.raise_for_status()
-        assert solution.objective is not None
-        return solution.objective
-
-    # ------------------------------------------------------------------ #
-    # COUNT
-    # ------------------------------------------------------------------ #
-    def _bound_count(self, region: Predicate | None) -> ResultRange:
-        decomposition = self._decompose(region)
-        profiles = self._profiles(decomposition, None, region)
-        if not profiles:
-            return ResultRange(0.0, 0.0, AggregateFunction.COUNT, None,
-                               statistics=decomposition.statistics)
-        coefficients = {profile.index: 1.0 for profile in profiles}
-        upper_model = self._build_model(profiles, coefficients, region,
-                                        Sense.MAXIMIZE)
-        upper = self._solve(upper_model)
-        if self._pcset.has_mandatory_rows():
-            lower_model = self._build_model(profiles, coefficients, region,
-                                            Sense.MINIMIZE)
-            lower = self._solve(lower_model)
-        else:
-            lower = 0.0
-        return ResultRange(lower, upper, AggregateFunction.COUNT, None,
-                           statistics=decomposition.statistics)
-
-    # ------------------------------------------------------------------ #
-    # SUM
-    # ------------------------------------------------------------------ #
-    def _bound_sum(self, attribute: str, region: Predicate | None) -> ResultRange:
-        decomposition = self._decompose(region)
-        profiles = self._profiles(decomposition, attribute, region)
-        if not profiles:
-            return ResultRange(0.0, 0.0, AggregateFunction.SUM, attribute,
-                               statistics=decomposition.statistics)
-        upper = self._sum_direction(profiles, region, maximise=True)
-        mandatory = self._pcset.has_mandatory_rows()
-        non_negative = all(profile.value_lower >= 0 for profile in profiles)
-        if not mandatory and non_negative:
-            lower = 0.0
-        else:
-            lower = self._sum_direction(profiles, region, maximise=False)
-        return ResultRange(lower, upper, AggregateFunction.SUM, attribute,
-                           statistics=decomposition.statistics)
-
-    def _sum_direction(self, profiles: list[_CellProfile],
-                       region: Predicate | None, maximise: bool) -> float:
-        active = [p for p in profiles if p.capacity > 0]
-        if maximise and any(math.isinf(p.value_upper) and p.value_upper > 0
-                            for p in active):
-            return _INF
-        if not maximise and any(math.isinf(p.value_lower) and p.value_lower < 0
-                                for p in active):
-            return -_INF
-        coefficients = {
-            profile.index: (profile.value_upper if maximise else profile.value_lower)
-            for profile in profiles
-        }
-        sense = Sense.MAXIMIZE if maximise else Sense.MINIMIZE
-        model = self._build_model(profiles, coefficients, region, sense)
-        return self._solve(model)
-
-    # ------------------------------------------------------------------ #
-    # MIN / MAX
-    # ------------------------------------------------------------------ #
-    def _bound_max(self, attribute: str, region: Predicate | None) -> ResultRange:
-        decomposition = self._decompose(region)
-        profiles = [p for p in self._profiles(decomposition, attribute, region)
-                    if p.capacity > 0]
-        if not profiles:
-            return ResultRange(None, None, AggregateFunction.MAX, attribute,
-                               statistics=decomposition.statistics)
-        upper = max(profile.value_upper for profile in profiles)
-        lower = self._forced_extremum(attribute, region, want_max=True)
-        return ResultRange(lower, upper, AggregateFunction.MAX, attribute,
-                           statistics=decomposition.statistics)
-
-    def _bound_min(self, attribute: str, region: Predicate | None) -> ResultRange:
-        decomposition = self._decompose(region)
-        profiles = [p for p in self._profiles(decomposition, attribute, region)
-                    if p.capacity > 0]
-        if not profiles:
-            return ResultRange(None, None, AggregateFunction.MIN, attribute,
-                               statistics=decomposition.statistics)
-        lower = min(profile.value_lower for profile in profiles)
-        upper = self._forced_extremum(attribute, region, want_max=False)
-        return ResultRange(lower, upper, AggregateFunction.MIN, attribute,
-                           statistics=decomposition.statistics)
-
-    def _forced_extremum(self, attribute: str, region: Predicate | None,
-                         want_max: bool) -> float | None:
-        """Guaranteed MAX lower / MIN upper from constraints that force rows.
-
-        A constraint with ``kl > 0`` whose predicate lies entirely inside the
-        query region guarantees at least one matching row, whose value is
-        bracketed by the constraint's value bounds.
-        """
-        solver = self._pcset.solver()
-        region_box = region.to_box() if region is not None else None
-        best: float | None = None
-        for pc in self._pcset:
-            if pc.min_rows() <= 0:
-                continue
-            if region_box is not None:
-                escapes_region = solver.is_satisfiable(
-                    [pc.predicate.to_box()], [region_box])
-                if escapes_region:
-                    continue
-            candidate = pc.value_lower(attribute) if want_max else pc.value_upper(attribute)
-            if not math.isfinite(candidate):
-                continue
-            if best is None:
-                best = candidate
-            elif want_max:
-                best = max(best, candidate)
-            else:
-                best = min(best, candidate)
-        return best
-
-    # ------------------------------------------------------------------ #
-    # AVG (binary search, paper §4.2)
-    # ------------------------------------------------------------------ #
-    def _bound_avg(self, attribute: str, region: Predicate | None,
-                   known_sum: float, known_count: float) -> ResultRange:
-        decomposition = self._decompose(region)
-        profiles = [p for p in self._profiles(decomposition, attribute, region)
-                    if p.capacity > 0]
-        statistics = decomposition.statistics
-        if not profiles:
-            if known_count > 0:
-                average = known_sum / known_count
-                return ResultRange(average, average, AggregateFunction.AVG,
-                                   attribute, statistics=statistics)
-            return ResultRange(None, None, AggregateFunction.AVG, attribute,
-                               statistics=statistics)
-
-        uppers = [p.value_upper for p in profiles]
-        lowers = [p.value_lower for p in profiles]
-        if any(math.isinf(u) for u in uppers) or any(math.isinf(l) for l in lowers):
-            return ResultRange(-_INF, _INF, AggregateFunction.AVG, attribute,
-                               statistics=statistics)
-
-        # Fast path: nothing forces rows and there is no observed partition,
-        # so a single row at the extreme cell attains the extreme average.
-        if not self._pcset.has_mandatory_rows() and known_count == 0:
-            return ResultRange(min(lowers), max(uppers), AggregateFunction.AVG,
-                               attribute, statistics=statistics)
-
-        high_start = max(uppers + ([known_sum / known_count] if known_count else []))
-        low_start = min(lowers + ([known_sum / known_count] if known_count else []))
-        upper = self._avg_search(profiles, region, known_sum, known_count,
-                                 low_start, high_start, find_upper=True)
-        lower = self._avg_search(profiles, region, known_sum, known_count,
-                                 low_start, high_start, find_upper=False)
-        return ResultRange(lower, upper, AggregateFunction.AVG, attribute,
-                           statistics=statistics)
-
-    def _avg_search(self, profiles: list[_CellProfile], region: Predicate | None,
-                    known_sum: float, known_count: float,
-                    low_start: float, high_start: float,
-                    find_upper: bool) -> float:
-        """Binary search for the extreme achievable average."""
-        tolerance = self._options.avg_tolerance
-        low, high = low_start, high_start
-        for _ in range(self._options.avg_max_iterations):
-            if high - low <= tolerance * max(1.0, abs(high), abs(low)):
-                break
-            midpoint = (low + high) / 2.0
-            if self._average_achievable(profiles, region, known_sum, known_count,
-                                        midpoint, at_least=find_upper):
-                if find_upper:
-                    low = midpoint
-                else:
-                    high = midpoint
-            else:
-                if find_upper:
-                    high = midpoint
-                else:
-                    low = midpoint
-        # Return the conservative endpoint so the reported range always
-        # contains the true extreme average despite the finite tolerance.
-        return high if find_upper else low
-
-    def _average_achievable(self, profiles: list[_CellProfile],
-                            region: Predicate | None,
-                            known_sum: float, known_count: float,
-                            target: float, at_least: bool) -> bool:
-        """Is there an allocation whose combined average is >= (or <=) target?"""
-        coefficients: dict[int, float] = {}
-        for profile in profiles:
-            per_row_value = profile.value_upper if at_least else profile.value_lower
-            coefficients[profile.index] = per_row_value - target
-        extra = []
-        if known_count == 0:
-            # The average only exists if at least one row is allocated.
-            extra.append(({f"x{p.index}": 1.0 for p in profiles}, 1.0, _INF))
-        sense = Sense.MAXIMIZE if at_least else Sense.MINIMIZE
-        model = self._build_model(profiles, coefficients, region, sense, extra)
-        try:
-            optimum = self._solve(model)
-        except SolverError:
-            return False
-        constant = known_sum - target * known_count
-        if at_least:
-            return optimum + constant >= -1e-9
-        return optimum + constant <= 1e-9
+        # Programs for the same region but different attributes can compile
+        # concurrently (the batch executor's warm phase), so the private
+        # dict needs per-region locking to keep one decomposition per
+        # region and exact counters.
+        with self._program_lock:
+            decomposition = self._decomposition_cache.get(region)
+            if decomposition is not None:
+                return decomposition
+            region_lock = self._decomposition_locks.setdefault(
+                region, threading.Lock())
+        with region_lock:
+            with self._program_lock:
+                decomposition = self._decomposition_cache.get(region)
+            if decomposition is None:
+                decomposition = decompose_cached(
+                    plan.pcset, region,
+                    strategy=plan.strategy,
+                    early_stop_depth=plan.early_stop_depth,
+                    on_compute=self._record_decomposition)
+                with self._program_lock:
+                    self._decomposition_cache[region] = decomposition
+                    self._decomposition_locks.pop(region, None)
+            return decomposition

@@ -36,7 +36,28 @@ from .predicates import Predicate
 
 __all__ = ["Cell", "DecompositionStrategy", "DecompositionStatistics",
            "CellDecomposition", "CellDecomposer", "decompose_cached",
-           "decomposition_cache_key"]
+           "decomposition_cache_key", "estimate_cell_count"]
+
+_CELL_ESTIMATE_CAP = 1 << 62
+
+
+def estimate_cell_count(pcset: PredicateConstraintSet) -> int:
+    """Worst-case number of satisfiable cells for ``pcset``.
+
+    Pairwise-disjoint predicates decompose into exactly one cell each; in
+    general up to ``2^n - 1`` covered cells exist.  The plan optimizer's
+    strategy-selection pass compares this against its cell budget, so the
+    value is capped rather than allowed to overflow into bignum territory
+    for very large constraint sets.
+    """
+    count = len(pcset)
+    if count == 0:
+        return 0
+    if pcset.is_pairwise_disjoint():
+        return count
+    if count >= 62:
+        return _CELL_ESTIMATE_CAP
+    return (1 << count) - 1
 
 
 @dataclass(frozen=True)

@@ -142,19 +142,25 @@ class PCAnalyzer:
     cache_namespace:
         Overrides the namespace used inside the shared cache (defaults to a
         content fingerprint of the constraint set and options).
+    program_cache:
+        Optional shared cache of compiled bound programs (see
+        :class:`~repro.plan.BoundProgram`); the service layer passes one so
+        warm queries skip plan compilation as well as decomposition.
     """
 
     def __init__(self, pcset: PredicateConstraintSet,
                  observed: Relation | None = None,
                  options: BoundOptions | None = None,
                  decomposition_cache=None,
-                 cache_namespace: object = None):
+                 cache_namespace: object = None,
+                 program_cache=None):
         self._pcset = pcset
         self._observed = observed
         self._options = options or BoundOptions()
         self._solver = PCBoundSolver(pcset, self._options,
                                      decomposition_cache=decomposition_cache,
-                                     cache_namespace=cache_namespace)
+                                     cache_namespace=cache_namespace,
+                                     program_cache=program_cache)
 
     @property
     def pcset(self) -> PredicateConstraintSet:
@@ -173,14 +179,25 @@ class PCAnalyzer:
         """The underlying bound solver (exposes decomposition counters)."""
         return self._solver
 
-    def prepare(self, region: Predicate | None = None) -> None:
-        """Warm the decomposition for a query region before answering.
+    def prepare(self, region: Predicate | None = None,
+                attribute: str | None = None) -> None:
+        """Warm the compiled program for a (region, attribute) pair.
 
-        The batch executor calls this once per distinct region so the
-        expensive cell enumeration happens exactly once even when dozens of
-        queries share the region.
+        The batch executor calls this once per distinct pair so the
+        expensive steps — cell enumeration, profile extraction, MILP
+        skeleton compilation — happen exactly once even when dozens of
+        queries share the pair.  Programs for the same region share one
+        cached decomposition, so warming several attributes stays cheap.
         """
-        self._solver.decompose(region)
+        self._solver.program(region, attribute)
+
+    def plan_for(self, query: ContingencyQuery):
+        """The optimized :class:`~repro.plan.BoundPlan` for ``query``.
+
+        Introspection only — ``analyze`` compiles and executes the same
+        plan.  ``plan_for(query).describe()`` is the query's EXPLAIN output.
+        """
+        return self._solver.plan(query)
 
     # ------------------------------------------------------------------ #
     # Main API

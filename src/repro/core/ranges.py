@@ -1,0 +1,136 @@
+"""Result ranges: the deterministic ``[lower, upper]`` intervals the paper
+returns for aggregates over the missing partition.
+
+This module is deliberately free of solver machinery so every layer — the
+bound solver, the plan compiler, the service, the experiment reporters — can
+share one interval vocabulary.  :class:`ResultRange` carries the interval
+itself plus the metadata reports need (aggregate, attribute, closure flag,
+decomposition statistics), and offers the small amount of interval algebra
+the rest of the codebase would otherwise re-derive ad hoc: containment,
+width, midpoint, intersection, translation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..exceptions import SolverError
+from ..relational.aggregates import AggregateFunction
+
+__all__ = ["ResultRange"]
+
+_INF = float("inf")
+
+
+@dataclass(frozen=True)
+class ResultRange:
+    """A deterministic result range ``[lower, upper]`` for an aggregate.
+
+    ``None`` endpoints mean the value is undefined rather than unbounded:
+    e.g. the MAX over a partition that may contain no rows has no guaranteed
+    lower endpoint.  Unbounded endpoints are ``float('inf')`` /
+    ``float('-inf')``.
+    """
+
+    lower: float | None
+    upper: float | None
+    aggregate: AggregateFunction | None = None
+    attribute: str | None = None
+    closed: bool = True
+    statistics: object | None = None
+
+    def contains(self, value: float | None) -> bool:
+        """Whether ``value`` falls inside the range (used to score failures)."""
+        if value is None:
+            return True
+        if self.lower is not None and value < self.lower - 1e-9:
+            return False
+        if self.upper is not None and value > self.upper + 1e-9:
+            return False
+        return True
+
+    @property
+    def width(self) -> float:
+        """Upper minus lower (``inf`` when either side is unbounded/undefined)."""
+        if self.lower is None or self.upper is None:
+            return _INF
+        return self.upper - self.lower
+
+    @property
+    def midpoint(self) -> float | None:
+        """The interval centre, or ``None`` when the range is not bounded."""
+        if not self.is_bounded:
+            return None
+        assert self.lower is not None and self.upper is not None
+        return (self.lower + self.upper) / 2.0
+
+    @property
+    def is_bounded(self) -> bool:
+        return (self.lower is not None and self.upper is not None
+                and math.isfinite(self.lower) and math.isfinite(self.upper))
+
+    def as_interval(self) -> tuple[float, float]:
+        """The range as plain ``(lower, upper)`` floats, ``None`` -> infinite.
+
+        Adapter used where ranges meet interval-estimate interfaces (the
+        experiment harness): an undefined endpoint is as uninformative as an
+        unbounded one, so both map to the corresponding infinity.
+        """
+        lower = -_INF if self.lower is None else self.lower
+        upper = _INF if self.upper is None else self.upper
+        return lower, upper
+
+    def intersect(self, other: "ResultRange") -> "ResultRange":
+        """The tightest range consistent with both ``self`` and ``other``.
+
+        Sound whenever both inputs are sound for the same query — this is
+        the combinator behind cross-backend cross-checks, where independent
+        solvers each produce a valid range and their intersection is a
+        tighter valid range.  ``None`` endpoints act as unbounded.
+
+        Raises
+        ------
+        SolverError
+            If the ranges are disjoint: two sound ranges for the same query
+            can never be, so a crossed pair signals a solver defect.
+        """
+        lowers = [value for value in (self.lower, other.lower) if value is not None]
+        uppers = [value for value in (self.upper, other.upper) if value is not None]
+        lower = max(lowers) if lowers else None
+        upper = min(uppers) if uppers else None
+        if lower is not None and upper is not None and lower > upper + 1e-9:
+            raise SolverError(
+                f"cannot intersect disjoint result ranges [{self.lower}, "
+                f"{self.upper}] and [{other.lower}, {other.upper}]")
+        return ResultRange(
+            lower=lower,
+            upper=upper,
+            aggregate=self.aggregate or other.aggregate,
+            attribute=self.attribute or other.attribute,
+            closed=self.closed and other.closed,
+            statistics=self.statistics or other.statistics,
+        )
+
+    def over_estimation_rate(self, truth: float) -> float:
+        """The paper's tightness metric: ``upper / truth`` (∞ if unbounded)."""
+        if self.upper is None or not math.isfinite(self.upper):
+            return _INF
+        if truth == 0:
+            return _INF if self.upper > 0 else 1.0
+        return self.upper / truth
+
+    def shifted(self, offset: float) -> "ResultRange":
+        """Translate both endpoints by ``offset`` (used to add observed data)."""
+        return ResultRange(
+            lower=None if self.lower is None else self.lower + offset,
+            upper=None if self.upper is None else self.upper + offset,
+            aggregate=self.aggregate,
+            attribute=self.attribute,
+            closed=self.closed,
+            statistics=self.statistics,
+        )
+
+    def __str__(self) -> str:
+        label = self.aggregate.value if self.aggregate else "range"
+        return f"{label}[{self.lower}, {self.upper}]"

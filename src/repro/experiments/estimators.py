@@ -69,11 +69,8 @@ class PCFrameworkEstimator(MissingDataEstimator):
         self._require_fitted()
         assert self._solver is not None
         result = self._solver.bound(query.aggregate, query.attribute, query.region)
-        lower = result.lower if result.lower is not None else float("-inf")
-        upper = result.upper if result.upper is not None else float("inf")
-        midpoint = (lower + upper) / 2.0 if np.isfinite(lower) and np.isfinite(upper) \
-            else None
-        return IntervalEstimate(lower, upper, midpoint, self.name)
+        lower, upper = result.as_interval()
+        return IntervalEstimate(lower, upper, result.midpoint, self.name)
 
 
 class CorrPCEstimator(PCFrameworkEstimator):

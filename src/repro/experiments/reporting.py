@@ -11,7 +11,10 @@ from __future__ import annotations
 import math
 from typing import Mapping, Sequence
 
-__all__ = ["format_table", "format_mapping_table", "format_series"]
+from ..core.ranges import ResultRange
+
+__all__ = ["format_table", "format_mapping_table", "format_series",
+           "format_result_range_table", "intersect_ranges"]
 
 
 def _format_value(value) -> str:
@@ -57,3 +60,48 @@ def format_series(name: str, xs: Sequence, ys: Sequence) -> str:
     header = f"# {name}"
     table = format_table(["x", "y"], list(zip(xs, ys)))
     return header + "\n" + table
+
+
+def format_result_range_table(
+        entries: Sequence[tuple[str, ResultRange]],
+        truths: Mapping[str, float | None] | None = None) -> str:
+    """Render labelled :class:`ResultRange` rows as an aligned table.
+
+    Columns come from the range's own interval algebra
+    (:attr:`ResultRange.width`, :meth:`ResultRange.contains`) instead of
+    every call site re-deriving them; when ``truths`` maps a label to the
+    true answer, a coverage column scores each range the way the paper's
+    failure metric does.
+    """
+    headers = ["query", "lower", "upper", "width"]
+    if truths is not None:
+        headers += ["truth", "covers"]
+    rows = []
+    for label, result_range in entries:
+        row: list[object] = [
+            label,
+            "-" if result_range.lower is None else result_range.lower,
+            "-" if result_range.upper is None else result_range.upper,
+            result_range.width,
+        ]
+        if truths is not None:
+            truth = truths.get(label)
+            row.append("-" if truth is None else truth)
+            row.append("yes" if result_range.contains(truth) else "NO")
+        rows.append(row)
+    return format_table(headers, rows)
+
+
+def intersect_ranges(ranges: Sequence[ResultRange]) -> ResultRange:
+    """Fold several sound ranges for the same query into their intersection.
+
+    The cross-backend cross-check combinator: each backend's range is sound,
+    so the intersection is a (tighter) sound range; disjoint inputs raise,
+    flagging a solver defect.
+    """
+    if not ranges:
+        raise ValueError("intersect_ranges() needs at least one range")
+    combined = ranges[0]
+    for result_range in ranges[1:]:
+        combined = combined.intersect(result_range)
+    return combined

@@ -1,0 +1,53 @@
+"""The bound-plan pipeline: plan → optimize → compile → solve.
+
+This package turns the monolithic bounding computation of
+:class:`repro.core.bounds.PCBoundSolver` into an explicit four-stage
+pipeline, mirroring how query engines separate logical planning from
+physical execution:
+
+``ir``
+    :class:`BoundPlan`, the logical intermediate representation — an
+    aggregate query plus the predicate-constraint set it will be bounded
+    under, together with the decomposition/solver knobs chosen so far.
+``passes``
+    Optimizer passes over the IR: query-region constraint pruning,
+    duplicate/subsumed predicate merging, and cell-budget-driven strategy
+    selection.  Every pass is bound-preserving: the optimized plan yields
+    the same result range as the original.
+``program``
+    :class:`BoundProgram`, the compiled physical artifact: the cell
+    decomposition, per-cell profiles, slack variables and the MILP skeleton
+    are materialized once; executions (including every probe of AVG's
+    binary search) only patch objective parameters.  Programs are immutable
+    after compilation and safe to share across threads, which is what lets
+    the service layer LRU-cache them alongside decompositions.
+
+The pipeline's entry points are :func:`build_plan`, :func:`optimize_plan`
+and :func:`compile_plan`; :class:`repro.core.bounds.PCBoundSolver` drives
+them and remains the public solving facade.
+"""
+
+from .ir import BoundPlan, BoundQuery, build_plan
+from .passes import (
+    ConstraintMergingPass,
+    PlanPass,
+    RegionPruningPass,
+    StrategySelectionPass,
+    default_passes,
+    optimize_plan,
+)
+from .program import BoundProgram, compile_plan
+
+__all__ = [
+    "BoundPlan",
+    "BoundQuery",
+    "build_plan",
+    "PlanPass",
+    "RegionPruningPass",
+    "ConstraintMergingPass",
+    "StrategySelectionPass",
+    "default_passes",
+    "optimize_plan",
+    "BoundProgram",
+    "compile_plan",
+]

@@ -1,0 +1,614 @@
+"""Compiled bound programs: the physical artifact of the plan pipeline.
+
+A :class:`BoundProgram` is the compiled form of one optimized
+:class:`~repro.plan.ir.BoundPlan`, specialised to a (query region,
+aggregated attribute) pair and able to answer *every* aggregate over that
+pair.  Compilation materializes, exactly once:
+
+* the cell decomposition (through the shared decomposition cache),
+* per-cell profiles (capacity, value bounds clipped to the query region),
+* the slack-variable layout for mandatory rows that may live outside the
+  region (one satisfiability check per mandatory constraint — previously
+  re-run for every MILP build),
+* the MILP *skeleton*: variables, box bounds, integrality and frequency
+  coupling rows, frozen into a :class:`~repro.solvers.milp.CompiledMILP`.
+
+Executions then only patch parameters: SUM/COUNT swap objective vectors,
+AVG's binary search swaps the ``value - target`` objective per probe, and
+MIN/MAX read precompiled extrema.  This is what makes compiled-program
+reuse cheap enough for the service layer to treat programs as cacheable
+values alongside decompositions.
+
+Setting ``reuse=False`` compiles a program that deliberately rebuilds the
+slack layout and the full MILP from scratch on every solve — the
+pre-pipeline behaviour, kept as a measurable baseline for the equivalence
+tests and the ``plan_compile`` benchmark.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..exceptions import SolverError
+from ..relational.aggregates import AggregateFunction
+from ..solvers.lp import LPSolution, Sense, SolutionStatus
+from ..solvers.milp import CompiledMILP, MILPModel, solve_milp
+from ..solvers.registry import resolve_backend
+from ..core.cells import CellDecomposition
+from ..core.pcset import PredicateConstraintSet
+from ..core.predicates import Predicate
+from ..core.ranges import ResultRange
+from .ir import BoundPlan
+
+__all__ = ["CellProfile", "BoundProgram", "compile_plan"]
+
+_INF = float("inf")
+
+# Skeleton variants: which profile subset a model is built over, and whether
+# the "at least one allocated row" floor (AVG with no observed rows) applies.
+_FULL = "full"
+_ACTIVE = "active"
+_ACTIVE_FLOOR = "active-floor"
+
+
+@dataclass(frozen=True)
+class CellProfile:
+    """Per-cell data extracted from the covering constraints."""
+
+    index: int
+    covering: frozenset[int]
+    capacity: int
+    value_upper: float
+    value_lower: float
+
+
+class _Skeleton:
+    """One frozen model structure: variables + coupling rows, no objective.
+
+    Built once per (program, variant); thread-safe because it is immutable
+    after construction.  ``solve_objective`` patches a cell-coefficient
+    vector into the structure (slack variables always carry objective 0).
+    """
+
+    def __init__(self, profiles: list[CellProfile],
+                 slack_bounds: dict[int, int],
+                 pcset: PredicateConstraintSet,
+                 floor_row: bool,
+                 backend: str,
+                 compile_arrays: bool):
+        self._profiles = profiles
+        self._backend = backend
+        self._cell_names = [f"x{profile.index}" for profile in profiles]
+        self._slack_items = sorted(slack_bounds.items())
+        self._var_lower: dict[str, float] = {}
+        self._var_upper: dict[str, float] = {}
+        names: list[str] = []
+        for profile in profiles:
+            name = f"x{profile.index}"
+            names.append(name)
+            self._var_lower[name] = 0.0
+            self._var_upper[name] = float(profile.capacity)
+        for constraint_index, max_rows in self._slack_items:
+            name = f"s{constraint_index}"
+            names.append(name)
+            self._var_lower[name] = 0.0
+            self._var_upper[name] = float(max_rows)
+        self._names = names
+        self._rows = self._build_rows(profiles, dict(self._slack_items), pcset)
+        if floor_row:
+            self._rows.append(
+                ({f"x{profile.index}": 1.0 for profile in profiles}, 1.0, _INF))
+        self._pure_box = not self._rows
+        self._slack_zeros = np.zeros(len(self._slack_items))
+        self._compiled: CompiledMILP | None = None
+        # Only the vectorised-greedy (pure box) and scipy paths consult the
+        # compiled arrays; other backends re-materialize models per solve.
+        if compile_arrays and (self._pure_box or backend == "scipy"):
+            self._compiled = CompiledMILP(self._materialize({}, Sense.MAXIMIZE))
+
+    @staticmethod
+    def _build_rows(profiles: list[CellProfile], slack_bounds: dict[int, int],
+                    pcset: PredicateConstraintSet
+                    ) -> list[tuple[dict[str, float], float, float]]:
+        """The frequency coupling rows, with the redundancy eliminations the
+        monolithic solver applied (kept bit-for-bit so results match)."""
+        rows: list[tuple[dict[str, float], float, float]] = []
+        for constraint_index, pc in enumerate(pcset):
+            terms: dict[str, float] = {}
+            covered_capacity_total = 0
+            for profile in profiles:
+                if constraint_index in profile.covering:
+                    terms[f"x{profile.index}"] = 1.0
+                    covered_capacity_total += profile.capacity
+            has_slack = constraint_index in slack_bounds
+            if has_slack:
+                terms[f"s{constraint_index}"] = 1.0
+            if not terms:
+                if pc.min_rows() > 0:
+                    raise SolverError(
+                        f"constraint {pc.name!r} forces rows to exist but its "
+                        "predicate is unsatisfiable"
+                    )
+                continue
+            if (len(terms) == 1 and not has_slack and pc.min_rows() == 0
+                    and covered_capacity_total <= pc.max_rows()):
+                # A single cell already bounded by its own capacity: the
+                # frequency constraint is redundant.  Skipping it keeps the
+                # disjoint / partitioned case a pure box problem, which the
+                # greedy path solves in linear time (paper §4.2).
+                continue
+            rows.append((terms, float(pc.min_rows()), float(pc.max_rows())))
+        return rows
+
+    def _materialize(self, objective: dict[str, float], sense: Sense) -> MILPModel:
+        """A concrete :class:`MILPModel` over the frozen structure."""
+        full_objective = {name: objective.get(name, 0.0) for name in self._names}
+        return MILPModel(
+            sense=sense,
+            objective=full_objective,
+            lower_bounds=self._var_lower,
+            upper_bounds=self._var_upper,
+            constraints=self._rows,
+            integer_variables=set(self._names),
+        )
+
+    # ------------------------------------------------------------------ #
+    # Solving
+    # ------------------------------------------------------------------ #
+    def solve_objective(self, cell_coefficients: np.ndarray,
+                        sense: Sense) -> tuple[SolutionStatus, float | None]:
+        """Optimise the patched objective; fast path, no solution values.
+
+        ``cell_coefficients`` is aligned with this skeleton's profile order;
+        slack variables are zero-padded automatically.
+        """
+        if self._compiled is not None:
+            c = (cell_coefficients if not self._slack_items
+                 else np.concatenate([cell_coefficients, self._slack_zeros]))
+            return self._compiled.solve_objective(c, sense)
+        objective = {name: float(value)
+                     for name, value in zip(self._cell_names, cell_coefficients)}
+        solution = self._dispatch(objective, sense)
+        return solution.status, solution.objective
+
+    def solve_solution(self, coefficients: dict[str, float],
+                       sense: Sense) -> LPSolution:
+        """Optimise and return the full per-variable solution (explanations)."""
+        if self._compiled is not None:
+            c = self._compiled.objective_vector(coefficients)
+            return self._compiled.solve(c, sense)
+        return self._dispatch(coefficients, sense)
+
+    def _dispatch(self, objective: dict[str, float], sense: Sense) -> LPSolution:
+        model = self._materialize(objective, sense)
+        backend = "greedy" if self._pure_box else self._backend
+        return solve_milp(model, backend=backend)
+
+
+class BoundProgram:
+    """One compiled (constraint set, region, attribute) bounding program.
+
+    Answers all five aggregates; AVG additionally takes the observed
+    partition's ``(known_sum, known_count)`` as execution-time parameters.
+    Compiled state is immutable; lazily-built pieces (skeleton variants,
+    forced extrema) are guarded by a lock, so one program instance can serve
+    concurrent batch traffic.
+    """
+
+    def __init__(self, plan: BoundPlan, decomposition: CellDecomposition,
+                 *, avg_tolerance: float = 1e-6, avg_max_iterations: int = 64,
+                 reuse: bool = True):
+        self._plan = plan
+        self._pcset = plan.pcset
+        self._region = plan.query.region
+        self._attribute = plan.query.attribute
+        self._decomposition = decomposition
+        self._avg_tolerance = avg_tolerance
+        self._avg_max_iterations = avg_max_iterations
+        self._backend = plan.milp_backend
+        self._reuse = reuse
+        self._lock = threading.Lock()
+
+        self._profiles = self._build_profiles()
+        self._active = [p for p in self._profiles if p.capacity > 0]
+        self._slack_bounds = self._compile_slack_bounds()
+        self._skeletons: dict[str, _Skeleton] = {}
+        self._forced_extrema: dict[bool, float | None] = {}
+        # Patchable coefficient vectors, aligned with the skeleton variants.
+        self._full_uppers = np.array([p.value_upper for p in self._profiles])
+        self._full_lowers = np.array([p.value_lower for p in self._profiles])
+        self._active_uppers = np.array([p.value_upper for p in self._active])
+        self._active_lowers = np.array([p.value_lower for p in self._active])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def plan(self) -> BoundPlan:
+        return self._plan
+
+    @property
+    def decomposition(self) -> CellDecomposition:
+        return self._decomposition
+
+    @property
+    def profiles(self) -> list[CellProfile]:
+        return list(self._profiles)
+
+    @property
+    def pcset(self) -> PredicateConstraintSet:
+        return self._pcset
+
+    @property
+    def attribute(self) -> str | None:
+        return self._attribute
+
+    @property
+    def region(self) -> Predicate | None:
+        return self._region
+
+    # ------------------------------------------------------------------ #
+    # Compilation steps
+    # ------------------------------------------------------------------ #
+    def _build_profiles(self) -> list[CellProfile]:
+        attribute, region = self._attribute, self._region
+        region_range = None
+        if attribute is not None and region is not None:
+            region_range = region.range_for(attribute)
+        profiles: list[CellProfile] = []
+        for index, cell in enumerate(self._decomposition.cells):
+            constraints = [self._pcset[i] for i in cell.covering]
+            capacity = min(pc.max_rows() for pc in constraints)
+            if attribute is None:
+                value_upper, value_lower = 1.0, 1.0
+            else:
+                value_upper = min(pc.value_upper(attribute) for pc in constraints)
+                value_lower = max(pc.value_lower(attribute) for pc in constraints)
+                if region_range is not None:
+                    value_upper = min(value_upper, region_range.high)
+                    value_lower = max(value_lower, region_range.low)
+                if value_upper < value_lower:
+                    # No row can simultaneously satisfy every covering value
+                    # constraint inside the query region: the cell is barren.
+                    capacity = 0
+            profiles.append(CellProfile(index, cell.covering, capacity,
+                                        value_upper, value_lower))
+        return profiles
+
+    def _compile_slack_bounds(self) -> dict[int, int]:
+        """Zero-objective allocations for mandatory rows outside the region.
+
+        One satisfiability check per mandatory constraint, paid at compile
+        time instead of on every model build.
+        """
+        slack_bounds: dict[int, int] = {}
+        if self._region is None:
+            return slack_bounds
+        solver = self._pcset.solver()
+        region_box = self._region.to_box()
+        for constraint_index, pc in enumerate(self._pcset):
+            if pc.min_rows() == 0:
+                # Slack allocations only matter when mandatory rows could be
+                # parked outside the query region; with kl = 0 the optimiser
+                # would always leave the slack at zero anyway.
+                continue
+            outside_possible = solver.is_satisfiable(
+                [pc.predicate.to_box()], [region_box])
+            if outside_possible:
+                slack_bounds[constraint_index] = pc.max_rows()
+        return slack_bounds
+
+    def _skeleton(self, variant: str) -> _Skeleton:
+        with self._lock:
+            skeleton = self._skeletons.get(variant)
+            if skeleton is None:
+                profiles = self._profiles if variant == _FULL else self._active
+                skeleton = _Skeleton(
+                    profiles, self._slack_bounds, self._pcset,
+                    floor_row=(variant == _ACTIVE_FLOOR),
+                    backend=self._backend,
+                    compile_arrays=self._reuse)
+                self._skeletons[variant] = skeleton
+            return skeleton
+
+    # ------------------------------------------------------------------ #
+    # Rebuild-per-solve baseline (the pre-pipeline behaviour)
+    # ------------------------------------------------------------------ #
+    def _rebuild_model(self, profiles: list[CellProfile],
+                       coefficients: dict[int, float], sense: Sense,
+                       extra_constraints: list[tuple[dict[str, float], float, float]]
+                       | None = None) -> MILPModel:
+        model = MILPModel(sense=sense)
+        for profile in profiles:
+            model.add_variable(f"x{profile.index}", lower=0.0,
+                               upper=float(profile.capacity),
+                               objective=coefficients.get(profile.index, 0.0),
+                               is_integer=True)
+        slack_names: dict[int, str] = {}
+        if self._region is not None:
+            solver = self._pcset.solver()
+            region_box = self._region.to_box()
+            for constraint_index, pc in enumerate(self._pcset):
+                if pc.min_rows() == 0:
+                    continue
+                if solver.is_satisfiable([pc.predicate.to_box()], [region_box]):
+                    name = f"s{constraint_index}"
+                    model.add_variable(name, lower=0.0,
+                                       upper=float(pc.max_rows()),
+                                       objective=0.0, is_integer=True)
+                    slack_names[constraint_index] = name
+        for constraint_index, pc in enumerate(self._pcset):
+            terms: dict[str, float] = {}
+            covered_capacity_total = 0
+            for profile in profiles:
+                if constraint_index in profile.covering:
+                    terms[f"x{profile.index}"] = 1.0
+                    covered_capacity_total += profile.capacity
+            slack = slack_names.get(constraint_index)
+            if slack is not None:
+                terms[slack] = 1.0
+            if not terms:
+                if pc.min_rows() > 0:
+                    raise SolverError(
+                        f"constraint {pc.name!r} forces rows to exist but its "
+                        "predicate is unsatisfiable"
+                    )
+                continue
+            if (len(terms) == 1 and slack is None and pc.min_rows() == 0
+                    and covered_capacity_total <= pc.max_rows()):
+                continue
+            model.add_constraint(terms, lower=float(pc.min_rows()),
+                                 upper=float(pc.max_rows()))
+        for terms, low, high in (extra_constraints or []):
+            model.add_constraint(terms, lower=low, upper=high)
+        return model
+
+    def _rebuild_objective(self, variant: str, coefficients: dict[int, float],
+                           sense: Sense) -> tuple[SolutionStatus, float | None]:
+        profiles = self._profiles if variant == _FULL else self._active
+        extra = None
+        if variant == _ACTIVE_FLOOR:
+            extra = [({f"x{p.index}": 1.0 for p in profiles}, 1.0, _INF)]
+        model = self._rebuild_model(profiles, coefficients, sense, extra)
+        backend = self._backend
+        if model.is_pure_box_problem():
+            backend = "greedy"
+        solution = solve_milp(model, backend=backend)
+        return solution.status, solution.objective
+
+    # ------------------------------------------------------------------ #
+    # Shared solve plumbing
+    # ------------------------------------------------------------------ #
+    def _solve_value(self, variant: str, cell_coefficients: np.ndarray,
+                     sense: Sense) -> float:
+        """Optimum of the patched objective, with the solver's status policy."""
+        if self._reuse:
+            status, objective = self._skeleton(variant).solve_objective(
+                cell_coefficients, sense)
+        else:
+            profiles = self._profiles if variant == _FULL else self._active
+            coefficients = {profile.index: float(value) for profile, value
+                            in zip(profiles, cell_coefficients)}
+            status, objective = self._rebuild_objective(variant, coefficients,
+                                                        sense)
+        if status is SolutionStatus.INFEASIBLE:
+            raise SolverError(
+                "the predicate-constraint set is unsatisfiable: no allocation of "
+                "missing rows meets every frequency constraint"
+            )
+        if status is SolutionStatus.UNBOUNDED:
+            return _INF if sense is Sense.MAXIMIZE else -_INF
+        if status is not SolutionStatus.OPTIMAL or objective is None:
+            raise SolverError(f"MILP solve failed with status {status.value}")
+        return objective
+
+    def solve_for_explanation(self, coefficients: dict[int, float]
+                              ) -> LPSolution:
+        """Maximise over the full skeleton, returning per-cell allocations."""
+        named = {f"x{index}": value for index, value in coefficients.items()}
+        if self._reuse:
+            return self._skeleton(_FULL).solve_solution(named, Sense.MAXIMIZE)
+        model = self._rebuild_model(self._profiles, coefficients, Sense.MAXIMIZE)
+        backend = "greedy" if model.is_pure_box_problem() else self._backend
+        return solve_milp(model, backend=backend)
+
+    # ------------------------------------------------------------------ #
+    # Execution: one entry point per aggregate
+    # ------------------------------------------------------------------ #
+    def bound(self, aggregate: AggregateFunction,
+              known_sum: float = 0.0, known_count: float = 0.0) -> ResultRange:
+        """The result range of ``aggregate`` over the missing rows."""
+        if aggregate is AggregateFunction.COUNT:
+            return self._bound_count()
+        if aggregate is AggregateFunction.SUM:
+            return self._bound_sum()
+        if aggregate is AggregateFunction.AVG:
+            return self._bound_avg(known_sum, known_count)
+        if aggregate is AggregateFunction.MAX:
+            return self._bound_max()
+        if aggregate is AggregateFunction.MIN:
+            return self._bound_min()
+        raise SolverError(f"unsupported aggregate {aggregate!r}")  # pragma: no cover
+
+    def _range(self, lower: float | None, upper: float | None,
+               aggregate: AggregateFunction,
+               attribute: str | None = None) -> ResultRange:
+        return ResultRange(lower, upper, aggregate, attribute,
+                           statistics=self._decomposition.statistics)
+
+    # COUNT ------------------------------------------------------------- #
+    def _bound_count(self) -> ResultRange:
+        if not self._profiles:
+            return self._range(0.0, 0.0, AggregateFunction.COUNT)
+        ones = np.ones(len(self._profiles))
+        upper = self._solve_value(_FULL, ones, Sense.MAXIMIZE)
+        if self._pcset.has_mandatory_rows():
+            lower = self._solve_value(_FULL, ones, Sense.MINIMIZE)
+        else:
+            lower = 0.0
+        return self._range(lower, upper, AggregateFunction.COUNT)
+
+    # SUM ---------------------------------------------------------------- #
+    def _bound_sum(self) -> ResultRange:
+        attribute = self._attribute
+        if not self._profiles:
+            return self._range(0.0, 0.0, AggregateFunction.SUM, attribute)
+        upper = self._sum_direction(maximise=True)
+        mandatory = self._pcset.has_mandatory_rows()
+        non_negative = all(profile.value_lower >= 0 for profile in self._profiles)
+        if not mandatory and non_negative:
+            lower = 0.0
+        else:
+            lower = self._sum_direction(maximise=False)
+        return self._range(lower, upper, AggregateFunction.SUM, attribute)
+
+    def _sum_direction(self, maximise: bool) -> float:
+        if maximise and any(math.isinf(p.value_upper) and p.value_upper > 0
+                            for p in self._active):
+            return _INF
+        if not maximise and any(math.isinf(p.value_lower) and p.value_lower < 0
+                                for p in self._active):
+            return -_INF
+        coefficients = self._full_uppers if maximise else self._full_lowers
+        sense = Sense.MAXIMIZE if maximise else Sense.MINIMIZE
+        return self._solve_value(_FULL, coefficients, sense)
+
+    # MIN / MAX ---------------------------------------------------------- #
+    def _bound_max(self) -> ResultRange:
+        if not self._active:
+            return self._range(None, None, AggregateFunction.MAX, self._attribute)
+        upper = max(profile.value_upper for profile in self._active)
+        lower = self._forced_extremum(want_max=True)
+        return self._range(lower, upper, AggregateFunction.MAX, self._attribute)
+
+    def _bound_min(self) -> ResultRange:
+        if not self._active:
+            return self._range(None, None, AggregateFunction.MIN, self._attribute)
+        lower = min(profile.value_lower for profile in self._active)
+        upper = self._forced_extremum(want_max=False)
+        return self._range(lower, upper, AggregateFunction.MIN, self._attribute)
+
+    def _forced_extremum(self, want_max: bool) -> float | None:
+        """Guaranteed MAX lower / MIN upper from constraints that force rows.
+
+        A constraint with ``kl > 0`` whose predicate lies entirely inside the
+        query region guarantees at least one matching row, whose value is
+        bracketed by the constraint's value bounds.  Compiled once per
+        direction (the satisfiability scan does not depend on parameters).
+        """
+        with self._lock:
+            if want_max in self._forced_extrema:
+                return self._forced_extrema[want_max]
+        attribute = self._attribute
+        solver = self._pcset.solver()
+        region_box = self._region.to_box() if self._region is not None else None
+        best: float | None = None
+        for pc in self._pcset:
+            if pc.min_rows() <= 0:
+                continue
+            if region_box is not None:
+                escapes_region = solver.is_satisfiable(
+                    [pc.predicate.to_box()], [region_box])
+                if escapes_region:
+                    continue
+            candidate = (pc.value_lower(attribute) if want_max
+                         else pc.value_upper(attribute))
+            if not math.isfinite(candidate):
+                continue
+            if best is None:
+                best = candidate
+            elif want_max:
+                best = max(best, candidate)
+            else:
+                best = min(best, candidate)
+        with self._lock:
+            self._forced_extrema[want_max] = best
+        return best
+
+    # AVG (binary search, paper §4.2) ------------------------------------ #
+    def _bound_avg(self, known_sum: float, known_count: float) -> ResultRange:
+        attribute = self._attribute
+        if not self._active:
+            if known_count > 0:
+                average = known_sum / known_count
+                return self._range(average, average, AggregateFunction.AVG,
+                                   attribute)
+            return self._range(None, None, AggregateFunction.AVG, attribute)
+
+        uppers = [p.value_upper for p in self._active]
+        lowers = [p.value_lower for p in self._active]
+        if any(math.isinf(u) for u in uppers) or any(math.isinf(l) for l in lowers):
+            return self._range(-_INF, _INF, AggregateFunction.AVG, attribute)
+
+        # Fast path: nothing forces rows and there is no observed partition,
+        # so a single row at the extreme cell attains the extreme average.
+        if not self._pcset.has_mandatory_rows() and known_count == 0:
+            return self._range(min(lowers), max(uppers), AggregateFunction.AVG,
+                               attribute)
+
+        high_start = max(uppers + ([known_sum / known_count] if known_count else []))
+        low_start = min(lowers + ([known_sum / known_count] if known_count else []))
+        upper = self._avg_search(known_sum, known_count, low_start, high_start,
+                                 find_upper=True)
+        lower = self._avg_search(known_sum, known_count, low_start, high_start,
+                                 find_upper=False)
+        return self._range(lower, upper, AggregateFunction.AVG, attribute)
+
+    def _avg_search(self, known_sum: float, known_count: float,
+                    low_start: float, high_start: float,
+                    find_upper: bool) -> float:
+        """Binary search for the extreme achievable average."""
+        tolerance = self._avg_tolerance
+        low, high = low_start, high_start
+        for _ in range(self._avg_max_iterations):
+            if high - low <= tolerance * max(1.0, abs(high), abs(low)):
+                break
+            midpoint = (low + high) / 2.0
+            if self._average_achievable(known_sum, known_count, midpoint,
+                                        at_least=find_upper):
+                if find_upper:
+                    low = midpoint
+                else:
+                    high = midpoint
+            else:
+                if find_upper:
+                    high = midpoint
+                else:
+                    low = midpoint
+        # Return the conservative endpoint so the reported range always
+        # contains the true extreme average despite the finite tolerance.
+        return high if find_upper else low
+
+    def _average_achievable(self, known_sum: float, known_count: float,
+                            target: float, at_least: bool) -> bool:
+        """Is there an allocation whose combined average is >= (or <=) target?
+
+        The per-probe parameter patch: objective ``value - target`` over the
+        active cells, solved against the compiled skeleton.
+        """
+        values = self._active_uppers if at_least else self._active_lowers
+        coefficients = values - target
+        variant = _ACTIVE_FLOOR if known_count == 0 else _ACTIVE
+        sense = Sense.MAXIMIZE if at_least else Sense.MINIMIZE
+        try:
+            optimum = self._solve_value(variant, coefficients, sense)
+        except SolverError:
+            return False
+        constant = known_sum - target * known_count
+        if at_least:
+            return optimum + constant >= -1e-9
+        return optimum + constant <= 1e-9
+
+
+def compile_plan(plan: BoundPlan, decomposition: CellDecomposition, *,
+                 avg_tolerance: float = 1e-6, avg_max_iterations: int = 64,
+                 reuse: bool = True) -> BoundProgram:
+    """Compile an optimized plan + its decomposition into a program."""
+    return BoundProgram(plan, decomposition,
+                        avg_tolerance=avg_tolerance,
+                        avg_max_iterations=avg_max_iterations,
+                        reuse=reuse)

@@ -41,6 +41,7 @@ class BatchStatistics:
 
     total_queries: int = 0
     region_groups: int = 0
+    program_groups: int = 0
     max_workers: int = 0
     warm_seconds: float = 0.0
     execute_seconds: float = 0.0
@@ -54,6 +55,7 @@ class BatchStatistics:
         return {
             "total_queries": self.total_queries,
             "region_groups": self.region_groups,
+            "program_groups": self.program_groups,
             "max_workers": self.max_workers,
             "warm_seconds": self.warm_seconds,
             "execute_seconds": self.execute_seconds,
@@ -121,6 +123,19 @@ class BatchExecutor:
             groups.setdefault(query.region, []).append(position)
         return groups
 
+    def group_by_program(self, queries: list[ContingencyQuery]
+                         ) -> dict[tuple[Predicate | None, str | None], list[int]]:
+        """Input positions grouped by compiled-program identity.
+
+        A bound program is keyed by (region, aggregated attribute) — one
+        program answers every aggregate over the pair, so COUNT/SUM/AVG/...
+        queries over the same region and attribute share one compilation.
+        """
+        groups: dict[tuple[Predicate | None, str | None], list[int]] = {}
+        for position, query in enumerate(queries):
+            groups.setdefault((query.region, query.attribute), []).append(position)
+        return groups
+
     def execute(self, analyzer: PCAnalyzer,
                 queries: list[ContingencyQuery]) -> BatchResult:
         """Answer every query; reports come back in input order."""
@@ -135,18 +150,23 @@ class BatchExecutor:
             "TRUE" if region is None else repr(region): len(positions)
             for region, positions in groups.items()
         }
+        program_groups = self.group_by_program(queries)
+        statistics.program_groups = len(program_groups)
 
-        # Phase 1 — warm one decomposition per distinct region.  Distinct
-        # regions decompose in parallel; the per-key locking inside a shared
-        # cache dedupes any overlap with concurrent batches.
+        # Phase 1 — warm one compiled program per distinct (region,
+        # attribute) pair.  Pairs sharing a region share one cached
+        # decomposition underneath, so this still decomposes each region
+        # exactly once; distinct pairs compile in parallel and the per-key
+        # locking inside a shared cache dedupes any overlap with
+        # concurrent batches.
         started = time.perf_counter()
-        regions = list(groups)
-        if self._max_workers == 1 or len(regions) == 1:
-            for region in regions:
-                analyzer.prepare(region)
+        pairs = list(program_groups)
+        if self._max_workers == 1 or len(pairs) == 1:
+            for region, attribute in pairs:
+                analyzer.prepare(region, attribute)
         else:
             with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                list(pool.map(analyzer.prepare, regions))
+                list(pool.map(lambda pair: analyzer.prepare(*pair), pairs))
         statistics.warm_seconds = time.perf_counter() - started
 
         # Phase 2 — every query now runs against a warm decomposition.

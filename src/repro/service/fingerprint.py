@@ -135,7 +135,7 @@ def fingerprint_query(query: ContingencyQuery) -> str:
 
 
 def fingerprint_bound_options(options: BoundOptions) -> str:
-    """Content hash of the solver tuning knobs."""
+    """Content hash of the solver tuning knobs (plan-pipeline knobs included)."""
     tokens = [
         "options",
         options.strategy.value,
@@ -144,6 +144,9 @@ def fingerprint_bound_options(options: BoundOptions) -> str:
         str(int(options.check_closure)),
         _number(options.avg_tolerance),
         str(options.avg_max_iterations),
+        "" if options.cell_budget is None else str(options.cell_budget),
+        str(int(options.optimize)),
+        str(int(options.program_reuse)),
     ]
     return _digest(tokens)
 
@@ -176,15 +179,19 @@ def decomposition_namespace(pcset: PredicateConstraintSet,
     """The cache namespace for decompositions of ``pcset`` under ``options``.
 
     Only the knobs that change the *decomposition itself* participate:
-    strategy and early-stop depth.  The MILP backend, the closure check and
-    the AVG search tolerance all act after decomposition, so solvers that
-    differ only in those still share cached decompositions.
+    strategy, early-stop depth, and the plan-pipeline knobs that decide what
+    gets decomposed (the optimizer toggle and the cell budget behind
+    strategy selection).  The MILP backend, the closure check and the AVG
+    search tolerance all act after decomposition, so solvers that differ
+    only in those still share cached decompositions.
     """
     tokens = [
         "decomposition-namespace",
         fingerprint_pcset(pcset),
         options.strategy.value,
         "" if options.early_stop_depth is None else str(options.early_stop_depth),
+        str(int(options.optimize)),
+        "" if options.cell_budget is None else str(options.cell_budget),
     ]
     return _digest(tokens)
 

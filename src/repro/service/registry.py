@@ -49,6 +49,7 @@ class RegisteredSession:
     fingerprint: str
     registered_at: float
     _decomposition_cache: object = field(default=None, repr=False)
+    _program_cache: object = field(default=None, repr=False)
     _analyzer: PCAnalyzer | None = field(default=None, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -61,21 +62,24 @@ class RegisteredSession:
                     self.pcset, observed=self.observed, options=self.options,
                     decomposition_cache=self._decomposition_cache,
                     cache_namespace=decomposition_namespace(self.pcset,
-                                                            self.options))
+                                                            self.options),
+                    program_cache=self._program_cache)
             return self._analyzer
 
     def analyze(self, query: ContingencyQuery) -> ContingencyReport:
         return self.analyzer.analyze(query)
 
-    def solver_counters(self) -> tuple[int, int]:
-        """(decompositions computed, satisfiability calls) so far; (0, 0)
-        when the session has never answered a query (analyzer not built)."""
+    def solver_counters(self) -> tuple[int, int, int]:
+        """(decompositions computed, satisfiability calls, programs compiled)
+        so far; all zero when the session has never answered a query
+        (analyzer not built)."""
         with self._lock:
             if self._analyzer is None:
-                return (0, 0)
+                return (0, 0, 0)
             solver = self._analyzer.solver
             return (solver.decompositions_computed,
-                    solver.decomposition_solver_calls)
+                    solver.decomposition_solver_calls,
+                    solver.programs_compiled)
 
     def describe(self) -> dict[str, object]:
         return {
@@ -107,10 +111,14 @@ class SessionRegistry:
         Shared cache handed to every session's analyzer (usually the
         owning :class:`~repro.service.service.ContingencyService`'s cache).
         ``None`` gives each analyzer its private per-instance cache.
+    program_cache:
+        Shared cache of compiled bound programs, handed to every session's
+        analyzer alongside the decomposition cache.
     """
 
-    def __init__(self, decomposition_cache=None):
+    def __init__(self, decomposition_cache=None, program_cache=None):
         self._decomposition_cache = decomposition_cache
+        self._program_cache = program_cache
         self._sessions: dict[str, list[RegisteredSession]] = {}
         self._lock = threading.RLock()
 
@@ -143,6 +151,7 @@ class SessionRegistry:
                 fingerprint=fingerprint,
                 registered_at=time.time(),
                 _decomposition_cache=self._decomposition_cache,
+                _program_cache=self._program_cache,
             )
             versions.append(session)
             return session

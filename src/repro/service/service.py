@@ -7,6 +7,10 @@ together —
 
 * a **decomposition cache** (shared LRU) so any two queries over equal
   constraint sets and regions pay for one cell enumeration total,
+* a **program cache** (shared LRU) holding compiled
+  :class:`~repro.plan.BoundProgram` objects, so warm queries skip plan
+  optimization, profile extraction and MILP skeleton construction and only
+  patch parameters into an existing program,
 * a **report cache** so a byte-identical repeated query is answered without
   touching the solver at all,
 * a **session registry** with content-fingerprint deduplication and
@@ -45,26 +49,31 @@ class ServiceStatistics:
     """A snapshot of the service's cumulative behaviour."""
 
     decomposition_cache: CacheStatistics
+    program_cache: CacheStatistics
     report_cache: CacheStatistics
     queries_answered: int
     batches_executed: int
     sessions_registered: int
     decompositions_computed: int
     decomposition_solver_calls: int
+    programs_compiled: int
 
     def as_dict(self) -> dict[str, object]:
         return {
             "decomposition_cache": self.decomposition_cache.as_dict(),
+            "program_cache": self.program_cache.as_dict(),
             "report_cache": self.report_cache.as_dict(),
             "queries_answered": self.queries_answered,
             "batches_executed": self.batches_executed,
             "sessions_registered": self.sessions_registered,
             "decompositions_computed": self.decompositions_computed,
             "decomposition_solver_calls": self.decomposition_solver_calls,
+            "programs_compiled": self.programs_compiled,
         }
 
     def summary(self) -> str:
         decomposition = self.decomposition_cache
+        program = self.program_cache
         report = self.report_cache
         return "\n".join([
             f"queries answered       : {self.queries_answered} "
@@ -74,11 +83,15 @@ class ServiceStatistics:
             f"{decomposition.misses} miss(es) / "
             f"{decomposition.evictions} eviction(s) "
             f"(hit rate {decomposition.hit_rate:.1%})",
+            f"program cache          : {program.hits} hit(s) / "
+            f"{program.misses} miss(es) / {program.evictions} eviction(s) "
+            f"(hit rate {program.hit_rate:.1%})",
             f"report cache           : {report.hits} hit(s) / "
             f"{report.misses} miss(es) / {report.evictions} eviction(s) "
             f"(hit rate {report.hit_rate:.1%})",
             f"decompositions computed: {self.decompositions_computed} "
-            f"({self.decomposition_solver_calls} satisfiability call(s))",
+            f"({self.decomposition_solver_calls} satisfiability call(s), "
+            f"{self.programs_compiled} program(s) compiled)",
         ])
 
 
@@ -90,6 +103,9 @@ class ContingencyService:
     decomposition_cache_entries:
         Capacity of the shared decomposition LRU (each entry is one
         region-specific cell decomposition).
+    program_cache_entries:
+        Capacity of the shared compiled-program LRU (each entry is one
+        (session, region, attribute) bound program).
     report_cache_entries:
         Capacity of the per-(session, query) report LRU.
     max_workers:
@@ -100,14 +116,17 @@ class ContingencyService:
     """
 
     def __init__(self, *, decomposition_cache_entries: int = 256,
+                 program_cache_entries: int = 1024,
                  report_cache_entries: int = 2048,
                  max_workers: int | None = None,
                  default_options: BoundOptions | None = None):
         self._decomposition_cache = LRUCache(decomposition_cache_entries,
                                              name="decomposition")
+        self._program_cache = LRUCache(program_cache_entries, name="program")
         self._report_cache = LRUCache(report_cache_entries, name="report")
         self._registry = SessionRegistry(
-            decomposition_cache=self._decomposition_cache)
+            decomposition_cache=self._decomposition_cache,
+            program_cache=self._program_cache)
         self._executor = BatchExecutor(max_workers)
         self._default_options = default_options
         self._queries_answered = 0
@@ -124,6 +143,10 @@ class ContingencyService:
     @property
     def decomposition_cache(self) -> LRUCache:
         return self._decomposition_cache
+
+    @property
+    def program_cache(self) -> LRUCache:
+        return self._program_cache
 
     @property
     def report_cache(self) -> LRUCache:
@@ -216,21 +239,27 @@ class ContingencyService:
     def statistics(self) -> ServiceStatistics:
         decompositions = 0
         solver_calls = 0
+        programs = 0
         for session in self._registry.sessions():
-            session_decompositions, session_calls = session.solver_counters()
+            session_decompositions, session_calls, session_programs = \
+                session.solver_counters()
             decompositions += session_decompositions
             solver_calls += session_calls
+            programs += session_programs
         return ServiceStatistics(
             decomposition_cache=self._decomposition_cache.statistics.snapshot(),
+            program_cache=self._program_cache.statistics.snapshot(),
             report_cache=self._report_cache.statistics.snapshot(),
             queries_answered=self._queries_answered,
             batches_executed=self._batches_executed,
             sessions_registered=len(self._registry),
             decompositions_computed=decompositions,
             decomposition_solver_calls=solver_calls,
+            programs_compiled=programs,
         )
 
     def clear_caches(self) -> None:
-        """Drop cached decompositions and reports (counters are kept)."""
+        """Drop cached decompositions, programs and reports (counters kept)."""
         self._decomposition_cache.clear()
+        self._program_cache.clear()
         self._report_cache.clear()

@@ -15,7 +15,8 @@ from .fec import (
     solve_fractional_edge_cover,
 )
 from .lp import LinearProgram, LPSolution, Sense, SolutionStatus
-from .milp import MILPBackend, MILPModel, solve_milp
+from .milp import CompiledMILP, MILPBackend, MILPModel, solve_milp
+from .registry import available_backends, register_backend, resolve_backend
 from .sat import AttributeDomain, Box, BoxSolver, CategoricalSet, Interval, SolverStatistics
 
 __all__ = [
@@ -28,9 +29,13 @@ __all__ = [
     "LPSolution",
     "Sense",
     "SolutionStatus",
+    "CompiledMILP",
     "MILPBackend",
     "MILPModel",
     "solve_milp",
+    "available_backends",
+    "register_backend",
+    "resolve_backend",
     "AttributeDomain",
     "Box",
     "BoxSolver",

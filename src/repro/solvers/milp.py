@@ -35,8 +35,9 @@ from scipy.optimize import milp as scipy_milp
 
 from ..exceptions import SolverError
 from .lp import LinearProgram, LPSolution, Sense, SolutionStatus
+from .registry import register_backend, resolve_backend
 
-__all__ = ["MILPModel", "MILPBackend", "solve_milp"]
+__all__ = ["MILPModel", "MILPBackend", "CompiledMILP", "solve_milp"]
 
 _DEFAULT_TOLERANCE = 1e-6
 
@@ -111,27 +112,44 @@ def solve_milp(model: MILPModel, backend: str = MILPBackend.SCIPY,
                time_limit: float | None = None) -> LPSolution:
     """Solve ``model`` with the requested backend.
 
-    Returns an :class:`~repro.solvers.lp.LPSolution`; callers are expected to
+    Backends are resolved through :mod:`repro.solvers.registry`, so names
+    registered by extensions work here (and everywhere that plumbs a backend
+    name through) exactly like the built-ins.  Returns an
+    :class:`~repro.solvers.lp.LPSolution`; callers are expected to
     check/raise via ``raise_for_status``.
     """
-    if backend not in MILPBackend.ALL:
-        raise SolverError(
-            f"unknown MILP backend {backend!r}; expected one of {MILPBackend.ALL}"
-        )
+    solver = resolve_backend(backend)
     if not model.objective:
         return LPSolution(SolutionStatus.OPTIMAL, 0.0, {})
-    if backend == MILPBackend.GREEDY:
-        return _solve_greedy(model)
-    if backend == MILPBackend.RELAXATION:
-        return _solve_relaxation(model)
-    if backend == MILPBackend.BRANCH_AND_BOUND:
-        return _solve_branch_and_bound(model)
-    return _solve_scipy(model, time_limit=time_limit)
+    return solver(model, time_limit)
 
 
 # --------------------------------------------------------------------- #
 # SciPy / HiGHS backend
 # --------------------------------------------------------------------- #
+def _solution_from_scipy(result, maximise: bool,
+                         names: Sequence[str]) -> LPSolution:
+    """Map a ``scipy.optimize.milp`` result onto :class:`LPSolution`.
+
+    Shared by the model-based backend and :class:`CompiledMILP` so the
+    status-code mapping can never drift between the two paths.
+    """
+    if result.status == 0 and result.x is not None:
+        objective = float(result.fun)
+        if maximise:
+            objective = -objective
+        values = {name: float(result.x[i]) for i, name in enumerate(names)}
+        return LPSolution(SolutionStatus.OPTIMAL, objective, values,
+                          message=str(result.message))
+    if result.status == 2:
+        return LPSolution(SolutionStatus.INFEASIBLE, None, {},
+                          message=str(result.message))
+    if result.status == 3:
+        return LPSolution(SolutionStatus.UNBOUNDED, None, {},
+                          message=str(result.message))
+    return LPSolution(SolutionStatus.ERROR, None, {}, message=str(result.message))
+
+
 def _solve_scipy(model: MILPModel, time_limit: float | None = None) -> LPSolution:
     names = model.variable_names
     index = {name: i for i, name in enumerate(names)}
@@ -165,20 +183,7 @@ def _solve_scipy(model: MILPModel, time_limit: float | None = None) -> LPSolutio
         bounds=Bounds(lower, upper),
         options=options,
     )
-    if result.status == 0 and result.x is not None:
-        objective = float(result.fun)
-        if model.sense is Sense.MAXIMIZE:
-            objective = -objective
-        values = {name: float(result.x[index[name]]) for name in names}
-        return LPSolution(SolutionStatus.OPTIMAL, objective, values,
-                          message=str(result.message))
-    if result.status == 2:
-        return LPSolution(SolutionStatus.INFEASIBLE, None, {},
-                          message=str(result.message))
-    if result.status == 3:
-        return LPSolution(SolutionStatus.UNBOUNDED, None, {},
-                          message=str(result.message))
-    return LPSolution(SolutionStatus.ERROR, None, {}, message=str(result.message))
+    return _solution_from_scipy(result, model.sense is Sense.MAXIMIZE, names)
 
 
 # --------------------------------------------------------------------- #
@@ -336,3 +341,145 @@ def _solve_greedy(model: MILPModel) -> LPSolution:
         objective += coefficient * chosen
     return LPSolution(SolutionStatus.OPTIMAL, objective, values,
                       message="greedy disjoint solve")
+
+
+# --------------------------------------------------------------------- #
+# Compiled models: fixed structure, patchable objective
+# --------------------------------------------------------------------- #
+class CompiledMILP:
+    """A model skeleton frozen into arrays, resolved once, solved many times.
+
+    The bound compiler's hot loop (AVG binary search, warm batch traffic)
+    solves the *same* constraint structure over and over with only the
+    objective changing.  :class:`MILPModel` pays per solve for dict-based
+    model assembly plus the scipy matrix conversion; compiling hoists all of
+    that out of the loop:
+
+    * variable order, box bounds, integrality and the constraint matrix are
+      converted to numpy arrays exactly once;
+    * :meth:`solve_objective` then solves for a patched objective vector —
+      through HiGHS with the pre-built arrays, or, for pure box problems
+      (no coupling constraints), through a fully vectorised greedy step
+      equivalent to the ``greedy`` backend.
+
+    Instances are immutable after construction and safe to share across
+    threads.  Results are identical to solving the equivalent
+    :class:`MILPModel` with the matching backend.
+    """
+
+    def __init__(self, model: MILPModel):
+        self._names = list(model.objective)
+        index = {name: i for i, name in enumerate(self._names)}
+        count = len(self._names)
+        self._integral_mask = np.array(
+            [name in model.integer_variables for name in self._names], dtype=bool)
+        self._integrality = self._integral_mask.astype(float)
+        self._lower = np.array([model.lower_bounds.get(name, 0.0)
+                                for name in self._names], dtype=float)
+        self._upper = np.array([model.upper_bounds.get(name, np.inf)
+                                for name in self._names], dtype=float)
+        self._bounds = Bounds(self._lower, self._upper)
+        # Greedy endpoints: integer variables land on the integral point
+        # inside the box, mirroring _solve_greedy's floor/ceil.
+        self._greedy_upper = np.where(self._integral_mask,
+                                      np.floor(self._upper), self._upper)
+        self._greedy_lower = np.where(self._integral_mask,
+                                      np.ceil(self._lower), self._lower)
+        self._constraints: list[ScipyLinearConstraint] = []
+        if model.constraints:
+            matrix = np.zeros((len(model.constraints), count))
+            lows = np.full(len(model.constraints), -np.inf)
+            highs = np.full(len(model.constraints), np.inf)
+            for row, (coefficients, low, high) in enumerate(model.constraints):
+                for name, coefficient in coefficients.items():
+                    matrix[row, index[name]] = coefficient
+                lows[row] = low
+                highs[row] = high
+            self._constraints.append(ScipyLinearConstraint(matrix, lows, highs))
+        self._index = index
+
+    @property
+    def variable_names(self) -> list[str]:
+        return list(self._names)
+
+    @property
+    def is_pure_box_problem(self) -> bool:
+        return not self._constraints
+
+    def objective_vector(self, coefficients: dict[str, float]) -> np.ndarray:
+        """Arrange a name-keyed objective into this skeleton's variable order."""
+        c = np.zeros(len(self._names))
+        for name, coefficient in coefficients.items():
+            c[self._index[name]] = coefficient
+        return c
+
+    def solve_objective(self, c: np.ndarray, sense: Sense
+                        ) -> tuple[SolutionStatus, float | None]:
+        """Optimise ``c . x`` over the compiled feasible region.
+
+        The fast path for callers that only need the optimum (bound
+        computations): skips assembling the per-variable solution dict.
+        """
+        if not self._names:
+            return SolutionStatus.OPTIMAL, 0.0
+        if self.is_pure_box_problem:
+            take_upper = c > 0 if sense is Sense.MAXIMIZE else c < 0
+            chosen = np.where(take_upper, self._greedy_upper, self._greedy_lower)
+            if np.isinf(chosen[c != 0]).any():
+                return SolutionStatus.UNBOUNDED, None
+            return SolutionStatus.OPTIMAL, float(np.dot(c, chosen))
+        solution = self._solve_scipy(c, sense)
+        return solution.status, solution.objective
+
+    def solve(self, c: np.ndarray, sense: Sense) -> LPSolution:
+        """Optimise ``c . x`` and return the full per-variable solution."""
+        if not self._names:
+            return LPSolution(SolutionStatus.OPTIMAL, 0.0, {})
+        if self.is_pure_box_problem:
+            take_upper = c > 0 if sense is Sense.MAXIMIZE else c < 0
+            chosen = np.where(take_upper, self._greedy_upper, self._greedy_lower)
+            if np.isinf(chosen[c != 0]).any():
+                return LPSolution(SolutionStatus.UNBOUNDED, None, {},
+                                  message="unbounded in compiled greedy solve")
+            values = {name: float(chosen[i]) for i, name in enumerate(self._names)}
+            return LPSolution(SolutionStatus.OPTIMAL, float(np.dot(c, chosen)),
+                              values, message="compiled greedy solve")
+        return self._solve_scipy(c, sense)
+
+    def _solve_scipy(self, c: np.ndarray, sense: Sense) -> LPSolution:
+        objective = -c if sense is Sense.MAXIMIZE else c
+        result = scipy_milp(
+            c=objective,
+            constraints=self._constraints,
+            integrality=self._integrality,
+            bounds=self._bounds,
+        )
+        return _solution_from_scipy(result, sense is Sense.MAXIMIZE, self._names)
+
+
+# --------------------------------------------------------------------- #
+# Built-in backend registration
+# --------------------------------------------------------------------- #
+def _scipy_entry(model: MILPModel, time_limit: float | None = None) -> LPSolution:
+    return _solve_scipy(model, time_limit=time_limit)
+
+
+def _branch_and_bound_entry(model: MILPModel,
+                            time_limit: float | None = None) -> LPSolution:
+    return _solve_branch_and_bound(model)
+
+
+def _relaxation_entry(model: MILPModel,
+                      time_limit: float | None = None) -> LPSolution:
+    return _solve_relaxation(model)
+
+
+def _greedy_entry(model: MILPModel, time_limit: float | None = None) -> LPSolution:
+    return _solve_greedy(model)
+
+
+register_backend(MILPBackend.SCIPY, _scipy_entry, replace=True)
+register_backend(MILPBackend.BRANCH_AND_BOUND, _branch_and_bound_entry,
+                 replace=True)
+register_backend(MILPBackend.RELAXATION, _relaxation_entry, replace=True)
+register_backend(MILPBackend.GREEDY, _greedy_entry, replace=True)

@@ -1,0 +1,77 @@
+"""Uniform registration and resolution of MILP backends.
+
+The bounding engine historically dispatched on hard-coded backend names
+inside :func:`repro.solvers.milp.solve_milp`.  The plan compiler needs the
+same resolution in more places (skeleton solves, CLI validation, service
+fingerprints), so the mapping now lives in one registry:
+
+* built-in backends (``scipy``, ``branch-and-bound``, ``relaxation``,
+  ``greedy``) register themselves when :mod:`repro.solvers.milp` is
+  imported;
+* extensions (tests, future native solvers) call :func:`register_backend`
+  and immediately become addressable from :class:`~repro.core.bounds.
+  BoundOptions.milp_backend`, the CLI ``--backend`` flag and the service
+  layer, with no dispatch code to touch.
+
+A backend is a callable ``(model, time_limit) -> LPSolution``; ``time_limit``
+is advisory and backends that cannot honour it simply ignore it.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Protocol
+
+from ..exceptions import SolverError
+
+__all__ = ["BackendFn", "register_backend", "resolve_backend",
+           "available_backends", "has_backend"]
+
+
+class BackendFn(Protocol):
+    """The callable signature every registered backend satisfies."""
+
+    def __call__(self, model, time_limit: float | None = None): ...
+
+
+_lock = threading.Lock()
+_backends: dict[str, Callable] = {}
+
+
+def register_backend(name: str, solver: Callable, *, replace: bool = False) -> None:
+    """Make ``solver`` addressable as backend ``name`` everywhere.
+
+    Raises :class:`SolverError` on a duplicate name unless ``replace`` is
+    set — silently shadowing a built-in would make bound results depend on
+    import order.
+    """
+    if not name:
+        raise SolverError("backend name must be non-empty")
+    with _lock:
+        if name in _backends and not replace:
+            raise SolverError(
+                f"MILP backend {name!r} is already registered; "
+                "pass replace=True to override it")
+        _backends[name] = solver
+
+
+def resolve_backend(name: str) -> Callable:
+    """The solver registered under ``name`` (raises with the known names)."""
+    with _lock:
+        solver = _backends.get(name)
+    if solver is None:
+        raise SolverError(
+            f"unknown MILP backend {name!r}; expected one of "
+            f"{available_backends()}")
+    return solver
+
+
+def has_backend(name: str) -> bool:
+    with _lock:
+        return name in _backends
+
+
+def available_backends() -> tuple[str, ...]:
+    """Registered backend names, built-ins first, extensions in add order."""
+    with _lock:
+        return tuple(_backends)

@@ -176,6 +176,54 @@ def query_file(tmp_path):
     return path
 
 
+class TestCliSolverOptions:
+    def test_bound_with_solver_flags(self, capsys, constraint_text_file):
+        code = main(["bound", "--constraints", str(constraint_text_file),
+                     "--aggregate", "sum", "--attribute", "price",
+                     "--no-closure-check", "--backend", "branch-and-bound",
+                     "--strategy", "dfs", "--early-stop-depth", "1"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "strategy dfs" in output and "branch-and-bound" in output
+
+    def test_bound_accepts_registered_custom_backend(self, capsys,
+                                                     constraint_text_file):
+        from repro.solvers.registry import register_backend, resolve_backend
+
+        register_backend("cli-test-backend",
+                         lambda model, time_limit=None:
+                         resolve_backend("scipy")(model, time_limit),
+                         replace=True)
+        code = main(["bound", "--constraints", str(constraint_text_file),
+                     "--aggregate", "count", "--no-closure-check",
+                     "--backend", "cli-test-backend"])
+        assert code == 0
+        assert "cli-test-backend" in capsys.readouterr().out
+
+    def test_bound_rejects_unknown_backend_listing_names(self, capsys,
+                                                         constraint_text_file):
+        code = main(["bound", "--constraints", str(constraint_text_file),
+                     "--aggregate", "count", "--no-closure-check",
+                     "--backend", "simplex-of-doom"])
+        assert code == 2
+        err = capsys.readouterr().err
+        assert "simplex-of-doom" in err and "scipy" in err
+
+    def test_serve_batch_with_cell_budget(self, capsys, constraint_text_file,
+                                          query_file):
+        code = main(["serve-batch", "--constraints", str(constraint_text_file),
+                     "--queries", str(query_file), "--no-closure-check",
+                     "--cell-budget", "64"])
+        assert code == 0
+        assert "batch round 1" in capsys.readouterr().out
+
+    def test_bound_rejects_bad_depth(self, capsys, constraint_text_file):
+        code = main(["bound", "--constraints", str(constraint_text_file),
+                     "--aggregate", "count", "--no-closure-check",
+                     "--early-stop-depth", "0"])
+        assert code == 2
+
+
 class TestCliServeBatch:
     def test_serve_batch_executes_and_reports(self, capsys, constraint_text_file,
                                               query_file):
