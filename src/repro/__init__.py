@@ -28,6 +28,10 @@ Sub-packages
 ``repro.solvers``
     Satisfiability, LP/MILP, fractional-edge-cover substrates, and the
     MILP backend registry.
+``repro.parallel``
+    Parallel solve fan-out: plan sharding along independent constraint
+    components (:class:`ShardedBoundPlan`), the thread/process
+    :class:`SolveExecutor`, and cross-backend range verification.
 ``repro.service``
     The long-lived service layer: named/versioned constraint sessions,
     fingerprint-keyed decomposition and report caches, and concurrent batch
@@ -66,6 +70,13 @@ from .plan import (
     build_plan,
     compile_plan,
     optimize_plan,
+)
+from .parallel import (
+    PlanShard,
+    ShardedBoundPlan,
+    SolveExecutor,
+    merge_shard_ranges,
+    shard_plan,
 )
 from .relational import (
     AggregateFunction,
@@ -112,6 +123,11 @@ __all__ = [
     "build_plan",
     "compile_plan",
     "optimize_plan",
+    "PlanShard",
+    "ShardedBoundPlan",
+    "SolveExecutor",
+    "merge_shard_ranges",
+    "shard_plan",
     "AggregateFunction",
     "AggregateQuery",
     "ColumnType",

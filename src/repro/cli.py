@@ -92,6 +92,10 @@ def build_parser() -> argparse.ArgumentParser:
                                    "(written by repro.relational.write_csv)")
     bound_parser.add_argument("--no-closure-check", action="store_true",
                               help="skip the closed-world check (assume closure)")
+    bound_parser.add_argument("--workers", type=int, default=None,
+                              help="fan the solve out over this many workers "
+                                   "when the plan shards into independent "
+                                   "constraint components (default: serial)")
     _add_solver_arguments(bound_parser)
     bound_parser.set_defaults(handler=_command_bound)
 
@@ -150,6 +154,10 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
                        metavar="CELLS",
                        help="let the plan optimizer early-stop automatically "
                             "when the worst-case cell count exceeds CELLS")
+    group.add_argument("--verify-backend", default=None, metavar="NAME",
+                       help="cross-check every range on this second MILP "
+                            "backend and fail loudly when the two backends "
+                            "return disjoint ranges")
 
 
 def _solver_options(args: argparse.Namespace):
@@ -159,18 +167,9 @@ def _solver_options(args: argparse.Namespace):
 
     options = BoundOptions(check_closure=not args.no_closure_check)
     if args.backend is not None:
-        # Importing the package (not just .registry) guarantees the
-        # built-in backends have registered themselves.
-        from .solvers import available_backends
-        from .solvers.registry import has_backend
-
-        # Validated against the live registry (not a hard-coded list) so
-        # backends registered by extensions are addressable from the CLI.
-        if not has_backend(args.backend):
-            raise ReproError(
-                f"unknown MILP backend {args.backend!r}; available: "
-                + ", ".join(available_backends()))
-        options.milp_backend = args.backend
+        options.milp_backend = _validated_backend(args.backend)
+    if args.verify_backend is not None:
+        options.verify_backend = _validated_backend(args.verify_backend)
     if args.strategy is not None:
         options.strategy = DecompositionStrategy.parse(args.strategy)
     if args.early_stop_depth is not None:
@@ -182,6 +181,21 @@ def _solver_options(args: argparse.Namespace):
             raise ReproError("--cell-budget must be at least 1")
         options.cell_budget = args.cell_budget
     return options
+
+
+def _validated_backend(name: str) -> str:
+    """Check ``name`` against the live backend registry and return it."""
+    # Importing the package (not just .registry) guarantees the built-in
+    # backends have registered themselves; validating against the registry
+    # (not a hard-coded list) keeps extension backends addressable.
+    from .solvers import available_backends
+    from .solvers.registry import has_backend
+
+    if not has_backend(name):
+        raise ReproError(
+            f"unknown MILP backend {name!r}; available: "
+            + ", ".join(available_backends()))
+    return name
 
 
 # --------------------------------------------------------------------- #
@@ -238,6 +252,10 @@ def _command_bound(args: argparse.Namespace) -> int:
                              region)
 
     options = _solver_options(args)
+    if args.workers is not None:
+        if args.workers < 1:
+            raise ReproError("--workers must be at least 1")
+        options.solve_workers = args.workers
     analyzer = PCAnalyzer(pcset, observed=observed, options=options)
     report = analyzer.analyze(query)
     # The program was compiled (and cached) by analyze(); reading its plan
@@ -252,6 +270,22 @@ def _command_bound(args: argparse.Namespace) -> int:
           + f", backend {plan.milp_backend}")
     for note in plan.trace:
         print(f"                  - {note}")
+    if options.solve_workers is not None and options.solve_workers > 1:
+        from .parallel.sharding import SHARDABLE_AGGREGATES
+
+        if query.aggregate not in SHARDABLE_AGGREGATES:
+            print(f"sharding        : {query.aggregate.value} does not "
+                  "decompose across shards; solved serially")
+        else:
+            sharded = analyzer.solver.sharded_plan(query.region,
+                                                   query.attribute)
+            print(f"sharding        : {len(sharded)} shard(s) over "
+                  f"{options.solve_workers} worker(s)"
+                  + ("" if sharded.is_sharded
+                     else " (single component; solved serially)"))
+    if options.verify_backend is not None:
+        print(f"verification    : cross-backend against "
+              f"{options.verify_backend}")
     if observed is not None:
         print(f"observed rows   : {observed.num_rows} "
               f"(value {report.observed_value})")

@@ -28,7 +28,7 @@ sound (the feasible region is a superset of the true one).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..exceptions import SolverError
 from ..plan.ir import BoundPlan, BoundQuery, build_plan
@@ -69,6 +69,25 @@ class BoundOptions:
         Patch parameters into compiled program skeletons (default).  When
         disabled, every solve rebuilds the MILP from scratch — the
         pre-pipeline behaviour, kept as an equivalence/benchmark baseline.
+
+    The third block configures parallel fan-out and verification
+    (see :mod:`repro.parallel`):
+
+    ``solve_workers``
+        When > 1, COUNT/SUM/MIN/MAX queries whose constraint-overlap graph
+        splits into independent components are sharded into per-component
+        programs and solved on a worker pool of this width.  ``None`` (and
+        ``1``) keep the serial single-program path.
+    ``parallel_mode``
+        Pool flavour for the fan-out: ``"thread"`` (default, safe for every
+        backend), ``"process"`` (real CPU scale-out; requires the backend's
+        ``process_safe`` capability flag), or ``"auto"``.
+    ``verify_backend``
+        When set, every bound is additionally solved on this second registry
+        backend and the two ranges are intersected; disjoint ranges raise
+        :class:`~repro.exceptions.DisjointRangeError` (the cross-backend
+        alarm).  Must name a backend different from ``milp_backend`` to be
+        a meaningful oracle, though equal names are tolerated.
     """
 
     strategy: DecompositionStrategy = DecompositionStrategy.DFS_REWRITE
@@ -80,6 +99,9 @@ class BoundOptions:
     cell_budget: int | None = None
     optimize: bool = True
     program_reuse: bool = True
+    solve_workers: int | None = None
+    parallel_mode: str = "thread"
+    verify_backend: str | None = None
 
 
 @dataclass(frozen=True)
@@ -162,9 +184,38 @@ class PCBoundSolver:
         self._decomposition_locks: dict[object, threading.Lock] = {}
         self._local_programs: dict[object, BoundProgram] = {}
         self._local_program_locks: dict[object, threading.Lock] = {}
+        self._sharded_plans: dict[tuple, object] = {}
         self._decompositions_computed = 0
         self._decomposition_solver_calls = 0
         self._programs_compiled = 0
+        self._counter_lock = threading.Lock()
+        self._program_lock = threading.Lock()
+        self._verify_solver: PCBoundSolver | None = None
+
+    # ------------------------------------------------------------------ #
+    # Pickling (process-pool fan-out)
+    # ------------------------------------------------------------------ #
+    def __getstate__(self) -> dict:
+        """Locks are dropped and rebuilt; shared caches do not cross processes.
+
+        A worker process receives the solver with its *private* program and
+        decomposition caches intact (warm compiled skeletons travel), but
+        with any shared LRU caches replaced by ``None`` — a cache shared by
+        reference cannot span processes, and silently pickling a snapshot
+        would masquerade as shared state.  The worker falls back to private
+        caching, which is correct, merely less deduplicated.
+        """
+        state = dict(self.__dict__)
+        state["_shared_cache"] = None
+        state["_program_cache"] = None
+        state["_decomposition_locks"] = {}
+        state["_local_program_locks"] = {}
+        del state["_counter_lock"]
+        del state["_program_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
         self._counter_lock = threading.Lock()
         self._program_lock = threading.Lock()
 
@@ -178,8 +229,15 @@ class PCBoundSolver:
 
     @property
     def decompositions_computed(self) -> int:
-        """How many decompositions this solver actually ran (cache misses)."""
-        return self._decompositions_computed
+        """How many decompositions this solver actually ran (cache misses).
+
+        Includes the verification solver's work when cross-backend
+        verification is active — the observable stays "what did answering
+        through this facade cost", whichever internal solver paid it.
+        """
+        return self._decompositions_computed + (
+            0 if self._verify_solver is None
+            else self._verify_solver.decompositions_computed)
 
     @property
     def decomposition_solver_calls(self) -> int:
@@ -189,12 +247,16 @@ class PCBoundSolver:
         the observable the service's acceptance tests pin down: answering a
         repeated query must not move it.
         """
-        return self._decomposition_solver_calls
+        return self._decomposition_solver_calls + (
+            0 if self._verify_solver is None
+            else self._verify_solver.decomposition_solver_calls)
 
     @property
     def programs_compiled(self) -> int:
         """How many bound programs this solver compiled (program-cache misses)."""
-        return self._programs_compiled
+        return self._programs_compiled + (
+            0 if self._verify_solver is None
+            else self._verify_solver.programs_compiled)
 
     # ------------------------------------------------------------------ #
     # Public bound API
@@ -206,16 +268,106 @@ class PCBoundSolver:
 
         ``known_sum`` / ``known_count`` describe the observed partition and
         are only used by AVG (whose bound depends jointly on both).
+
+        Execution routes through up to three paths, all governed by the
+        options: the serial compiled program (default), the sharded fan-out
+        (``solve_workers > 1`` and the plan splits into independent
+        components), and — orthogonally — cross-backend verification
+        (``verify_backend``), which intersects the range with a second
+        backend's and alarms on disagreement.
         """
         if aggregate.needs_attribute and attribute is None:
             raise SolverError(f"{aggregate.value} bounds require an attribute")
         closed = self._is_closed(region)
-        program = self.program(region, attribute)
-        result = program.bound(aggregate, known_sum=known_sum,
-                               known_count=known_count)
+        result = self._bound_missing(aggregate, attribute, region,
+                                     known_sum, known_count)
+        if self._options.verify_backend is not None:
+            result = self._cross_check(result, aggregate, attribute, region,
+                                       known_sum, known_count)
         if not closed:
             result = self._widen_for_open_world(result, aggregate)
         return result
+
+    def _bound_missing(self, aggregate: AggregateFunction,
+                       attribute: str | None, region: Predicate | None,
+                       known_sum: float, known_count: float) -> ResultRange:
+        """The closed-world missing-partition range, serial or sharded."""
+        workers = self._options.solve_workers
+        if workers is not None and workers > 1:
+            from ..parallel.sharding import SHARDABLE_AGGREGATES
+
+            if aggregate in SHARDABLE_AGGREGATES:
+                sharded = self.sharded_plan(region, attribute,
+                                            max_shards=workers)
+                if sharded.is_sharded:
+                    return self._bound_sharded(sharded, aggregate, attribute,
+                                               region, workers)
+        program = self.program(region, attribute)
+        return program.bound(aggregate, known_sum=known_sum,
+                             known_count=known_count)
+
+    def _bound_sharded(self, sharded, aggregate: AggregateFunction,
+                       attribute: str | None, region: Predicate | None,
+                       workers: int) -> ResultRange:
+        """Fan the per-shard programs out over a pool and merge the ranges."""
+        from ..parallel.executor import SolveExecutor
+        from ..parallel.sharding import (
+            merge_shard_ranges,
+            merge_shard_statistics,
+        )
+
+        programs = [self.shard_program(shard, region, attribute)
+                    for shard in sharded]
+        with SolveExecutor(max_workers=workers,
+                           mode=self._options.parallel_mode,
+                           backend=self._options.milp_backend) as executor:
+            endpoints = executor.solve_programs(programs, aggregate)
+        ranges = [ResultRange(lower, upper, aggregate, attribute, closed=closed)
+                  for lower, upper, closed in endpoints]
+        # Statistics come from the parent's shard programs, not the worker
+        # results: workers return bare endpoints, and the parent compiled
+        # (or cache-loaded) every shard program anyway.
+        statistics = merge_shard_statistics(
+            program.decomposition.statistics for program in programs)
+        return merge_shard_ranges(aggregate, ranges, attribute,
+                                  statistics=statistics)
+
+    def _cross_check(self, result: ResultRange, aggregate: AggregateFunction,
+                     attribute: str | None, region: Predicate | None,
+                     known_sum: float, known_count: float) -> ResultRange:
+        """Solve on the verify backend and intersect (alarm on disjoint)."""
+        from ..parallel.verify import cross_check_ranges
+
+        verifier = self._verification_solver()
+        secondary = verifier._bound_missing(aggregate, attribute, region,
+                                            known_sum, known_count)
+        label = f"{aggregate.value}({attribute or '*'})"
+        return cross_check_ranges(result, secondary,
+                                  self._options.milp_backend,
+                                  self._options.verify_backend or "",
+                                  context=label)
+
+    def _verification_solver(self) -> "PCBoundSolver":
+        """A sibling solver pinned to the verify backend, sharing the caches.
+
+        The decomposition namespace excludes the MILP backend, so the
+        verifier reuses every cached decomposition; its programs key under
+        their own backend name and never collide with the primary's.
+        Verification runs serially — fan-out on the oracle path would only
+        obscure which backend produced a bad range.
+        """
+        with self._program_lock:
+            if self._verify_solver is None:
+                options = replace(self._options,
+                                  milp_backend=self._options.verify_backend,
+                                  verify_backend=None,
+                                  solve_workers=None)
+                self._verify_solver = PCBoundSolver(
+                    self._pcset, options,
+                    decomposition_cache=self._shared_cache,
+                    cache_namespace=self._cache_namespace,
+                    program_cache=self._program_cache)
+            return self._verify_solver
 
     def explain(self, aggregate: AggregateFunction, attribute: str | None = None,
                 region: Predicate | None = None) -> BoundExplanation:
@@ -290,11 +442,67 @@ class PCBoundSolver:
         compile in parallel (the batch executor's warm phase relies on it)
         while same-key racers share one compile.
         """
+        return self._cached_program(
+            (region, attribute),
+            lambda: self._program_key(region, attribute),
+            lambda: self._compile(region, attribute))
+
+    def sharded_plan(self, region: Predicate | None = None,
+                     attribute: str | None = None,
+                     max_shards: int | None = None):
+        """The :class:`~repro.parallel.ShardedBoundPlan` for a (region,
+        attribute) pair: the optimized plan split along the independent
+        components of its constraint-overlap graph, capped at ``max_shards``
+        (defaulting to ``options.solve_workers``).  A single-component plan
+        comes back with one shard (``is_sharded`` False).
+
+        Sharded plans are memoized per (region, attribute, max_shards):
+        building one runs the optimizer plus a quadratic predicate-overlap
+        scan, which a warm repeated query must not pay again.  Plans and
+        the shard layouts they induce are immutable, so the cached object
+        is safe to share across threads.
+        """
+        from ..parallel.sharding import shard_plan
+
+        if max_shards is None:
+            max_shards = self._options.solve_workers
+        key = (region, attribute, max_shards)
+        with self._program_lock:
+            cached = self._sharded_plans.get(key)
+        if cached is not None:
+            return cached
+        aggregate = (AggregateFunction.COUNT if attribute is None
+                     else AggregateFunction.SUM)
+        plan = self.plan(BoundQuery(aggregate, attribute, region))
+        sharded = shard_plan(plan, max_shards=max_shards)
+        with self._program_lock:
+            self._sharded_plans[key] = sharded
+        return sharded
+
+    def shard_program(self, shard, region: Predicate | None,
+                      attribute: str | None) -> BoundProgram:
+        """The compiled program for one plan shard, cached like any program.
+
+        Shard programs live in the same (shared or private) cache as their
+        unsharded siblings: the key is the ordinary (namespace, region,
+        attribute) program key extended with the shard's
+        :meth:`~repro.parallel.PlanShard.cache_token`, so repeated sharded
+        queries patch parameters into warm per-shard skeletons exactly like
+        the serial path does.
+        """
+        token = shard.cache_token()
+        return self._cached_program(
+            (region, attribute, token),
+            lambda: self._program_key(region, attribute) + token,
+            lambda: self._compile_shard(shard, region))
+
+    def _cached_program(self, private_key, shared_key_factory,
+                        factory) -> BoundProgram:
+        """Per-key deduplicated program caching (shared LRU or private dict)."""
         if self._program_cache is not None:
-            key = self._program_key(region, attribute)
             return self._program_cache.get_or_compute(
-                key, lambda: self._compile(region, attribute))
-        key = (region, attribute)
+                shared_key_factory(), factory)
+        key = private_key
         with self._program_lock:
             program = self._local_programs.get(key)
             if program is not None:
@@ -304,7 +512,7 @@ class PCBoundSolver:
             with self._program_lock:
                 program = self._local_programs.get(key)
             if program is None:
-                program = self._compile(region, attribute)
+                program = factory()
                 with self._program_lock:
                     self._local_programs[key] = program
                     self._local_program_locks.pop(key, None)
@@ -341,6 +549,37 @@ class PCBoundSolver:
                      else AggregateFunction.SUM)
         plan = self.plan(BoundQuery(aggregate, attribute, region))
         decomposition = self._decompose_plan(plan)
+        program = compile_plan(
+            plan, decomposition,
+            avg_tolerance=self._options.avg_tolerance,
+            avg_max_iterations=self._options.avg_max_iterations,
+            reuse=self._options.program_reuse)
+        with self._counter_lock:
+            self._programs_compiled += 1
+        return program
+
+    def _compile_shard(self, shard, region: Predicate | None) -> BoundProgram:
+        """Compile one shard's sub-plan into its own program.
+
+        The shard's constraint subset decomposes independently (its cells
+        are exactly the full decomposition's cells covered by this shard's
+        constraints); under a shared cache the entry is namespaced by the
+        shard token so it can never masquerade as the full decomposition of
+        the same region.
+        """
+        plan = shard.plan
+        namespace = None
+        if self._shared_cache is not None and self._cache_namespace is not None:
+            namespace = ("plan-shard", self._cache_namespace,
+                         self._options.optimize, self._options.cell_budget,
+                         shard.cache_token())
+        decomposition = decompose_cached(
+            plan.pcset, region,
+            strategy=plan.strategy,
+            early_stop_depth=plan.early_stop_depth,
+            cache=self._shared_cache,
+            namespace=namespace,
+            on_compute=self._record_decomposition)
         program = compile_plan(
             plan, decomposition,
             avg_tolerance=self._options.avg_tolerance,

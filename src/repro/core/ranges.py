@@ -15,7 +15,7 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 
-from ..exceptions import SolverError
+from ..exceptions import DisjointRangeError
 from ..relational.aggregates import AggregateFunction
 
 __all__ = ["ResultRange"]
@@ -91,7 +91,7 @@ class ResultRange:
 
         Raises
         ------
-        SolverError
+        DisjointRangeError
             If the ranges are disjoint: two sound ranges for the same query
             can never be, so a crossed pair signals a solver defect.
         """
@@ -100,9 +100,10 @@ class ResultRange:
         lower = max(lowers) if lowers else None
         upper = min(uppers) if uppers else None
         if lower is not None and upper is not None and lower > upper + 1e-9:
-            raise SolverError(
+            raise DisjointRangeError(
                 f"cannot intersect disjoint result ranges [{self.lower}, "
-                f"{self.upper}] and [{other.lower}, {other.upper}]")
+                f"{self.upper}] and [{other.lower}, {other.upper}]",
+                first=self, second=other)
         return ResultRange(
             lower=lower,
             upper=upper,

@@ -21,6 +21,7 @@ __all__ = [
     "InfeasibleProblemError",
     "UnboundedProblemError",
     "SolverError",
+    "DisjointRangeError",
     "JoinBoundError",
     "DatasetError",
     "WorkloadError",
@@ -74,6 +75,21 @@ class ClosureError(ReproError):
 
 class SolverError(ReproError):
     """Raised when an optimisation backend fails unexpectedly."""
+
+
+class DisjointRangeError(SolverError):
+    """Raised when two result ranges for the same query do not overlap.
+
+    Two *sound* ranges for one query always intersect (both contain the true
+    answer), so a disjoint pair is evidence of a solver defect — this is the
+    alarm the cross-backend verification mode raises.  The offending ranges
+    are carried so monitoring can log them without re-parsing the message.
+    """
+
+    def __init__(self, message: str, first=None, second=None):
+        super().__init__(message)
+        self.first = first
+        self.second = second
 
 
 class InfeasibleProblemError(SolverError):

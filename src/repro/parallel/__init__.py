@@ -1,0 +1,53 @@
+"""Parallel solve fan-out: plan sharding, worker pools, cross-backend checks.
+
+This package scales the bound-plan pipeline out instead of up.  PR 2 made
+:class:`~repro.plan.BoundProgram` solves pure parameter patches against
+immutable compiled skeletons, which is exactly the precondition for three
+features that previously had no safe seam:
+
+``sharding``
+    :class:`ShardedBoundPlan` splits one optimized
+    :class:`~repro.plan.BoundPlan` along the *independent components* of its
+    constraint-overlap graph.  Predicates in different components never
+    overlap, so the §4.2 MILP separates into per-shard programs whose bounds
+    recombine exactly (:func:`merge_shard_ranges`) — the plan-level analogue
+    of partitioned query scale-out.
+``executor``
+    :class:`SolveExecutor` fans independent program solves out over a thread
+    pool or — for backends whose capability flags declare their compiled
+    skeletons pickle-safe — a process pool, the route to real CPU scale-out
+    on GIL-bound backends.
+``verify``
+    Cross-backend verification: solve one program on two registry backends
+    and intersect the ranges.  Two sound ranges always intersect, so a
+    :class:`~repro.exceptions.DisjointRangeError` is a high-signal alarm
+    that one backend is defective.
+
+Layering: ``repro.parallel`` sits above ``repro.plan`` and ``repro.core``'s
+data types but below the service layer; :class:`repro.core.bounds.
+PCBoundSolver` drives it when ``BoundOptions.solve_workers`` asks for
+fan-out, and the service batch executor reuses :class:`SolveExecutor` for
+its phase-2 solves.
+"""
+
+from .executor import SolveExecutor
+from .sharding import (
+    SHARDABLE_AGGREGATES,
+    PlanShard,
+    ShardedBoundPlan,
+    merge_shard_ranges,
+    partition_constraint_indices,
+    shard_plan,
+)
+from .verify import cross_check_ranges
+
+__all__ = [
+    "SolveExecutor",
+    "SHARDABLE_AGGREGATES",
+    "PlanShard",
+    "ShardedBoundPlan",
+    "merge_shard_ranges",
+    "partition_constraint_indices",
+    "shard_plan",
+    "cross_check_ranges",
+]

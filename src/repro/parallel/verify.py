@@ -1,0 +1,46 @@
+"""Cross-backend verification: intersect ranges, alarm on disagreement.
+
+The backend registry makes it cheap to solve one program on two independent
+MILP implementations.  Both ranges are sound for the same query, so their
+intersection is a (possibly tighter) sound range — and a *disjoint* pair is
+mathematically impossible unless one backend is defective.  That turns the
+registry into a correctness oracle: run the pure-Python branch-and-bound
+next to HiGHS and any disagreement surfaces as a
+:class:`~repro.exceptions.DisjointRangeError` naming both backends, instead
+of silently shipping a wrong bound.
+
+This module is deliberately tiny — the combinator lives on
+:meth:`~repro.core.ranges.ResultRange.intersect`; what is added here is the
+alarm context (which backends disagreed, on which query) that a production
+operator needs to act on the page.
+"""
+
+from __future__ import annotations
+
+from ..core.ranges import ResultRange
+from ..exceptions import DisjointRangeError
+
+__all__ = ["cross_check_ranges"]
+
+
+def cross_check_ranges(primary: ResultRange, secondary: ResultRange,
+                       primary_backend: str, secondary_backend: str,
+                       context: str = "") -> ResultRange:
+    """Intersect two backends' ranges, re-raising disagreement with context.
+
+    Returns the intersection (for exact backends this equals both inputs;
+    for an inexact verifier it is the primary range, which the intersection
+    can only tighten).  Raises :class:`DisjointRangeError` carrying both
+    backend names when the ranges cannot both be sound.
+    """
+    try:
+        return primary.intersect(secondary)
+    except DisjointRangeError as error:
+        label = f" for {context}" if context else ""
+        raise DisjointRangeError(
+            f"cross-backend verification failed{label}: backend "
+            f"{primary_backend!r} returned [{primary.lower}, {primary.upper}] "
+            f"but backend {secondary_backend!r} returned "
+            f"[{secondary.lower}, {secondary.upper}] — the ranges are "
+            "disjoint, so at least one backend is unsound",
+            first=primary, second=secondary) from error

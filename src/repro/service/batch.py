@@ -20,19 +20,15 @@ Results come back in input order, each paired with the same
 
 from __future__ import annotations
 
-import os
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..core.engine import ContingencyQuery, ContingencyReport, PCAnalyzer
 from ..core.predicates import Predicate
+from ..parallel.executor import SolveExecutor, default_workers
 
 __all__ = ["BatchStatistics", "BatchResult", "BatchExecutor"]
-
-
-def _default_workers() -> int:
-    return min(8, os.cpu_count() or 1)
 
 
 @dataclass
@@ -43,6 +39,7 @@ class BatchStatistics:
     region_groups: int = 0
     program_groups: int = 0
     max_workers: int = 0
+    executor_mode: str = "thread"
     warm_seconds: float = 0.0
     execute_seconds: float = 0.0
     group_sizes: dict[str, int] = field(default_factory=dict)
@@ -57,6 +54,7 @@ class BatchStatistics:
             "region_groups": self.region_groups,
             "program_groups": self.program_groups,
             "max_workers": self.max_workers,
+            "executor_mode": self.executor_mode,
             "warm_seconds": self.warm_seconds,
             "execute_seconds": self.execute_seconds,
             "wall_seconds": self.wall_seconds,
@@ -101,16 +99,28 @@ class BatchExecutor:
         :class:`PCAnalyzer` without a shared thread-safe decomposition cache
         should be driven with ``max_workers=1``; analyzers built by the
         service layer are always safe).
+    mode:
+        The :class:`~repro.parallel.SolveExecutor` flavour for phase 2
+        (``"thread"`` by default).  Phase 1 (program warming) always uses
+        threads — warming must populate the *parent's* caches, which a
+        worker process cannot do.
     """
 
-    def __init__(self, max_workers: int | None = None):
+    def __init__(self, max_workers: int | None = None, mode: str = "thread"):
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
-        self._max_workers = max_workers or _default_workers()
+        self._max_workers = max_workers or default_workers()
+        self._mode = mode
+        # Fail fast on an unknown mode (SolveExecutor validates).
+        SolveExecutor(max_workers=1, mode=mode)
 
     @property
     def max_workers(self) -> int:
         return self._max_workers
+
+    @property
+    def mode(self) -> str:
+        return self._mode
 
     # ------------------------------------------------------------------ #
     # Execution
@@ -140,7 +150,8 @@ class BatchExecutor:
                 queries: list[ContingencyQuery]) -> BatchResult:
         """Answer every query; reports come back in input order."""
         statistics = BatchStatistics(total_queries=len(queries),
-                                     max_workers=self._max_workers)
+                                     max_workers=self._max_workers,
+                                     executor_mode=self._mode)
         if not queries:
             return BatchResult([], statistics)
 
@@ -169,12 +180,19 @@ class BatchExecutor:
                 list(pool.map(lambda pair: analyzer.prepare(*pair), pairs))
         statistics.warm_seconds = time.perf_counter() - started
 
-        # Phase 2 — every query now runs against a warm decomposition.
+        # Phase 2 — every query now runs against a warm decomposition,
+        # fanned out through the shared solve executor.  Thread mode keeps
+        # the historical behaviour; process mode (opt-in) pickles the warm
+        # analyzer to worker processes for GIL-free solves — best combined
+        # with *private* (non-service) caches, whose compiled programs
+        # travel in the pickle; shared LRU caches cannot cross processes,
+        # so service-built analyzers arrive cold in workers (a persistent
+        # warm worker pool is a ROADMAP item).  The analyzer's MILP backend
+        # is passed so the process_safe capability gate fails fast instead
+        # of crashing inside a worker.
         started = time.perf_counter()
-        if self._max_workers == 1:
-            reports = [analyzer.analyze(query) for query in queries]
-        else:
-            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                reports = list(pool.map(analyzer.analyze, queries))
+        with SolveExecutor(max_workers=self._max_workers, mode=self._mode,
+                           backend=analyzer.options.milp_backend) as executor:
+            reports = executor.map(analyzer.analyze, queries)
         statistics.execute_seconds = time.perf_counter() - started
         return BatchResult(reports, statistics)

@@ -135,7 +135,14 @@ def fingerprint_query(query: ContingencyQuery) -> str:
 
 
 def fingerprint_bound_options(options: BoundOptions) -> str:
-    """Content hash of the solver tuning knobs (plan-pipeline knobs included)."""
+    """Content hash of the solver tuning knobs (plan-pipeline knobs included).
+
+    ``solve_workers`` participates because sharded and serial execution may
+    legitimately differ under approximate (early-stopped) enumeration, and
+    ``verify_backend`` because a verified session fails differently from an
+    unverified one.  ``parallel_mode`` is excluded: thread vs process pools
+    can never change a range, only its wall-clock cost.
+    """
     tokens = [
         "options",
         options.strategy.value,
@@ -147,6 +154,8 @@ def fingerprint_bound_options(options: BoundOptions) -> str:
         "" if options.cell_budget is None else str(options.cell_budget),
         str(int(options.optimize)),
         str(int(options.program_reuse)),
+        "" if options.solve_workers is None else str(options.solve_workers),
+        "" if options.verify_backend is None else str(options.verify_backend),
     ]
     return _digest(tokens)
 

@@ -30,11 +30,12 @@ Usage::
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from ..core.bounds import BoundOptions
 from ..core.engine import ContingencyQuery, ContingencyReport
 from ..core.pcset import PredicateConstraintSet
+from ..exceptions import ReproError
 from ..relational.relation import Relation
 from .batch import BatchExecutor, BatchResult
 from .cache import CacheStatistics, LRUCache
@@ -113,13 +114,31 @@ class ContingencyService:
     default_options:
         :class:`BoundOptions` applied to sessions registered without
         explicit options.
+    verify:
+        Opt-in verification mode.  The only supported value,
+        ``"cross-backend"``, solves every program on a second registry
+        backend (``verify_backend``) and intersects the ranges; a disjoint
+        pair raises :class:`~repro.exceptions.DisjointRangeError`, turning
+        a silent solver defect into an alarm.
+    verify_backend:
+        The second backend for ``verify="cross-backend"`` (default:
+        ``branch-and-bound``, the pure-Python implementation — maximally
+        independent from the default scipy/HiGHS path).
     """
+
+    _VERIFY_MODES = (None, "cross-backend")
 
     def __init__(self, *, decomposition_cache_entries: int = 256,
                  program_cache_entries: int = 1024,
                  report_cache_entries: int = 2048,
                  max_workers: int | None = None,
-                 default_options: BoundOptions | None = None):
+                 default_options: BoundOptions | None = None,
+                 verify: str | None = None,
+                 verify_backend: str = "branch-and-bound"):
+        if verify not in self._VERIFY_MODES:
+            raise ReproError(
+                f"unknown verify mode {verify!r}; expected one of "
+                f"{self._VERIFY_MODES}")
         self._decomposition_cache = LRUCache(decomposition_cache_entries,
                                              name="decomposition")
         self._program_cache = LRUCache(program_cache_entries, name="program")
@@ -129,6 +148,7 @@ class ContingencyService:
             program_cache=self._program_cache)
         self._executor = BatchExecutor(max_workers)
         self._default_options = default_options
+        self._verify_backend = verify_backend if verify == "cross-backend" else None
         self._queries_answered = 0
         self._batches_executed = 0
         self._counter_lock = threading.Lock()
@@ -155,10 +175,21 @@ class ContingencyService:
     def register(self, name: str, pcset: PredicateConstraintSet,
                  observed: Relation | None = None,
                  options: BoundOptions | None = None) -> RegisteredSession:
-        """Register (or idempotently re-register) a constraint session."""
-        return self._registry.register(
-            name, pcset, observed=observed,
-            options=options or self._default_options)
+        """Register (or idempotently re-register) a constraint session.
+
+        Under ``verify="cross-backend"`` the verification backend is folded
+        into the session's options (unless the caller pinned one
+        explicitly), so it participates in the session fingerprint — a
+        verified session and an unverified one never share report-cache
+        entries, because their failure behaviour differs.
+        """
+        options = options or self._default_options
+        if self._verify_backend is not None:
+            options = options or BoundOptions()
+            if options.verify_backend is None:
+                options = replace(options, verify_backend=self._verify_backend)
+        return self._registry.register(name, pcset, observed=observed,
+                                       options=options)
 
     def session(self, name: str,
                 version: int | None = None) -> RegisteredSession:

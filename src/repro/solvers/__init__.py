@@ -16,7 +16,13 @@ from .fec import (
 )
 from .lp import LinearProgram, LPSolution, Sense, SolutionStatus
 from .milp import CompiledMILP, MILPBackend, MILPModel, solve_milp
-from .registry import available_backends, register_backend, resolve_backend
+from .registry import (
+    BackendCapabilities,
+    available_backends,
+    backend_capabilities,
+    register_backend,
+    resolve_backend,
+)
 from .sat import AttributeDomain, Box, BoxSolver, CategoricalSet, Interval, SolverStatistics
 
 __all__ = [
@@ -33,7 +39,9 @@ __all__ = [
     "MILPBackend",
     "MILPModel",
     "solve_milp",
+    "BackendCapabilities",
     "available_backends",
+    "backend_capabilities",
     "register_backend",
     "resolve_backend",
     "AttributeDomain",

@@ -35,7 +35,7 @@ from scipy.optimize import milp as scipy_milp
 
 from ..exceptions import SolverError
 from .lp import LinearProgram, LPSolution, Sense, SolutionStatus
-from .registry import register_backend, resolve_backend
+from .registry import BackendCapabilities, register_backend, resolve_backend
 
 __all__ = ["MILPModel", "MILPBackend", "CompiledMILP", "solve_milp"]
 
@@ -478,8 +478,14 @@ def _greedy_entry(model: MILPModel, time_limit: float | None = None) -> LPSoluti
     return _solve_greedy(model)
 
 
+# None of the built-ins keeps a persistent native handle (the scipy/HiGHS
+# path re-enters the library per solve from prebuilt arrays), so all four are
+# process-safe; the relaxation is deliberately inexact and greedy only solves
+# uncoupled models.
 register_backend(MILPBackend.SCIPY, _scipy_entry, replace=True)
 register_backend(MILPBackend.BRANCH_AND_BOUND, _branch_and_bound_entry,
                  replace=True)
-register_backend(MILPBackend.RELAXATION, _relaxation_entry, replace=True)
-register_backend(MILPBackend.GREEDY, _greedy_entry, replace=True)
+register_backend(MILPBackend.RELAXATION, _relaxation_entry, replace=True,
+                 capabilities=BackendCapabilities(exact=False))
+register_backend(MILPBackend.GREEDY, _greedy_entry, replace=True,
+                 capabilities=BackendCapabilities(supports_coupling=False))

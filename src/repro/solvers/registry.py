@@ -15,17 +15,38 @@ fingerprints), so the mapping now lives in one registry:
 
 A backend is a callable ``(model, time_limit) -> LPSolution``; ``time_limit``
 is advisory and backends that cannot honour it simply ignore it.
+
+Backends additionally carry :class:`BackendCapabilities`, declared at
+registration time, which the parallel/verification layers consult instead of
+matching on names:
+
+``exact``
+    The backend returns the true integer optimum.  The cross-backend
+    equivalence oracle asserts range *equality* only between exact backends;
+    inexact ones (the LP ``relaxation``) promise containment, not equality.
+``process_safe``
+    The backend's solves can run in a worker *process*: it holds no native
+    handles, so models/compiled skeletons pickle across the boundary.  A
+    future backend wrapping a persistent native solver handle registers with
+    ``process_safe=False`` and the solve executor will refuse to fan its
+    work out to a process pool.
+``supports_coupling``
+    The backend can solve models with coupling constraints.  ``greedy`` is
+    the one built-in that cannot — it is exact, but only on pure box
+    problems.
 """
 
 from __future__ import annotations
 
 import threading
+from dataclasses import dataclass
 from typing import Callable, Protocol
 
 from ..exceptions import SolverError
 
-__all__ = ["BackendFn", "register_backend", "resolve_backend",
-           "available_backends", "has_backend"]
+__all__ = ["BackendFn", "BackendCapabilities", "register_backend",
+           "resolve_backend", "available_backends", "has_backend",
+           "backend_capabilities"]
 
 
 class BackendFn(Protocol):
@@ -34,16 +55,30 @@ class BackendFn(Protocol):
     def __call__(self, model, time_limit: float | None = None): ...
 
 
+@dataclass(frozen=True)
+class BackendCapabilities:
+    """What a registered backend promises (see the module docstring)."""
+
+    exact: bool = True
+    process_safe: bool = True
+    supports_coupling: bool = True
+
+
+_DEFAULT_CAPABILITIES = BackendCapabilities()
+
 _lock = threading.Lock()
 _backends: dict[str, Callable] = {}
+_capabilities: dict[str, BackendCapabilities] = {}
 
 
-def register_backend(name: str, solver: Callable, *, replace: bool = False) -> None:
+def register_backend(name: str, solver: Callable, *, replace: bool = False,
+                     capabilities: BackendCapabilities | None = None) -> None:
     """Make ``solver`` addressable as backend ``name`` everywhere.
 
     Raises :class:`SolverError` on a duplicate name unless ``replace`` is
     set — silently shadowing a built-in would make bound results depend on
-    import order.
+    import order.  ``capabilities`` defaults to the conservative
+    all-features profile (exact, process-safe, coupling-capable).
     """
     if not name:
         raise SolverError("backend name must be non-empty")
@@ -53,6 +88,7 @@ def register_backend(name: str, solver: Callable, *, replace: bool = False) -> N
                 f"MILP backend {name!r} is already registered; "
                 "pass replace=True to override it")
         _backends[name] = solver
+        _capabilities[name] = capabilities or _DEFAULT_CAPABILITIES
 
 
 def resolve_backend(name: str) -> Callable:
@@ -64,6 +100,17 @@ def resolve_backend(name: str) -> Callable:
             f"unknown MILP backend {name!r}; expected one of "
             f"{available_backends()}")
     return solver
+
+
+def backend_capabilities(name: str) -> BackendCapabilities:
+    """The capability flags registered for backend ``name``."""
+    with _lock:
+        capabilities = _capabilities.get(name)
+    if capabilities is None:
+        raise SolverError(
+            f"unknown MILP backend {name!r}; expected one of "
+            f"{available_backends()}")
+    return capabilities
 
 
 def has_backend(name: str) -> bool:

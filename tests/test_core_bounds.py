@@ -17,7 +17,7 @@ from repro.core.constraints import (
 )
 from repro.core.pcset import PredicateConstraintSet
 from repro.core.predicates import Predicate
-from repro.exceptions import SolverError
+from repro.exceptions import DisjointRangeError, SolverError
 from repro.relational.aggregates import AggregateFunction
 from repro.solvers.milp import MILPBackend
 
@@ -53,6 +53,31 @@ class TestResultRange:
         shifted = ResultRange(1.0, 2.0).shifted(10.0)
         assert (shifted.lower, shifted.upper) == (11.0, 12.0)
         assert ResultRange(None, 2.0).shifted(1.0).lower is None
+
+    def test_intersect_tightens_and_treats_none_as_unbounded(self):
+        combined = ResultRange(1.0, 10.0).intersect(ResultRange(4.0, 20.0))
+        assert (combined.lower, combined.upper) == (4.0, 10.0)
+        open_ended = ResultRange(None, 10.0).intersect(ResultRange(2.0, None))
+        assert (open_ended.lower, open_ended.upper) == (2.0, 10.0)
+        untouched = ResultRange(None, None).intersect(ResultRange(None, None))
+        assert (untouched.lower, untouched.upper) == (None, None)
+
+    def test_intersect_disjoint_raises_dedicated_error(self):
+        """Disjoint ranges raise DisjointRangeError, never an inverted range."""
+        first = ResultRange(0.0, 1.0)
+        second = ResultRange(5.0, 9.0)
+        with pytest.raises(DisjointRangeError) as excinfo:
+            first.intersect(second)
+        # The alarm carries both offending ranges for monitoring.
+        assert excinfo.value.first is first
+        assert excinfo.value.second is second
+        # The dedicated error stays catchable as the SolverError family.
+        with pytest.raises(SolverError):
+            second.intersect(first)
+
+    def test_intersect_touching_endpoints_is_not_disjoint(self):
+        touching = ResultRange(0.0, 5.0).intersect(ResultRange(5.0, 9.0))
+        assert (touching.lower, touching.upper) == (5.0, 5.0)
 
 
 class TestPaperNumericalExamples:

@@ -1,0 +1,209 @@
+"""Randomized soundness properties of the bounding pipeline, all paths.
+
+The framework's one non-negotiable contract is *soundness*: whenever the
+missing partition satisfies the predicate-constraint set, the true aggregate
+answer lies inside the returned result range.  This harness generates seeded
+synthetic datasets, derives constraint sets from the missing partition (so
+satisfaction holds by construction), fires randomized queries across every
+aggregate, and asserts the contract on each execution path the parallel
+fan-out work introduced:
+
+* the serial compiled-program pipeline (the baseline),
+* the sharded fan-out path (``solve_workers > 1``) — which additionally
+  must return ranges *identical* to serial on exact enumeration,
+* the service batch executor (thread fan-out through the caches),
+* the cross-backend verification path (ranges intersected across two
+  backends must still contain the truth and equal the serial range).
+
+Scenarios deliberately cover the three structural regimes: disjoint
+partitions (the fast greedy path, many shards), overlapping boxes (coupled
+MILPs, usually one component), and mandatory-row partitions (exact counts,
+non-trivial lower bounds and forced extrema).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.bounds import BoundOptions, PCBoundSolver
+from repro.core.builders import (
+    build_partition_pcs,
+    build_random_overlapping_boxes,
+)
+from repro.core.engine import ContingencyQuery, PCAnalyzer
+from repro.core.predicates import Predicate
+from repro.relational.aggregates import AggregateFunction
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+from repro.service import ContingencyService
+
+AGGREGATES = [
+    (AggregateFunction.COUNT, None),
+    (AggregateFunction.SUM, "v"),
+    (AggregateFunction.AVG, "v"),
+    (AggregateFunction.MIN, "v"),
+    (AggregateFunction.MAX, "v"),
+]
+
+
+def make_relation(rng: np.random.Generator, rows: int) -> Relation:
+    """A synthetic two-column relation: a dimension ``t`` and a measure ``v``."""
+    schema = Schema.from_pairs([("t", ColumnType.FLOAT), ("v", ColumnType.FLOAT)])
+    t = rng.uniform(0.0, 100.0, rows)
+    v = np.round(rng.normal(50.0, 25.0, rows), 3)
+    return Relation.from_rows(schema, list(zip(t.tolist(), v.tolist())),
+                              name="synthetic")
+
+
+def split_missing(relation: Relation,
+                  rng: np.random.Generator) -> tuple[Relation, Relation]:
+    """Randomly split into (observed, missing) partitions."""
+    mask = rng.random(relation.num_rows) < 0.5
+    observed = relation.take(np.flatnonzero(mask).tolist())
+    missing = relation.take(np.flatnonzero(~mask).tolist())
+    return observed, missing
+
+
+def random_queries(rng: np.random.Generator,
+                   per_aggregate: int) -> list[ContingencyQuery]:
+    """Randomized regions (plus the unrestricted query) for every aggregate."""
+    queries: list[ContingencyQuery] = []
+    for aggregate, attribute in AGGREGATES:
+        queries.append(ContingencyQuery(aggregate, attribute, None))
+        for _ in range(per_aggregate):
+            low = float(rng.uniform(0.0, 80.0))
+            width = float(rng.uniform(5.0, 40.0))
+            region = Predicate.range("t", low, low + width)
+            queries.append(ContingencyQuery(aggregate, attribute, region))
+    return queries
+
+
+def scenario(seed: int, kind: str):
+    """One (missing, pcset, queries) soundness scenario."""
+    rng = np.random.default_rng(seed)
+    relation = make_relation(rng, rows=400)
+    observed, missing = split_missing(relation, rng)
+    if kind == "disjoint":
+        pcset = build_partition_pcs(missing, ["t"], 8)
+    elif kind == "mandatory":
+        pcset = build_partition_pcs(missing, ["t"], 6, exact_counts=True)
+    else:
+        pcset = build_random_overlapping_boxes(missing, ["t"], 5, rng=rng)
+    queries = random_queries(rng, per_aggregate=2)
+    return relation, observed, missing, pcset, queries
+
+
+def assert_contains(result_range, truth, query, label: str) -> None:
+    assert result_range.contains(truth), (
+        f"{label}: {query.describe()} returned "
+        f"[{result_range.lower}, {result_range.upper}] "
+        f"which does not contain the true answer {truth}")
+
+
+def _assert_endpoint(first: float | None, second: float | None,
+                     detail: tuple) -> None:
+    if first is None or second is None:
+        assert first == second, detail
+    else:
+        assert first == pytest.approx(second, rel=1e-9, abs=1e-9), detail
+
+
+def assert_same_range(first, second, query, label: str) -> None:
+    detail = (label, query.describe(), str(first), str(second))
+    _assert_endpoint(first.lower, second.lower, detail)
+    _assert_endpoint(first.upper, second.upper, detail)
+
+
+@pytest.mark.parametrize("seed", [101, 202])
+@pytest.mark.parametrize("kind", ["disjoint", "overlapping", "mandatory"])
+def test_serial_and_sharded_ranges_sound_and_identical(seed, kind):
+    """Truth ∈ range on the serial and sharded paths, and the paths agree."""
+    _, _, missing, pcset, queries = scenario(seed, kind)
+    serial = PCBoundSolver(pcset, BoundOptions())
+    sharded = PCBoundSolver(pcset, BoundOptions(solve_workers=3))
+    for query in queries:
+        truth = query.ground_truth(missing)
+        serial_range = serial.bound(query.aggregate, query.attribute,
+                                    query.region)
+        sharded_range = sharded.bound(query.aggregate, query.attribute,
+                                      query.region)
+        assert_contains(serial_range, truth, query, "serial")
+        assert_contains(sharded_range, truth, query, "sharded")
+        assert_same_range(serial_range, sharded_range, query,
+                          "sharded vs serial")
+
+
+@pytest.mark.parametrize("seed", [303])
+@pytest.mark.parametrize("kind", ["disjoint", "overlapping"])
+def test_combined_ranges_contain_full_relation_truth(seed, kind):
+    """With an observed partition, reported ranges cover the full relation."""
+    relation, observed, _, pcset, queries = scenario(seed, kind)
+    analyzer = PCAnalyzer(pcset, observed=observed, options=BoundOptions())
+    parallel_analyzer = PCAnalyzer(pcset, observed=observed,
+                                   options=BoundOptions(solve_workers=3))
+    for query in queries:
+        truth = query.ground_truth(relation)
+        report = analyzer.analyze(query)
+        assert_contains(report.result_range, truth, query, "serial analyze")
+        parallel_report = parallel_analyzer.analyze(query)
+        assert_contains(parallel_report.result_range, truth, query,
+                        "sharded analyze")
+        assert_same_range(report.result_range, parallel_report.result_range,
+                          query, "sharded analyze vs serial")
+
+
+@pytest.mark.parametrize("kind", ["disjoint", "overlapping"])
+def test_batch_fanout_matches_serial_and_stays_sound(kind):
+    """The service batch fan-out returns the same sound ranges as serial."""
+    relation, observed, _, pcset, queries = scenario(404, kind)
+    analyzer = PCAnalyzer(pcset, observed=observed, options=BoundOptions())
+    service = ContingencyService(max_workers=4)
+    service.register("soundness", pcset, observed=observed)
+    result = service.execute_batch("soundness", queries)
+    for query, report in zip(queries, result.reports):
+        truth = query.ground_truth(relation)
+        assert_contains(report.result_range, truth, query, "batch fan-out")
+        serial_report = analyzer.analyze(query)
+        assert_same_range(serial_report.result_range, report.result_range,
+                          query, "batch fan-out vs serial")
+
+
+@pytest.mark.parametrize("kind", ["disjoint", "overlapping", "mandatory"])
+def test_cross_backend_verification_sound_and_identical(kind):
+    """Verified ranges (scipy ∩ branch-and-bound) equal serial and hold truth.
+
+    The intersection of two sound ranges can only tighten, and on exact
+    backends both ranges are equal, so verification must be a behavioural
+    no-op on healthy solvers — while still exercising the full alarm path.
+    """
+    _, _, missing, pcset, queries = scenario(505, kind)
+    serial = PCBoundSolver(pcset, BoundOptions())
+    verified = PCBoundSolver(pcset, BoundOptions(
+        verify_backend="branch-and-bound"))
+    for query in queries:
+        truth = query.ground_truth(missing)
+        serial_range = serial.bound(query.aggregate, query.attribute,
+                                    query.region)
+        verified_range = verified.bound(query.aggregate, query.attribute,
+                                        query.region)
+        assert_contains(verified_range, truth, query, "cross-backend")
+        assert_same_range(serial_range, verified_range, query,
+                          "cross-backend vs serial")
+
+
+def test_sharded_verified_combination_is_sound():
+    """Sharding and verification compose: fan out, cross-check, stay sound."""
+    _, _, missing, pcset, queries = scenario(606, "disjoint")
+    combined = PCBoundSolver(pcset, BoundOptions(
+        solve_workers=3, verify_backend="branch-and-bound"))
+    serial = PCBoundSolver(pcset, BoundOptions())
+    for query in queries:
+        truth = query.ground_truth(missing)
+        combined_range = combined.bound(query.aggregate, query.attribute,
+                                        query.region)
+        assert_contains(combined_range, truth, query, "sharded+verified")
+        serial_range = serial.bound(query.aggregate, query.attribute,
+                                    query.region)
+        assert_same_range(serial_range, combined_range, query,
+                          "sharded+verified vs serial")
