@@ -6,10 +6,20 @@ the numbers can be compared against the publication (see EXPERIMENTS.md).
 Scales are chosen so the whole suite finishes in a few minutes on a laptop;
 pass larger configs to the underlying ``run_*`` functions to approach the
 paper's exact sizes.
+
+Benchmarks that measure *this repository's* performance (rather than
+regenerate paper artifacts) additionally record their wall times and
+speedups through the ``bench_record`` fixture; the session writes them to
+``benchmarks/BENCH_PR4.json`` so the perf trajectory is machine-readable
+from PR 4 on — diff the file across PRs instead of scraping pytest logs.
 """
 
 from __future__ import annotations
 
+import json
+import os
+import platform
+import time
 from pathlib import Path
 
 import pytest
@@ -21,6 +31,8 @@ def pytest_configure(config):
 
 
 _BENCH_DIR = Path(__file__).parent
+_TRAJECTORY_FILE = _BENCH_DIR / "BENCH_PR4.json"
+_RECORDS: list[dict] = []
 
 
 def pytest_collection_modifyitems(items):
@@ -43,3 +55,35 @@ def report_artifact(capsys):
             print("\n" + text + "\n")
 
     return _report
+
+
+@pytest.fixture
+def bench_record(request):
+    """Record one benchmark's timings into ``BENCH_PR4.json``.
+
+    Call with keyword fields; ``seconds``-suffixed fields are wall times,
+    ``speedup`` fields are ratios.  The benchmark name defaults to the
+    test's node name so records stay greppable across PRs.
+    """
+
+    def _record(name: str | None = None, **fields) -> None:
+        _RECORDS.append({"benchmark": name or request.node.name, **fields})
+
+    return _record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _RECORDS:
+        return
+    payload = {
+        "schema": "repro-bench-trajectory/1",
+        "recorded_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "cpu_count": os.cpu_count(),
+        },
+        "records": _RECORDS,
+    }
+    _TRAJECTORY_FILE.write_text(json.dumps(payload, indent=2, sort_keys=True)
+                                + "\n")

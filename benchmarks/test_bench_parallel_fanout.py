@@ -81,7 +81,7 @@ def run_batch(analyzer: PCAnalyzer, queries: list[ContingencyQuery],
     return result, elapsed
 
 
-def test_bench_warm_multi_region_batch_fanout(report_artifact):
+def test_bench_warm_multi_region_batch_fanout(report_artifact, bench_record):
     """Warm batch, workers=4 process fan-out vs workers=1: >= 2x, same ranges."""
     analyzer, queries = coupled_scenario()
     # Warm every program outside the timed sections: the claim is about
@@ -107,6 +107,8 @@ def test_bench_warm_multi_region_batch_fanout(report_artifact):
         f"  workers=1 (serial)   : {serial_seconds:.2f} s\n"
         f"  workers={WORKERS} (process)  : {fanout_seconds:.2f} s\n"
         f"  speedup              : {ratio:.2f}x")
+    bench_record(serial_seconds=serial_seconds, fanout_seconds=fanout_seconds,
+                 speedup=ratio, workers=WORKERS, cores=cores)
     if cores < 2:
         pytest.skip(f"parallel speedup needs >= 2 cores, found {cores}; "
                     "range-equality was still asserted")
@@ -114,7 +116,7 @@ def test_bench_warm_multi_region_batch_fanout(report_artifact):
     assert ratio >= 2.0
 
 
-def test_bench_sharded_single_query_fanout(report_artifact):
+def test_bench_sharded_single_query_fanout(report_artifact, bench_record):
     """Plan sharding on a wide disjoint partition: identical ranges, and the
     shard programs are strictly smaller than the monolithic one."""
     rng = np.random.default_rng(11)
@@ -158,5 +160,9 @@ def test_bench_sharded_single_query_fanout(report_artifact):
         f"(largest {largest_shard} of {len(pcset)} constraints)\n"
         f"  serial               : {serial_seconds * 1000:.1f} ms\n"
         f"  sharded (4 workers)  : {sharded_seconds * 1000:.1f} ms")
+    bench_record(serial_seconds=serial_seconds,
+                 sharded_seconds=sharded_seconds,
+                 speedup=serial_seconds / max(sharded_seconds, 1e-9),
+                 shards=len(plan), workers=WORKERS)
     assert plan.is_sharded
     assert largest_shard < len(pcset)

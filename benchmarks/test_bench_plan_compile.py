@@ -69,7 +69,8 @@ def batch_queries() -> list[ContingencyQuery]:
 
 
 @pytest.mark.paper_artifact("plan-compile")
-def test_bench_avg_binary_search_program_reuse(benchmark, report_artifact):
+def test_bench_avg_binary_search_program_reuse(benchmark, report_artifact,
+                                               bench_record):
     """AVG probes against a compiled skeleton vs. rebuilt-per-probe MILPs."""
 
     def solver(reuse: bool) -> PCBoundSolver:
@@ -105,12 +106,15 @@ def test_bench_avg_binary_search_program_reuse(benchmark, report_artifact):
         f"  rebuild per probe    : {rebuild_seconds * 1000:.1f} ms per bound\n"
         f"  compiled + patched   : {compiled_seconds * 1000:.2f} ms per bound\n"
         f"  speedup              : {ratio:.0f}x")
+    bench_record(rebuild_seconds=rebuild_seconds,
+                 compiled_seconds=compiled_seconds, speedup=ratio)
     # Acceptance: >= 2x; observed speedups are an order of magnitude larger.
     assert ratio >= 2.0
 
 
 @pytest.mark.paper_artifact("plan-compile")
-def test_bench_warm_batch_program_reuse(benchmark, report_artifact):
+def test_bench_warm_batch_program_reuse(benchmark, report_artifact,
+                                        bench_record):
     """Warm batches solve through cached programs vs. rebuilding every MILP."""
     queries = batch_queries()
 
@@ -158,5 +162,8 @@ def test_bench_warm_batch_program_reuse(benchmark, report_artifact):
         f"  compiled + patched   : {compiled_seconds * 1000:.2f} ms per batch\n"
         f"  speedup              : {ratio:.0f}x\n"
         + compiled_service.statistics().summary())
+    bench_record(rebuild_seconds=rebuild_seconds,
+                 compiled_seconds=compiled_seconds, speedup=ratio,
+                 batch_size=len(queries))
     # Acceptance: >= 2x faster with compiled-program reuse.
     assert ratio >= 2.0

@@ -54,7 +54,7 @@ def build_queries(count: int = 40) -> list[ContingencyQuery]:
 
 
 @pytest.mark.paper_artifact("service-cache")
-def test_bench_service_cache(benchmark, report_artifact):
+def test_bench_service_cache(benchmark, report_artifact, bench_record):
     options = BoundOptions(check_closure=False)
     queries = build_queries()
 
@@ -81,6 +81,8 @@ def test_bench_service_cache(benchmark, report_artifact):
         f"  warm batch (mean of 5): {warm_seconds * 1000:.3f} ms\n"
         f"  warm/cold speedup     : {ratio:.0f}x\n"
         + statistics.summary())
+    bench_record(cold_seconds=cold_seconds, warm_seconds=warm_seconds,
+                 speedup=ratio, batch_size=len(queries))
 
     # Warm batches are answered from the report cache without re-running
     # decomposition: only the cold pass computed any.

@@ -95,7 +95,14 @@ def build_parser() -> argparse.ArgumentParser:
     bound_parser.add_argument("--workers", type=int, default=None,
                               help="fan the solve out over this many workers "
                                    "when the plan shards into independent "
-                                   "constraint components (default: serial)")
+                                   "constraint components (default: serial); "
+                                   "workers are borrowed from a persistent "
+                                   "shared pool")
+    bound_parser.add_argument("--parallel-mode", default=None,
+                              choices=["thread", "process"],
+                              help="worker-pool flavour for --workers "
+                                   "(default: thread; process needs a "
+                                   "process-safe backend)")
     _add_solver_arguments(bound_parser)
     bound_parser.set_defaults(handler=_command_bound)
 
@@ -256,6 +263,8 @@ def _command_bound(args: argparse.Namespace) -> int:
         if args.workers < 1:
             raise ReproError("--workers must be at least 1")
         options.solve_workers = args.workers
+    if args.parallel_mode is not None:
+        options.parallel_mode = args.parallel_mode
     analyzer = PCAnalyzer(pcset, observed=observed, options=options)
     report = analyzer.analyze(query)
     # The program was compiled (and cached) by analyze(); reading its plan
@@ -271,18 +280,21 @@ def _command_bound(args: argparse.Namespace) -> int:
     for note in plan.trace:
         print(f"                  - {note}")
     if options.solve_workers is not None and options.solve_workers > 1:
-        from .parallel.sharding import SHARDABLE_AGGREGATES
-
-        if query.aggregate not in SHARDABLE_AGGREGATES:
-            print(f"sharding        : {query.aggregate.value} does not "
-                  "decompose across shards; solved serially")
-        else:
-            sharded = analyzer.solver.sharded_plan(query.region,
-                                                   query.attribute)
-            print(f"sharding        : {len(sharded)} shard(s) over "
-                  f"{options.solve_workers} worker(s)"
-                  + ("" if sharded.is_sharded
-                     else " (single component; solved serially)"))
+        # Every aggregate parallelises now: COUNT/SUM/MIN/MAX merge shard
+        # ranges, AVG runs the cross-shard binary search.
+        sharded = analyzer.solver.sharded_plan(query.region, query.attribute)
+        flavour = ("cross-shard binary search"
+                   if query.aggregate is AggregateFunction.AVG
+                   else "merged shard solves")
+        # Report the pool the solve actually borrowed: the resolved mode
+        # can differ from --parallel-mode (process-unsafe backends fall
+        # back to threads, width 1 degrades to serial).
+        pool = analyzer.solver.borrow_pool(options.solve_workers)
+        print(f"sharding        : {len(sharded)} shard(s) over "
+              f"{options.solve_workers} worker(s) on the shared "
+              f"{pool.mode} pool"
+              + (f" ({flavour})" if sharded.is_sharded
+                 else " (single component; solved serially)"))
     if options.verify_backend is not None:
         print(f"verification    : cross-backend against "
               f"{options.verify_backend}")

@@ -32,7 +32,7 @@ from dataclasses import dataclass, replace
 
 from ..exceptions import SolverError
 from ..plan.ir import BoundPlan, BoundQuery, build_plan
-from ..plan.passes import optimize_plan
+from ..plan.passes import ObservedCellStatistics, default_passes, optimize_plan
 from ..plan.program import BoundProgram, compile_plan
 from ..relational.aggregates import AggregateFunction
 from ..solvers.milp import MILPBackend
@@ -168,20 +168,36 @@ class PCBoundSolver:
         Optional shared cache for compiled :class:`BoundProgram` objects
         (same protocol as ``decomposition_cache``).  When omitted, programs
         are cached in a private per-instance dict.
+    worker_pool:
+        Optional long-lived :class:`~repro.parallel.pool.WorkerPool` the
+        sharded fan-out borrows instead of spinning a per-call executor
+        (the service layer passes its own pool).  When omitted and
+        ``options.solve_workers > 1``, a process-global shared pool is
+        borrowed.
+    cell_statistics:
+        Optional :class:`~repro.plan.passes.ObservedCellStatistics` feed
+        the strategy-selection pass consults for adaptive cell budgeting;
+        the solver records every fresh decomposition into it.  Defaults to
+        a private per-solver feed; the service shares one across sessions.
     """
 
     def __init__(self, pcset: PredicateConstraintSet,
                  options: BoundOptions | None = None,
                  decomposition_cache=None,
                  cache_namespace: object = None,
-                 program_cache=None):
+                 program_cache=None,
+                 worker_pool=None,
+                 cell_statistics: ObservedCellStatistics | None = None):
         self._pcset = pcset
         self._options = options or BoundOptions()
         self._shared_cache = decomposition_cache
         self._cache_namespace = cache_namespace
         self._program_cache = program_cache
+        self._worker_pool = worker_pool
+        self._cell_statistics = cell_statistics or ObservedCellStatistics()
         self._decomposition_cache: dict[object, CellDecomposition] = {}
         self._decomposition_locks: dict[object, threading.Lock] = {}
+        self._resolved_depths: dict[tuple, int | None] = {}
         self._local_programs: dict[object, BoundProgram] = {}
         self._local_program_locks: dict[object, threading.Lock] = {}
         self._sharded_plans: dict[tuple, object] = {}
@@ -208,6 +224,8 @@ class PCBoundSolver:
         state = dict(self.__dict__)
         state["_shared_cache"] = None
         state["_program_cache"] = None
+        state["_worker_pool"] = None
+        state["_cell_statistics"] = None
         state["_decomposition_locks"] = {}
         state["_local_program_locks"] = {}
         del state["_counter_lock"]
@@ -218,6 +236,7 @@ class PCBoundSolver:
         self.__dict__.update(state)
         self._counter_lock = threading.Lock()
         self._program_lock = threading.Lock()
+        self._cell_statistics = ObservedCellStatistics()
 
     @property
     def pcset(self) -> PredicateConstraintSet:
@@ -226,6 +245,70 @@ class PCBoundSolver:
     @property
     def options(self) -> BoundOptions:
         return self._options
+
+    @property
+    def worker_pool(self):
+        """The injected worker pool, if any (None means borrow the shared one)."""
+        return self._worker_pool
+
+    @property
+    def cell_statistics(self) -> ObservedCellStatistics | None:
+        """The adaptive cell-count feed strategy selection consults."""
+        return self._cell_statistics
+
+    def attach_program_cache(self, cache) -> None:
+        """Swap in a program cache (the worker-pool warm-cache handshake).
+
+        Pool workers receive solvers whose shared caches were dropped at the
+        pickle boundary; attaching the worker's own cache here is what lets
+        programs the parent pre-shipped (under :meth:`program_key` /
+        :meth:`shard_program_key` keys) satisfy this solver's lookups.
+        """
+        self._program_cache = cache
+
+    def program_key(self, region: Predicate | None = None,
+                    attribute: str | None = None) -> tuple:
+        """The content-derived cache key for the (region, attribute) program.
+
+        Stable across processes (fingerprint namespace + execution knobs),
+        which is what lets the worker pool address warm worker-side caches
+        with the parent's keys.
+        """
+        return self._program_key(region, attribute)
+
+    def resolved_early_stop_depth(self, region: Predicate | None = None,
+                                  attribute: str | None = None) -> int | None:
+        """The pair's pinned early-stop depth (resolving it on first ask).
+
+        The worker pool ships this alongside each query so worker-side
+        solvers can :meth:`pin_early_stop_depth` to the parent's decision —
+        without it, a worker whose density feed diverged from the parent's
+        would resolve adaptive pairs differently and compute mismatched
+        program keys.
+        """
+        return self._resolved_early_stop_depth(region, attribute)
+
+    def pin_early_stop_depth(self, region: Predicate | None,
+                             attribute: str | None,
+                             depth: int | None) -> None:
+        """Adopt a parent solver's resolved adaptive depth for one pair.
+
+        The worker-side half of the handshake described in
+        :meth:`resolved_early_stop_depth`.  First pin wins (matching the
+        parent-side memo semantics); a no-op outside adaptive budgeting,
+        where the depth is already determined by the options.
+        """
+        options = self._options
+        if (not options.optimize or options.cell_budget is None
+                or options.early_stop_depth is not None):
+            return
+        with self._program_lock:
+            self._resolved_depths.setdefault((region, attribute), depth)
+
+    def shard_program_key(self, shard, region: Predicate | None,
+                          attribute: str | None) -> tuple:
+        """The cache key for one shard's program (program key + shard token)."""
+        return self._program_key(region, attribute) + shard.cache_token()
 
     @property
     def decompositions_computed(self) -> int:
@@ -294,43 +377,134 @@ class PCBoundSolver:
         """The closed-world missing-partition range, serial or sharded."""
         workers = self._options.solve_workers
         if workers is not None and workers > 1:
+            from ..parallel.pool import in_pool_thread, in_worker
             from ..parallel.sharding import SHARDABLE_AGGREGATES
 
-            if aggregate in SHARDABLE_AGGREGATES:
-                sharded = self.sharded_plan(region, attribute,
-                                            max_shards=workers)
-                if sharded.is_sharded:
-                    return self._bound_sharded(sharded, aggregate, attribute,
-                                               region, workers)
+            # Inside a pool worker — process or thread — the fan-out IS the
+            # pool; sharding again would run every per-shard solve inline
+            # (or spawn pools from workers), multiplying cost for zero
+            # concurrency, so pooled analyzers degrade to the serial path.
+            if not in_worker() and not in_pool_thread():
+                if aggregate in SHARDABLE_AGGREGATES:
+                    sharded = self.sharded_plan(region, attribute,
+                                                max_shards=workers)
+                    if sharded.is_sharded:
+                        return self._bound_sharded(sharded, aggregate,
+                                                   attribute, region, workers)
+                elif aggregate is AggregateFunction.AVG:
+                    sharded = self.sharded_plan(region, attribute,
+                                                max_shards=workers)
+                    if sharded.is_sharded:
+                        return self._bound_avg_sharded(sharded, attribute,
+                                                       region, known_sum,
+                                                       known_count, workers)
         program = self.program(region, attribute)
         return program.bound(aggregate, known_sum=known_sum,
                              known_count=known_count)
 
+    def borrow_pool(self, workers: int):
+        """The worker pool the fan-out runs on: the injected (service-owned)
+        pool when one was supplied, else a process-global shared pool —
+        either way long-lived, so repeated sharded solves never pay pool
+        start-up or re-ship warm programs.
+
+        The ``process_safe`` capability gate applies to injected pools too:
+        a service-owned process pool cannot run a backend whose state cannot
+        cross the process boundary, so such solvers borrow a shared thread
+        pool instead (the same fallback :class:`~repro.parallel.pool.
+        WorkerPool` applies when it knows the backend at construction).
+        """
+        from ..parallel.pool import shared_pool
+        from ..solvers.registry import backend_capabilities
+
+        backend = self._options.milp_backend
+        pool = self._worker_pool
+        if pool is not None:
+            if (pool.mode != "process"
+                    or backend_capabilities(backend).process_safe):
+                return pool
+            return shared_pool(mode="thread", max_workers=workers)
+        return shared_pool(mode=self._options.parallel_mode,
+                           max_workers=workers, backend=backend)
+
+    def _keyed_shard_programs(self, sharded, region: Predicate | None,
+                              attribute: str | None) -> list[tuple]:
+        """(pool key, compiled program) per shard, parent-cache warm."""
+        return [(self.shard_program_key(shard, region, attribute),
+                 self.shard_program(shard, region, attribute))
+                for shard in sharded]
+
     def _bound_sharded(self, sharded, aggregate: AggregateFunction,
                        attribute: str | None, region: Predicate | None,
                        workers: int) -> ResultRange:
-        """Fan the per-shard programs out over a pool and merge the ranges."""
-        from ..parallel.executor import SolveExecutor
+        """Fan the per-shard programs out over the pool and merge the ranges."""
         from ..parallel.sharding import (
             merge_shard_ranges,
             merge_shard_statistics,
         )
 
-        programs = [self.shard_program(shard, region, attribute)
-                    for shard in sharded]
-        with SolveExecutor(max_workers=workers,
-                           mode=self._options.parallel_mode,
-                           backend=self._options.milp_backend) as executor:
-            endpoints = executor.solve_programs(programs, aggregate)
+        keyed = self._keyed_shard_programs(sharded, region, attribute)
+        endpoints = self.borrow_pool(workers).solve_programs(keyed, aggregate)
         ranges = [ResultRange(lower, upper, aggregate, attribute, closed=closed)
                   for lower, upper, closed in endpoints]
         # Statistics come from the parent's shard programs, not the worker
         # results: workers return bare endpoints, and the parent compiled
         # (or cache-loaded) every shard program anyway.
         statistics = merge_shard_statistics(
-            program.decomposition.statistics for program in programs)
+            program.decomposition.statistics for _, program in keyed)
         return merge_shard_ranges(aggregate, ranges, attribute,
                                   statistics=statistics)
+
+    def _bound_avg_sharded(self, sharded, attribute: str | None,
+                           region: Predicate | None, known_sum: float,
+                           known_count: float, workers: int) -> ResultRange:
+        """AVG across shards: the pooled cross-shard binary search.
+
+        Mirrors :meth:`BoundProgram._bound_avg` over the union of the shard
+        programs' active cells (the shard cells partition the full
+        program's cells, so the edge cases and the search interval are
+        identical), then runs the probe loop through the pool — one
+        reduction of per-shard ``value − target`` optima per iteration
+        (:func:`repro.parallel.pool.sharded_avg_range`).
+        """
+        import math as _math
+
+        from ..parallel.pool import sharded_avg_range
+        from ..parallel.sharding import merge_shard_statistics
+
+        aggregate = AggregateFunction.AVG
+        keyed = self._keyed_shard_programs(sharded, region, attribute)
+        statistics = merge_shard_statistics(
+            program.decomposition.statistics for _, program in keyed)
+
+        def result(lower, upper):
+            return ResultRange(lower, upper, aggregate, attribute,
+                               statistics=statistics)
+
+        active = [profile for _, program in keyed
+                  for profile in program.active_profiles]
+        if not active:
+            if known_count > 0:
+                average = known_sum / known_count
+                return result(average, average)
+            return result(None, None)
+        uppers = [profile.value_upper for profile in active]
+        lowers = [profile.value_lower for profile in active]
+        if any(_math.isinf(value) for value in uppers + lowers):
+            return result(-_INF, _INF)
+        mandatory = any(program.pcset.has_mandatory_rows()
+                        for _, program in keyed)
+        if not mandatory and known_count == 0:
+            return result(min(lowers), max(uppers))
+        known = [known_sum / known_count] if known_count else []
+        high_start = max(uppers + known)
+        low_start = min(lowers + known)
+        lower, upper = sharded_avg_range(
+            self.borrow_pool(workers), keyed, known_sum, known_count,
+            low_start, high_start,
+            tolerance=self._options.avg_tolerance,
+            max_iterations=self._options.avg_max_iterations)
+        return result(lower, upper)
 
     def _cross_check(self, result: ResultRange, aggregate: AggregateFunction,
                      attribute: str | None, region: Predicate | None,
@@ -366,7 +540,8 @@ class PCBoundSolver:
                     self._pcset, options,
                     decomposition_cache=self._shared_cache,
                     cache_namespace=self._cache_namespace,
-                    program_cache=self._program_cache)
+                    program_cache=self._program_cache,
+                    cell_statistics=self._cell_statistics)
             return self._verify_solver
 
     def explain(self, aggregate: AggregateFunction, attribute: str | None = None,
@@ -428,8 +603,33 @@ class PCBoundSolver:
         """
         plan = build_plan(query, self._pcset, self._options)
         if self._options.optimize:
-            plan = optimize_plan(plan)
+            plan = optimize_plan(plan, default_passes(self._cell_statistics))
+            plan = self._pin_adaptive_depth(plan)
         return plan
+
+    def _pin_adaptive_depth(self, plan: BoundPlan) -> BoundPlan:
+        """First resolution wins: pin a pair's adaptive early-stop depth.
+
+        Under adaptive budgeting the strategy-selection decision depends on
+        the observed-density feed, which keeps learning; without pinning,
+        the same (region, attribute) pair could compile to different depths
+        over time, making cache keys unstable and parent/worker keys
+        diverge.  The first resolved depth for a pair is memoized (plain
+        data — it travels in the pickle to pool workers) and every later
+        plan for that pair is amended to match.
+        """
+        options = self._options
+        if options.cell_budget is None or options.early_stop_depth is not None:
+            return plan
+        key = (plan.query.region, plan.query.attribute)
+        with self._program_lock:
+            pinned = self._resolved_depths.setdefault(key,
+                                                      plan.early_stop_depth)
+        if pinned == plan.early_stop_depth:
+            return plan
+        return plan.amended(early_stop_depth=pinned).annotated(
+            f"strategy-selection: depth pinned to this pair's first "
+            f"resolution ({pinned}) for cache-key stability")
 
     def program(self, region: Predicate | None = None,
                 attribute: str | None = None) -> BoundProgram:
@@ -526,12 +726,48 @@ class PCBoundSolver:
         the enumeration knobs; the remaining execution knobs (backend, AVG
         search parameters, pipeline toggles) are appended explicitly because
         they change the compiled artifact without changing decompositions.
+        Under adaptive budgeting the *resolved* early-stop depth joins the
+        key, so a cached program can never alias a differently-budgeted
+        compile of the same pair (see :meth:`_resolved_early_stop_depth`).
         """
         options = self._options
         return ("program", self._namespace(), options.milp_backend,
                 options.avg_tolerance, options.avg_max_iterations,
                 options.optimize, options.cell_budget, options.program_reuse,
+                self._resolved_early_stop_depth(region, attribute),
                 region, attribute)
+
+    def _resolved_early_stop_depth(self, region: Predicate | None,
+                                   attribute: str | None) -> int | None:
+        """The early-stop depth the compiled program will actually use.
+
+        Deterministic straight from the options in every configuration
+        except adaptive budgeting (a cell budget with no explicit depth),
+        where strategy selection consults the mutable observed-density
+        feed.  There the decision is resolved by running the optimizer
+        **once per (region, attribute) and memoized**, which buys three
+        properties at once: cache keys are stable for the solver's lifetime
+        (a cached artifact always means exactly one (plan, depth) pair),
+        warm key lookups stay tuple-cheap instead of re-running the
+        optimizer per call, and — because the memo is plain data that
+        *travels in the pickle* — a pool worker computes the same keys as
+        the parent for every pair the parent resolved, so pre-shipped warm
+        programs are actually found.  Adaptivity still applies to pairs
+        first seen after the feed has samples (and to later solvers sharing
+        a service feed); already-resolved pairs keep their decision, which
+        is sound either way (early stopping only loosens).
+        """
+        options = self._options
+        if (not options.optimize or options.cell_budget is None
+                or options.early_stop_depth is not None):
+            return options.early_stop_depth
+        with self._program_lock:
+            if (region, attribute) in self._resolved_depths:
+                return self._resolved_depths[(region, attribute)]
+        aggregate = (AggregateFunction.COUNT if attribute is None
+                     else AggregateFunction.SUM)
+        # plan() pins the pair's depth into the memo as a side effect.
+        return self.plan(BoundQuery(aggregate, attribute, region)).early_stop_depth
 
     def _namespace(self) -> object:
         if self._cache_namespace is not None:
@@ -572,7 +808,7 @@ class PCBoundSolver:
         if self._shared_cache is not None and self._cache_namespace is not None:
             namespace = ("plan-shard", self._cache_namespace,
                          self._options.optimize, self._options.cell_budget,
-                         shard.cache_token())
+                         plan.early_stop_depth, shard.cache_token())
         decomposition = decompose_cached(
             plan.pcset, region,
             strategy=plan.strategy,
@@ -635,6 +871,8 @@ class PCBoundSolver:
         with self._counter_lock:
             self._decompositions_computed += 1
             self._decomposition_solver_calls += decomposition.statistics.solver_calls
+        if self._cell_statistics is not None:
+            self._cell_statistics.observe(decomposition.statistics)
 
     def _decompose_plan(self, plan: BoundPlan) -> CellDecomposition:
         region = plan.query.region
@@ -644,10 +882,13 @@ class PCBoundSolver:
                 # The caller's namespace covers the original constraint set
                 # and enumeration knobs; the pipeline toggles complete it
                 # because they decide what actually gets decomposed.  The
-                # optimized set itself is a deterministic function of
-                # (namespace, region), which the cache key already carries.
+                # plan's resolved early-stop depth joins explicitly: under
+                # adaptive budgeting it depends on the observed-density
+                # feed, not just on (namespace, region), and two plans that
+                # enumerate to different depths must never share cells.
                 namespace = ("plan", self._cache_namespace,
-                             self._options.optimize, self._options.cell_budget)
+                             self._options.optimize, self._options.cell_budget,
+                             plan.early_stop_depth)
             return decompose_cached(
                 plan.pcset, region,
                 strategy=plan.strategy,

@@ -36,28 +36,38 @@ from .predicates import Predicate
 
 __all__ = ["Cell", "DecompositionStrategy", "DecompositionStatistics",
            "CellDecomposition", "CellDecomposer", "decompose_cached",
-           "decomposition_cache_key", "estimate_cell_count"]
+           "decomposition_cache_key", "estimate_cell_count",
+           "worst_case_cell_count"]
 
 _CELL_ESTIMATE_CAP = 1 << 62
+
+
+def worst_case_cell_count(num_constraints: int) -> int:
+    """Worst-case covered cells for ``num_constraints`` overlapping
+    predicates: ``2^n - 1``, capped so very large sets never overflow into
+    bignum territory.  The single source of truth for this formula — the
+    strategy-selection pass and its observed-density feed both scale it.
+    """
+    if num_constraints <= 0:
+        return 0
+    if num_constraints >= 62:
+        return _CELL_ESTIMATE_CAP
+    return (1 << num_constraints) - 1
 
 
 def estimate_cell_count(pcset: PredicateConstraintSet) -> int:
     """Worst-case number of satisfiable cells for ``pcset``.
 
     Pairwise-disjoint predicates decompose into exactly one cell each; in
-    general up to ``2^n - 1`` covered cells exist.  The plan optimizer's
-    strategy-selection pass compares this against its cell budget, so the
-    value is capped rather than allowed to overflow into bignum territory
-    for very large constraint sets.
+    general up to ``2^n - 1`` covered cells exist (see
+    :func:`worst_case_cell_count`).
     """
     count = len(pcset)
     if count == 0:
         return 0
     if pcset.is_pairwise_disjoint():
         return count
-    if count >= 62:
-        return _CELL_ESTIMATE_CAP
-    return (1 << count) - 1
+    return worst_case_cell_count(count)
 
 
 @dataclass(frozen=True)

@@ -146,6 +146,13 @@ class PCAnalyzer:
         Optional shared cache of compiled bound programs (see
         :class:`~repro.plan.BoundProgram`); the service layer passes one so
         warm queries skip plan compilation as well as decomposition.
+    worker_pool:
+        Optional long-lived :class:`~repro.parallel.pool.WorkerPool` the
+        solver's sharded fan-out borrows (the service passes its own).
+    cell_statistics:
+        Optional shared :class:`~repro.plan.passes.ObservedCellStatistics`
+        feed for adaptive cell budgeting (the service shares one across
+        sessions).
     """
 
     def __init__(self, pcset: PredicateConstraintSet,
@@ -153,14 +160,18 @@ class PCAnalyzer:
                  options: BoundOptions | None = None,
                  decomposition_cache=None,
                  cache_namespace: object = None,
-                 program_cache=None):
+                 program_cache=None,
+                 worker_pool=None,
+                 cell_statistics=None):
         self._pcset = pcset
         self._observed = observed
         self._options = options or BoundOptions()
         self._solver = PCBoundSolver(pcset, self._options,
                                      decomposition_cache=decomposition_cache,
                                      cache_namespace=cache_namespace,
-                                     program_cache=program_cache)
+                                     program_cache=program_cache,
+                                     worker_pool=worker_pool,
+                                     cell_statistics=cell_statistics)
 
     @property
     def pcset(self) -> PredicateConstraintSet:

@@ -17,6 +17,13 @@ features that previously had no safe seam:
     pool or — for backends whose capability flags declare their compiled
     skeletons pickle-safe — a process pool, the route to real CPU scale-out
     on GIL-bound backends.
+``pool``
+    :class:`WorkerPool`, the persistent runtime on top of those ideas:
+    long-lived workers with warm per-worker program caches keyed by the
+    parent's fingerprints, affinity routing, a warm-up protocol, restart on
+    worker death, and the cross-shard AVG binary search
+    (:func:`~repro.parallel.pool.sharded_avg_range`).  The service owns
+    one; bare solvers and the CLI borrow process-global shared pools.
 ``verify``
     Cross-backend verification: solve one program on two registry backends
     and intersect the ranges.  Two sound ranges always intersect, so a
@@ -31,6 +38,12 @@ its phase-2 solves.
 """
 
 from .executor import SolveExecutor
+from .pool import (
+    PoolStatistics,
+    WorkerPool,
+    shared_pool,
+    shutdown_shared_pools,
+)
 from .sharding import (
     SHARDABLE_AGGREGATES,
     PlanShard,
@@ -43,6 +56,10 @@ from .verify import cross_check_ranges
 
 __all__ = [
     "SolveExecutor",
+    "WorkerPool",
+    "PoolStatistics",
+    "shared_pool",
+    "shutdown_shared_pools",
     "SHARDABLE_AGGREGATES",
     "PlanShard",
     "ShardedBoundPlan",

@@ -105,6 +105,12 @@ class SolveExecutor:
     # ------------------------------------------------------------------ #
     def _ensure_pool(self):
         if self._pool is None:
+            # The atexit reaper guarantees an interrupted run (e.g. a
+            # killed pytest session) never strands worker processes, even
+            # for callers that skip the context-manager protocol.
+            from .pool import register_for_reaping
+
+            register_for_reaping(self)
             if self._mode == "thread":
                 self._pool = ThreadPoolExecutor(max_workers=self._max_workers)
             else:
@@ -112,6 +118,8 @@ class SolveExecutor:
         return self._pool
 
     def shutdown(self) -> None:
+        """Release the underlying pool; idempotent (and re-armable: the
+        executor lazily rebuilds its pool if used again)."""
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

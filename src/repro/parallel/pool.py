@@ -1,0 +1,1043 @@
+"""Persistent worker pools with warm per-worker program caches.
+
+PR 3's :class:`~repro.parallel.SolveExecutor` fans work out, but every call
+site constructed a fresh executor — paying process fork, analyzer pickling
+and solver warm-up on *each* sharded solve or batch phase.  This module is
+the long-lived runtime that amortises those costs:
+
+* **Worker-side warm caches.**  Each process worker owns a program cache
+  keyed by the *parent's* program-cache keys (content fingerprints + region
+  + attribute + shard token).  The first solve for a key ships the compiled
+  :class:`~repro.plan.BoundProgram` skeleton (a few KB); every later solve
+  ships only the key, and the worker patches parameters into its warm copy.
+* **Fingerprint-affinity routing.**  A key is pinned to one worker
+  (balanced on first sight, sticky afterwards), so repeated traffic for a
+  program always lands where its warm copy lives instead of spraying cold
+  misses across the pool.
+* **Warm-up protocol.**  :meth:`WorkerPool.warm` pre-ships compiled
+  skeletons to their affinity workers, and :meth:`WorkerPool.register_session`
+  ships a whole analyzer once per worker, so batch phase 2 runs against warm
+  worker state from the first query.
+* **Explicit lifecycle.**  ``start`` / ``shutdown`` are idempotent, the pool
+  is context-managed, dead workers are respawned (and their lost warm state
+  re-shipped) transparently, and an ``atexit`` reaper guarantees interrupted
+  test runs never strand worker processes.
+
+Three modes share one interface: ``"process"`` (real CPU scale-out, gated on
+the backend's ``process_safe`` capability — unsafe backends *fall back* to
+threads instead of failing, the pool being infrastructure that outlives any
+one backend choice), ``"thread"`` (shared-memory fan-out, the default), and
+``"serial"`` (inline, the width-1 degeneration).  Nested use is safe: code
+already running inside a pool worker (process or thread) executes inline
+instead of re-entering a pool, so a pooled analyzer whose options request
+fan-out can never recurse into worker-spawning.
+
+The cross-shard AVG search (:func:`sharded_avg_range`) lives here too: the
+paper's §4.2 binary search couples every cell through the shared target, but
+for a *fixed* target the ``value − target`` objective separates across plan
+shards, so each probe is one pooled fan-out plus one reduction over the
+per-shard optima — the one aggregate plan sharding previously routed
+serially.
+"""
+
+from __future__ import annotations
+
+import atexit
+import itertools
+import multiprocessing
+import multiprocessing.connection
+import os
+import threading
+import weakref
+from collections import deque
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..exceptions import SolverError
+from ..relational.aggregates import AggregateFunction
+from ..solvers.registry import backend_capabilities
+
+__all__ = ["WorkerPool", "PoolStatistics", "shared_pool",
+           "shutdown_shared_pools", "default_pool_mode", "default_pool_workers",
+           "in_worker", "in_pool_thread", "register_for_reaping",
+           "sharded_avg_range"]
+
+_MODES = ("serial", "thread", "process", "auto")
+
+# Endpoint triple a solve task returns: (lower, upper, closed).
+Endpoints = tuple
+
+
+def default_pool_workers() -> int:
+    """Default pool width (mirrors the solve executor's heuristic)."""
+    return min(8, os.cpu_count() or 1)
+
+
+def default_pool_mode() -> str:
+    """The service's default pool flavour; ``REPRO_POOL=1`` opts into
+    process workers (the CI matrix leg that exercises the warm-pool path)."""
+    return "process" if os.environ.get("REPRO_POOL") == "1" else "thread"
+
+
+# --------------------------------------------------------------------- #
+# Re-entrancy guards
+# --------------------------------------------------------------------- #
+_IN_WORKER = False
+_POOL_THREAD = threading.local()
+
+
+def in_worker() -> bool:
+    """True inside a pool worker process (guards against nested fan-out)."""
+    return _IN_WORKER
+
+
+def in_pool_thread() -> bool:
+    """True on a thread-mode pool worker thread (same nested-fan-out guard:
+    waiting on our own executor from one of its threads would deadlock, and
+    inline re-sharding would multiply cost for zero concurrency)."""
+    return getattr(_POOL_THREAD, "active", False)
+
+
+# --------------------------------------------------------------------- #
+# The atexit reaper (shared with SolveExecutor)
+# --------------------------------------------------------------------- #
+_reap_lock = threading.Lock()
+_reapable: "weakref.WeakSet" = weakref.WeakSet()
+_reaper_installed = False
+
+
+def register_for_reaping(pool) -> None:
+    """Guarantee ``pool.shutdown()`` runs at interpreter exit.
+
+    Registration is idempotent and weak: a garbage-collected pool never
+    keeps the interpreter alive, and an interrupted pytest run still tears
+    its worker processes down instead of stranding them.
+    """
+    global _reaper_installed
+    with _reap_lock:
+        _reapable.add(pool)
+        if not _reaper_installed:
+            atexit.register(_reap_all)
+            _reaper_installed = True
+
+
+def _reap_all() -> None:
+    for pool in list(_reapable):
+        try:
+            pool.shutdown()
+        except Exception:  # pragma: no cover - best-effort teardown
+            pass
+
+
+# --------------------------------------------------------------------- #
+# Worker-side state and task handlers (process mode)
+# --------------------------------------------------------------------- #
+#: Per-worker warm program cache capacity.  Bounds worker memory the same
+#: way the service's program LRU bounds the parent's; evictions surface as
+#: :class:`WorkerCacheMiss`, which the parent recovers from by re-shipping.
+_WORKER_CACHE_ENTRIES = 1024
+
+
+class WorkerCacheMiss(SolverError):
+    """A worker no longer holds a program the parent believed warm.
+
+    Raised worker-side (after an LRU eviction or an unexpected restart) and
+    shipped back to the parent, which treats its warm-key bookkeeping as
+    advisory: it re-dispatches the task with the program attached instead of
+    failing the round.
+    """
+
+    def __init__(self, key):
+        super().__init__(f"worker cache miss for program key {key!r}")
+        self.key = key
+
+    def __reduce__(self):
+        return (WorkerCacheMiss, (self.key,))
+
+
+class _WorkerProgramCache:
+    """The worker's warm program store: a bounded LRU satisfying the
+    ``get_or_compute`` protocol so it can be attached to a worker-side
+    solver as its shared program cache (single-threaded per worker, so no
+    locking)."""
+
+    def __init__(self, max_entries: int | None = None):
+        from collections import OrderedDict
+
+        self._max_entries = max_entries or _WORKER_CACHE_ENTRIES
+        self._programs: "OrderedDict" = OrderedDict()
+
+    def get_or_compute(self, key, factory):
+        program = self.get(key)
+        if program is None:
+            program = factory()
+            self.put(key, program)
+        return program
+
+    def get(self, key):
+        program = self._programs.get(key)
+        if program is not None:
+            self._programs.move_to_end(key)
+        return program
+
+    def put(self, key, program) -> None:
+        self._programs[key] = program
+        self._programs.move_to_end(key)
+        while len(self._programs) > self._max_entries:
+            self._programs.popitem(last=False)
+
+    def __len__(self) -> int:
+        return len(self._programs)
+
+
+def _resolve_program(programs: _WorkerProgramCache, key, program):
+    if program is not None:
+        programs.put(key, program)
+        return program
+    cached = programs.get(key)
+    if cached is None:
+        raise WorkerCacheMiss(key)
+    return cached
+
+
+def _handle_warm(programs, sessions, task):
+    _, _, key, program = task
+    programs.put(key, program)
+    return len(programs)
+
+
+def _handle_register(programs, sessions, task):
+    _, _, session_key, analyzer = task
+    # The pickled analyzer dropped its shared caches at the process
+    # boundary; wiring the worker's own cache in their place is what makes
+    # warmed skeletons visible to analyze() solves.
+    analyzer.solver.attach_program_cache(programs)
+    sessions[session_key] = analyzer
+    return True
+
+
+def _handle_solve(programs, sessions, task):
+    _, _, key, program, aggregate, known_sum, known_count = task
+    program = _resolve_program(programs, key, program)
+    result = program.bound(aggregate, known_sum=known_sum,
+                           known_count=known_count)
+    return (result.lower, result.upper, result.closed)
+
+
+def _handle_probe(programs, sessions, task):
+    _, _, key, program, target, at_least, with_floor = task
+    program = _resolve_program(programs, key, program)
+    return program.avg_probe_optima(target, at_least=at_least,
+                                    with_floor=with_floor)
+
+
+def _handle_analyze(programs, sessions, task):
+    _, _, session_key, program_key, program, query, resolved_depth = task
+    if program is not None:
+        programs.put(program_key, program)
+    analyzer = sessions.get(session_key)
+    if analyzer is None:
+        raise SolverError(
+            "worker has no registered session for an analyze task "
+            "(the parent must register before dispatching)")
+    # Adopt the parent's adaptive early-stop resolution for this pair, so
+    # this solver computes the parent's program key and finds the shipped
+    # warm program (no-op outside adaptive budgeting).
+    analyzer.solver.pin_early_stop_depth(query.region, query.attribute,
+                                         resolved_depth)
+    return analyzer.analyze(query)
+
+
+_HANDLERS = {
+    "warm": _handle_warm,
+    "register": _handle_register,
+    "solve": _handle_solve,
+    "probe": _handle_probe,
+    "analyze": _handle_analyze,
+}
+
+
+def _worker_main(index: int, connection) -> None:
+    """One worker process: loop over tasks, keep program/session state warm.
+
+    The transport is one duplex pipe per worker — deliberately not a shared
+    queue: a queue's cross-process lock can be stranded by a worker killed
+    mid-``put``, deadlocking every sibling, whereas a pipe has exactly one
+    reader and one writer per direction and dies with its worker.
+    """
+    global _IN_WORKER
+    _IN_WORKER = True
+    programs = _WorkerProgramCache()
+    sessions: dict = {}
+    while True:
+        try:
+            task = connection.recv()
+        except (EOFError, OSError):  # pragma: no cover - parent died
+            return
+        if task is None:
+            return
+        kind, task_id = task[0], task[1]
+        try:
+            payload = _HANDLERS[kind](programs, sessions, task)
+            connection.send((task_id, True, payload))
+        except BaseException as error:  # noqa: BLE001 - forwarded to parent
+            try:
+                connection.send((task_id, False, error))
+            except Exception:  # unpicklable exception: ship a description
+                try:
+                    connection.send((task_id, False,
+                                     SolverError(f"{type(error).__name__}: "
+                                                 f"{error}")))
+                except Exception:  # pragma: no cover - pipe gone
+                    return
+
+
+# --------------------------------------------------------------------- #
+# Parent-side bookkeeping
+# --------------------------------------------------------------------- #
+@dataclass
+class PoolStatistics:
+    """What the pool has done so far (the warm-cache observables)."""
+
+    rounds: int = 0
+    tasks_dispatched: int = 0
+    programs_shipped: int = 0
+    warm_hits: int = 0
+    sessions_shipped: int = 0
+    worker_restarts: int = 0
+
+    @property
+    def warm_hit_rate(self) -> float:
+        """Fraction of program-addressed tasks served by a warm worker cache."""
+        addressed = self.programs_shipped + self.warm_hits
+        if not addressed:
+            return 0.0
+        return self.warm_hits / addressed
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "rounds": self.rounds,
+            "tasks_dispatched": self.tasks_dispatched,
+            "programs_shipped": self.programs_shipped,
+            "warm_hits": self.warm_hits,
+            "warm_hit_rate": self.warm_hit_rate,
+            "sessions_shipped": self.sessions_shipped,
+            "worker_restarts": self.worker_restarts,
+        }
+
+    def snapshot(self) -> "PoolStatistics":
+        return PoolStatistics(self.rounds, self.tasks_dispatched,
+                              self.programs_shipped, self.warm_hits,
+                              self.sessions_shipped, self.worker_restarts)
+
+
+class _ProcessWorker:
+    """One worker process plus its private duplex pipe and warm-state view."""
+
+    def __init__(self, index: int, context):
+        self.index = index
+        self.connection, child_connection = context.Pipe(duplex=True)
+        self.warm_keys: set = set()
+        self.sessions: set = set()
+        self.process = context.Process(
+            target=_worker_main, args=(index, child_connection),
+            daemon=True, name=f"repro-pool-worker-{index}")
+        self.process.start()
+        child_connection.close()  # the parent keeps only its own end
+
+    @property
+    def alive(self) -> bool:
+        return self.process.is_alive()
+
+    def stop(self) -> None:
+        try:
+            self.connection.send(None)
+        except Exception:  # pragma: no cover - pipe already broken
+            pass
+        self.process.join(timeout=2.0)
+        if self.process.is_alive():  # pragma: no cover - stuck worker
+            self.process.terminate()
+            self.process.join(timeout=2.0)
+        self.connection.close()
+
+
+@dataclass
+class _PendingTask:
+    """Everything needed to re-dispatch a task if its worker dies."""
+
+    position: int | None
+    kind: str
+    args: tuple
+    worker_index: int
+    attempts: int = 1
+
+
+_MAX_TASK_ATTEMPTS = 3
+
+#: Cap on tasks in flight to one worker.  Bounds the bytes buffered in each
+#: pipe direction (tasks inbound, results outbound) well below the kernel's
+#: socketpair buffer, which is what makes arbitrarily large rounds
+#: deadlock-free — see :meth:`WorkerPool._run_round`.
+_MAX_IN_FLIGHT_PER_WORKER = 16
+
+
+class WorkerPool:
+    """A long-lived pool of workers with warm program caches.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool width (default ``min(8, cpu_count)``); ``1`` degrades to
+        serial inline execution.
+    mode:
+        ``"thread"`` (default via ``"auto"``), ``"process"``, or
+        ``"serial"``.  Process mode requires the backend's ``process_safe``
+        capability; an unsafe backend falls back to threads (recorded in
+        :attr:`requested_mode` vs :attr:`mode`).
+    backend:
+        The MILP backend the pooled solves will use; consulted only for the
+        process-safety fallback.
+    name:
+        Label for diagnostics.
+
+    The pool starts lazily on first use, restarts lazily after
+    :meth:`shutdown`, and is safe to share across threads (process-mode
+    dispatch rounds are serialised; thread-mode fan-out is concurrent).
+    """
+
+    def __init__(self, max_workers: int | None = None, mode: str = "auto",
+                 backend: str | None = None, name: str = "worker-pool"):
+        if mode not in _MODES:
+            raise SolverError(
+                f"unknown pool mode {mode!r}; expected one of {_MODES}")
+        if max_workers is not None and max_workers <= 0:
+            raise SolverError(
+                f"max_workers must be positive, got {max_workers}")
+        self._max_workers = max_workers or default_pool_workers()
+        self._requested_mode = mode
+        if mode == "auto":
+            mode = "thread"
+        if mode == "process" and backend is not None:
+            if not backend_capabilities(backend).process_safe:
+                mode = "thread"  # the documented thread fallback
+        if self._max_workers == 1:
+            mode = "serial"
+        self._mode = mode
+        self._backend = backend
+        self._name = name
+        self._round_lock = threading.RLock()
+        self._affinity_lock = threading.Lock()
+        self._statistics_lock = threading.Lock()
+        self._affinity: dict = {}
+        self._assigned = [0] * self._max_workers
+        self._workers: list[_ProcessWorker] | None = None
+        self._executor: ThreadPoolExecutor | None = None
+        self._session_objects: dict = {}
+        self._task_ids = itertools.count()
+        self._statistics = PoolStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def mode(self) -> str:
+        """The resolved mode (after the thread fallback, width-1 serial)."""
+        return self._mode
+
+    @property
+    def requested_mode(self) -> str:
+        return self._requested_mode
+
+    @property
+    def max_workers(self) -> int:
+        return self._max_workers
+
+    @property
+    def statistics(self) -> PoolStatistics:
+        return self._statistics
+
+    def alive_workers(self) -> int:
+        """How many worker processes are currently alive (0 when not started
+        or in thread/serial mode, where there is nothing to strand)."""
+        with self._round_lock:
+            if self._workers is None:
+                return 0
+            return sum(1 for worker in self._workers if worker.alive)
+
+    def worker_pids(self) -> list[int]:
+        """PIDs of the live worker processes (for tests that kill one)."""
+        with self._round_lock:
+            if self._workers is None:
+                return []
+            return [worker.process.pid for worker in self._workers
+                    if worker.alive and worker.process.pid is not None]
+
+    def warm_keys_on(self, worker_index: int) -> frozenset:
+        """The program keys the parent believes ``worker_index`` holds warm."""
+        with self._round_lock:
+            if self._workers is None:
+                return frozenset()
+            return frozenset(self._workers[worker_index].warm_keys)
+
+    def worker_for(self, key) -> int:
+        """The affinity worker for ``key``: balanced on first sight, sticky
+        afterwards, so one worker's cache stays warm for its keys."""
+        with self._affinity_lock:
+            index = self._affinity.get(key)
+            if index is None:
+                index = min(range(self._max_workers),
+                            key=lambda candidate: self._assigned[candidate])
+                self._affinity[key] = index
+                self._assigned[index] += 1
+            return index
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def start(self) -> None:
+        """Spin the workers up now (otherwise they start on first use)."""
+        with self._round_lock:
+            self._ensure_started()
+
+    def shutdown(self) -> None:
+        """Stop every worker; idempotent, and the pool restarts lazily on
+        next use (so a service can bounce its pool without re-creating it)."""
+        with self._round_lock:
+            if self._workers is not None:
+                for worker in self._workers:
+                    worker.stop()
+                self._workers = None
+            if self._executor is not None:
+                self._executor.shutdown()
+                self._executor = None
+
+    def restart(self) -> None:
+        """Bounce the pool: fresh workers, cold caches, same affinity map."""
+        self.shutdown()
+        self.start()
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
+
+    def _ensure_started(self):
+        register_for_reaping(self)
+        if self._mode == "process":
+            if self._workers is None:
+                context = multiprocessing.get_context()
+                self._workers = [
+                    _ProcessWorker(index, context)
+                    for index in range(self._max_workers)]
+            return self._workers
+        if self._mode == "thread" and self._executor is None:
+            self._executor = ThreadPoolExecutor(
+                max_workers=self._max_workers,
+                thread_name_prefix=f"repro-{self._name}")
+        return self._executor
+
+    # ------------------------------------------------------------------ #
+    # Warm-up protocol
+    # ------------------------------------------------------------------ #
+    def register_session(self, session_key, analyzer) -> None:
+        """Make ``analyzer`` available to workers under ``session_key``.
+
+        Process mode ships the analyzer lazily — once per worker, and only
+        to workers that actually receive this session's queries.  Thread and
+        serial modes share the parent's memory, so registration is pure
+        bookkeeping.
+
+        The pool keeps one reference per session key (for re-registration
+        after a worker restart); re-registering a key replaces it, so the
+        footprint tracks the *live* session set — the same lifetime the
+        service registry already keeps these analyzers alive for.  Worker
+        memory is bounded separately by the per-worker program LRU; the
+        parent's warm-key/affinity bookkeeping is a few machine words per
+        distinct program key.
+        """
+        self._session_objects[session_key] = analyzer
+
+    def warm(self, entries: Mapping) -> None:
+        """Pre-ship compiled programs to their affinity workers.
+
+        ``entries`` maps parent program-cache keys to compiled
+        :class:`~repro.plan.BoundProgram` objects.  Keys a worker already
+        holds are skipped, so warming is idempotent and cheap on repeat.
+        """
+        if self._mode != "process" or not entries:
+            return
+        requests = []
+        with self._round_lock:
+            self._ensure_started()
+            for key, program in entries.items():
+                worker = self._workers[self.worker_for(key)]
+                if key in worker.warm_keys:
+                    continue
+                requests.append(("warm", key, (key, program), None))
+            if requests:
+                self._run_round(requests)
+
+    # ------------------------------------------------------------------ #
+    # Execution entry points
+    # ------------------------------------------------------------------ #
+    def solve_programs(self, keyed_programs: Sequence[tuple],
+                       aggregate: AggregateFunction,
+                       known_sum: float = 0.0, known_count: float = 0.0
+                       ) -> list[Endpoints]:
+        """Bound ``aggregate`` on every ``(key, program)`` pair, in order.
+
+        Returns ``(lower, upper, closed)`` endpoint triples.  Process mode
+        routes each key to its affinity worker and ships the program only if
+        that worker does not hold it warm.
+        """
+        def run_one(pair):
+            key, program = pair
+            result = program.bound(aggregate, known_sum=known_sum,
+                                   known_count=known_count)
+            return (result.lower, result.upper, result.closed)
+
+        if self._inline() or len(keyed_programs) <= 1:
+            return [run_one(pair) for pair in keyed_programs]
+        if self._mode == "thread":
+            return self._thread_map(run_one, list(keyed_programs))
+        requests = [
+            ("solve", key, (key, program, aggregate, known_sum, known_count),
+             position)
+            for position, (key, program) in enumerate(keyed_programs)]
+        results = self._locked_round(requests)
+        return [results[position] for position in range(len(keyed_programs))]
+
+    def avg_probes(self, keyed_programs: Sequence[tuple],
+                   probes: Sequence[tuple]) -> list[list[tuple]]:
+        """One cross-shard reduction round of the AVG binary search.
+
+        ``probes`` is a sequence of ``(target, at_least, with_floor)``
+        triples (typically the upper- and lower-search midpoints of one
+        iteration).  Returns, per probe, the per-shard
+        ``(free_optimum, floor_optimum)`` pairs in shard order.
+        """
+        def run_one(item):
+            (key, program), (target, at_least, with_floor) = item
+            return program.avg_probe_optima(target, at_least=at_least,
+                                            with_floor=with_floor)
+
+        flat = [(pair, probe) for probe in probes for pair in keyed_programs]
+        if self._inline() or len(flat) <= 1:
+            outcomes = [run_one(item) for item in flat]
+        elif self._mode == "thread":
+            outcomes = self._thread_map(run_one, flat)
+        else:
+            requests = [
+                ("probe", pair[0],
+                 (pair[0], pair[1]) + probe, position)
+                for position, (pair, probe) in enumerate(flat)]
+            results = self._locked_round(requests)
+            outcomes = [results[position] for position in range(len(flat))]
+        width = len(keyed_programs)
+        return [outcomes[start:start + width]
+                for start in range(0, len(outcomes), width)]
+
+    def analyze(self, session_key, analyzer,
+                keyed_queries: Sequence[tuple]) -> list:
+        """Answer ``(program_key, program, query, resolved_depth)`` entries,
+        in order.
+
+        Thread/serial modes run ``analyzer.analyze`` directly (shared
+        memory).  Process mode registers the analyzer on each involved
+        worker once, ships cold programs alongside their first query,
+        routes by program key so repeated traffic hits warm caches, and
+        forwards the parent's resolved adaptive early-stop depth so the
+        worker-side solver computes matching keys.
+        """
+        self.register_session(session_key, analyzer)
+
+        def run_one(entry):
+            return analyzer.analyze(entry[2])
+
+        if self._inline() or len(keyed_queries) <= 1:
+            return [run_one(entry) for entry in keyed_queries]
+        if self._mode == "thread":
+            return self._thread_map(run_one, list(keyed_queries))
+        requests = [
+            ("analyze", program_key,
+             (session_key, program_key, program, query, resolved_depth),
+             position)
+            for position, (program_key, program, query, resolved_depth)
+            in enumerate(keyed_queries)]
+        results = self._locked_round(requests)
+        return [results[position] for position in range(len(keyed_queries))]
+
+    # ------------------------------------------------------------------ #
+    # Thread-mode plumbing
+    # ------------------------------------------------------------------ #
+    def _inline(self) -> bool:
+        return self._mode == "serial" or in_worker() or in_pool_thread()
+
+    def _thread_map(self, fn, items: list) -> list:
+        with self._round_lock:
+            executor = self._ensure_started()
+        # Thread-mode rounds run concurrently (no round lock), so the
+        # counters need their own lock to stay exact under shared use.
+        with self._statistics_lock:
+            self._statistics.rounds += 1
+            self._statistics.tasks_dispatched += len(items)
+
+        def guarded(item):
+            # Nested pool use from inside a pool thread runs inline —
+            # waiting on our own executor from one of its threads would
+            # deadlock once every thread blocks.
+            _POOL_THREAD.active = True
+            try:
+                return fn(item)
+            finally:
+                _POOL_THREAD.active = False
+
+        return list(executor.map(guarded, items))
+
+    # ------------------------------------------------------------------ #
+    # Process-mode dispatch/collect with restart-on-death
+    # ------------------------------------------------------------------ #
+    def _locked_round(self, requests: list) -> dict:
+        with self._round_lock:
+            self._ensure_started()
+            return self._run_round(requests)
+
+    def _run_round(self, requests: list) -> dict:
+        """Dispatch one round of tasks and collect every result.
+
+        Must run under ``_round_lock``: one dispatcher/collector at a time.
+        Dead workers are respawned and their in-flight tasks re-dispatched
+        (with programs re-shipped and sessions re-registered — the
+        respawned worker is cold); a worker's death can never strand the
+        round, because each worker has its own pipe and a broken pipe is a
+        detectable event, not a shared lock left behind.
+
+        Dispatch and collection interleave: at most
+        :data:`_MAX_IN_FLIGHT_PER_WORKER` tasks are outstanding per worker,
+        so the bytes buffered in any pipe direction stay bounded.  Sending
+        a whole large round up-front would deadlock — the worker blocks
+        sending results into a full outbound buffer and stops receiving,
+        then the parent blocks sending into the worker's full inbound
+        buffer, and both sides are alive so no recovery ever fires.
+        """
+        self._statistics.rounds += 1
+        pending: dict[int, _PendingTask] = {}
+        backlogs: dict[int, deque] = {}
+        for kind, key, args, position in requests:
+            backlogs.setdefault(self.worker_for(key), deque()).append(
+                (kind, args, position))
+        collected: dict[int, object] = {}
+        while pending or any(backlogs.values()):
+            self._feed_backlogs(backlogs, pending)
+            if not pending:
+                continue
+            connections = {}
+            for task in pending.values():
+                worker = self._workers[task.worker_index]
+                connections[worker.connection] = task.worker_index
+            ready = multiprocessing.connection.wait(list(connections),
+                                                    timeout=0.25)
+            if not ready:
+                self._recover(pending)
+                continue
+            for connection in ready:
+                worker_index = connections[connection]
+                try:
+                    task_id, ok, payload = connection.recv()
+                except (EOFError, OSError):
+                    self._respawn(worker_index, pending)
+                    continue
+                task = pending.pop(task_id, None)
+                if task is None:
+                    continue  # stale result from an abandoned round
+                if not ok:
+                    if (isinstance(payload, WorkerCacheMiss)
+                            and self._retry_cache_miss(task, pending)):
+                        continue
+                    raise payload if isinstance(payload, BaseException) \
+                        else SolverError(str(payload))
+                if task.position is not None:
+                    collected[task.position] = payload
+        return collected
+
+    def _feed_backlogs(self, backlogs: dict, pending: dict) -> None:
+        """Top every worker up to the in-flight cap from its backlog."""
+        outstanding: dict[int, int] = {}
+        for task in pending.values():
+            outstanding[task.worker_index] = \
+                outstanding.get(task.worker_index, 0) + 1
+        for worker_index, backlog in backlogs.items():
+            while (backlog and outstanding.get(worker_index, 0)
+                   < _MAX_IN_FLIGHT_PER_WORKER):
+                kind, args, position = backlog.popleft()
+                self._dispatch(kind, args, position, pending,
+                               worker_index=worker_index)
+                outstanding[worker_index] = \
+                    outstanding.get(worker_index, 0) + 1
+
+    def _retry_cache_miss(self, task: _PendingTask, pending: dict) -> bool:
+        """Re-dispatch a task whose worker evicted (or lost) its program.
+
+        Warm-key bookkeeping is advisory: the worker's LRU may have evicted
+        an entry the parent still lists as warm.  When the original request
+        carried the program, drop the stale warm mark and re-send with the
+        program attached; returns False (caller raises) when there is
+        nothing to re-ship or the task keeps failing.
+        """
+        if task.kind not in ("solve", "probe"):
+            return False
+        key, program = task.args[0], task.args[1]
+        if program is None or task.attempts >= _MAX_TASK_ATTEMPTS:
+            return False
+        self._workers[task.worker_index].warm_keys.discard(key)
+        self._dispatch(task.kind, task.args, task.position, pending,
+                       worker_index=task.worker_index,
+                       attempts=task.attempts + 1)
+        return True
+
+    def _dispatch(self, kind: str, args: tuple, position: int | None,
+                  pending: dict, worker_index: int, attempts: int = 1) -> None:
+        worker = self._workers[worker_index]
+        if not worker.alive:
+            worker = self._respawn(worker_index, pending)
+        if kind == "analyze":
+            session_key = args[0]
+            if session_key not in worker.sessions:
+                self._dispatch("register", (session_key,
+                                            self._session_objects[session_key]),
+                               None, pending, worker_index)
+                worker = self._workers[worker_index]
+        task_id = next(self._task_ids)
+        payload = self._build_payload(kind, task_id, worker, args)
+        pending[task_id] = _PendingTask(position=position, kind=kind,
+                                       args=args, worker_index=worker_index,
+                                       attempts=attempts)
+        try:
+            worker.connection.send(payload)
+        except (BrokenPipeError, OSError):
+            # The worker died under us; respawn re-dispatches everything
+            # pending on it, including the entry just recorded.
+            self._respawn(worker_index, pending)
+            return
+        self._statistics.tasks_dispatched += 1
+
+    def _build_payload(self, kind: str, task_id: int,
+                       worker: _ProcessWorker, args: tuple) -> tuple:
+        if kind == "register":
+            session_key, analyzer = args
+            worker.sessions.add(session_key)
+            self._statistics.sessions_shipped += 1
+            return ("register", task_id, session_key, analyzer)
+        if kind == "warm":
+            key, program = args
+            worker.warm_keys.add(key)
+            self._statistics.programs_shipped += 1
+            return ("warm", task_id, key, program)
+        if kind == "solve":
+            key, program, aggregate, known_sum, known_count = args
+            shipped = self._maybe_ship(worker, key, program)
+            return ("solve", task_id, key, shipped, aggregate,
+                    known_sum, known_count)
+        if kind == "probe":
+            key, program, target, at_least, with_floor = args
+            shipped = self._maybe_ship(worker, key, program)
+            return ("probe", task_id, key, shipped, target, at_least,
+                    with_floor)
+        assert kind == "analyze"
+        session_key, program_key, program, query, resolved_depth = args
+        shipped = self._maybe_ship(worker, program_key, program)
+        return ("analyze", task_id, session_key, program_key, shipped, query,
+                resolved_depth)
+
+    def _maybe_ship(self, worker: _ProcessWorker, key, program):
+        """Ship ``program`` only if ``worker`` does not hold ``key`` warm."""
+        if key in worker.warm_keys:
+            self._statistics.warm_hits += 1
+            return None
+        worker.warm_keys.add(key)
+        self._statistics.programs_shipped += 1
+        return program
+
+    def _recover(self, pending: dict) -> None:
+        """Respawn dead workers and re-dispatch their in-flight tasks."""
+        dead = sorted({task.worker_index for task in pending.values()
+                       if not self._workers[task.worker_index].alive})
+        for worker_index in dead:
+            self._respawn(worker_index, pending)
+
+    def _respawn(self, worker_index: int, pending: dict) -> _ProcessWorker:
+        self._statistics.worker_restarts += 1
+        old = self._workers[worker_index]
+        try:
+            old.process.join(timeout=0.5)
+            old.connection.close()
+        except Exception:  # pragma: no cover - pipe already broken
+            pass
+        context = multiprocessing.get_context()
+        self._workers[worker_index] = _ProcessWorker(worker_index, context)
+        # Re-dispatch everything that was queued on the dead worker, in the
+        # original order (task ids are monotone).  The fresh worker is cold:
+        # _build_payload re-ships programs and the analyze path re-registers
+        # sessions because the new warm/session sets start empty.
+        stale = sorted((task_id, task) for task_id, task in pending.items()
+                       if task.worker_index == worker_index)
+        for task_id, task in stale:
+            pending.pop(task_id, None)
+        for _, task in stale:
+            if task.attempts >= _MAX_TASK_ATTEMPTS:
+                raise SolverError(
+                    f"pool worker {worker_index} died {task.attempts} times "
+                    f"while running a {task.kind!r} task; giving up")
+            if task.kind == "register":
+                continue  # re-registration happens on demand
+            self._dispatch(task.kind, task.args, task.position, pending,
+                           worker_index=worker_index,
+                           attempts=task.attempts + 1)
+        return self._workers[worker_index]
+
+    def __repr__(self) -> str:
+        return (f"WorkerPool({self._name!r}, mode={self._mode!r}, "
+                f"workers={self._max_workers}, alive={self.alive_workers()})")
+
+
+# --------------------------------------------------------------------- #
+# The shared-pool registry (the CLI / bare-solver borrow point)
+# --------------------------------------------------------------------- #
+_shared_lock = threading.Lock()
+_shared_pools: dict[tuple, WorkerPool] = {}
+
+
+def shared_pool(mode: str = "thread", max_workers: int | None = None,
+                backend: str | None = None) -> WorkerPool:
+    """A process-global long-lived pool for callers without a service.
+
+    Bare :class:`~repro.core.bounds.PCBoundSolver` instances (and therefore
+    the CLI ``bound --workers`` path) borrow from here, so repeated sharded
+    solves amortise worker start-up exactly like service traffic does.
+    Pools are keyed by (resolved mode, width, backend) and reaped atexit.
+    """
+    workers = max_workers or default_pool_workers()
+    # Resolve the mode fully — including the process-unsafe thread
+    # fallback — before keying, so a "process" request that resolves to
+    # threads shares the registry entry with direct thread requests
+    # instead of registering a second identical thread pool.
+    resolved = "thread" if mode == "auto" else mode
+    if resolved == "process" and backend is not None:
+        if not backend_capabilities(backend).process_safe:
+            resolved = "thread"
+    if workers == 1:
+        resolved = "serial"
+    key = (resolved, workers, backend if resolved == "process" else None)
+    with _shared_lock:
+        pool = _shared_pools.get(key)
+        if pool is None:
+            pool = WorkerPool(max_workers=workers, mode=resolved,
+                              backend=backend,
+                              name=f"shared-{resolved}-{workers}")
+            _shared_pools[key] = pool
+        return pool
+
+
+def shutdown_shared_pools() -> None:
+    """Tear down every shared pool (tests; atexit covers normal exits)."""
+    with _shared_lock:
+        for pool in _shared_pools.values():
+            pool.shutdown()
+        _shared_pools.clear()
+
+
+# --------------------------------------------------------------------- #
+# Cross-shard AVG: pooled binary search (paper §4.2, sharded)
+# --------------------------------------------------------------------- #
+def _achievable(per_shard: list[tuple], at_least: bool, with_floor: bool,
+                constant: float) -> bool:
+    """Reduce one probe's per-shard optima to the serial model's decision.
+
+    The free optima sum (the objective and every frequency row separate
+    across shards).  The floor row — "allocate at least one row somewhere",
+    active only when there is no observed partition — is the one cross-shard
+    constraint; its feasible set is the union over "shard *j* carries the
+    row", so the floored optimum is the best over *j* of (floored shard *j*
+    + free everyone else).  ``None`` optima mean an infeasible shard model,
+    exactly where the serial search's ``SolverError`` catch says False.
+    """
+    frees = [free for free, _ in per_shard]
+    if any(free is None for free in frees):
+        return False
+    total_free = sum(frees)
+    if not with_floor:
+        optimum = total_free
+    else:
+        best = None
+        for free, floor in per_shard:
+            if floor is None:
+                continue
+            candidate = total_free - free + floor
+            if best is None:
+                best = candidate
+            elif at_least:
+                best = max(best, candidate)
+            else:
+                best = min(best, candidate)
+        if best is None:
+            return False
+        optimum = best
+    value = optimum + constant
+    return value >= -1e-9 if at_least else value <= 1e-9
+
+
+def sharded_avg_range(pool: WorkerPool, keyed_programs: Sequence[tuple],
+                      known_sum: float, known_count: float,
+                      low_start: float, high_start: float,
+                      tolerance: float, max_iterations: int
+                      ) -> tuple[float, float]:
+    """The (lower, upper) extreme achievable averages, searched across shards.
+
+    Runs the upper and lower binary searches in lockstep: each iteration
+    fans one probe per active search per shard out over the pool and folds
+    the per-shard ``value − target`` optima with one reduction — the
+    communication pattern that makes AVG, the one non-separable aggregate,
+    scale out with the rest of the sharded plan.  The probe decisions are
+    the serial search's decisions exactly, so the returned endpoints match
+    the single-program path (same midpoints, same conservative rounding).
+    """
+    with_floor = known_count == 0
+    up_low, up_high = low_start, high_start
+    down_low, down_high = low_start, high_start
+    for _ in range(max_iterations):
+        up_open = (up_high - up_low
+                   > tolerance * max(1.0, abs(up_high), abs(up_low)))
+        down_open = (down_high - down_low
+                     > tolerance * max(1.0, abs(down_high), abs(down_low)))
+        if not up_open and not down_open:
+            break
+        probes = []
+        if up_open:
+            up_mid = (up_low + up_high) / 2.0
+            probes.append((up_mid, True, with_floor))
+        if down_open:
+            down_mid = (down_low + down_high) / 2.0
+            probes.append((down_mid, False, with_floor))
+        outcomes = pool.avg_probes(keyed_programs, probes)
+        cursor = 0
+        if up_open:
+            constant = known_sum - up_mid * known_count
+            if _achievable(outcomes[cursor], True, with_floor, constant):
+                up_low = up_mid
+            else:
+                up_high = up_mid
+            cursor += 1
+        if down_open:
+            constant = known_sum - down_mid * known_count
+            if _achievable(outcomes[cursor], False, with_floor, constant):
+                down_high = down_mid
+            else:
+                down_low = down_mid
+    # Conservative endpoints, exactly like the serial search.
+    return down_low, up_high

@@ -259,6 +259,16 @@ class BoundProgram:
         return list(self._profiles)
 
     @property
+    def active_profiles(self) -> list[CellProfile]:
+        """The cells that can actually hold rows (capacity > 0).
+
+        The cross-shard AVG search unions these across shard programs to
+        reproduce the serial program's active-cell edge cases (no active
+        cells, infinite value bounds, search start interval).
+        """
+        return list(self._active)
+
+    @property
     def pcset(self) -> PredicateConstraintSet:
         return self._pcset
 
@@ -601,6 +611,35 @@ class BoundProgram:
         # Return the conservative endpoint so the reported range always
         # contains the true extreme average despite the finite tolerance.
         return high if find_upper else low
+
+    def avg_probe_optima(self, target: float, *, at_least: bool,
+                         with_floor: bool
+                         ) -> tuple[float | None, float | None]:
+        """One shard's contribution to a cross-shard AVG probe.
+
+        Returns ``(free, floor)``: the optimum of the ``value − target``
+        objective over this program's active skeleton without and (when
+        ``with_floor``) with the "at least one allocated row" floor row.
+        ``None`` marks an infeasible model — the same condition the serial
+        search's ``SolverError`` catch maps to an unachievable probe.  The
+        reduction over shards lives in :func:`repro.parallel.pool.
+        sharded_avg_range`; the free optima are additive and the floored
+        optimum is the best over which shard carries the floor row.
+        """
+        values = self._active_uppers if at_least else self._active_lowers
+        coefficients = values - target
+        sense = Sense.MAXIMIZE if at_least else Sense.MINIMIZE
+        try:
+            free = self._solve_value(_ACTIVE, coefficients, sense)
+        except SolverError:
+            free = None
+        floor: float | None = None
+        if with_floor and self._active:
+            try:
+                floor = self._solve_value(_ACTIVE_FLOOR, coefficients, sense)
+            except SolverError:
+                floor = None
+        return free, floor
 
     def _average_achievable(self, known_sum: float, known_count: float,
                             target: float, at_least: bool) -> bool:

@@ -9,13 +9,18 @@ observations shape the executor:
   executor therefore groups the batch by region and *warms* each distinct
   region's decomposition first, so the MILP solves that follow all run
   against cached decompositions.
-* Warm queries are independent, so they fan out over a thread pool.  The
-  MILP/LP solves release the GIL inside scipy and the box-SAT work is
-  already cached, which makes the fan-out worthwhile even on CPython.
+* Warm queries are independent, so they fan out over a worker pool.  The
+  pool is **persistent** (:class:`~repro.parallel.pool.WorkerPool`): the
+  executor borrows the service's pool (or lazily owns one) instead of
+  spinning a fresh executor per batch, so process workers keep warm
+  program caches across batches — the first batch ships compiled skeletons
+  and registers the session on each worker, every later batch ships only
+  keys and queries.
 
 Results come back in input order, each paired with the same
 :class:`~repro.core.engine.ContingencyReport` a sequential
-:meth:`PCAnalyzer.analyze` call would produce, plus batch-level statistics.
+:meth:`PCAnalyzer.analyze` call would produce, plus batch-level statistics
+(including the pool's warm-cache traffic for the batch).
 """
 
 from __future__ import annotations
@@ -27,6 +32,8 @@ from dataclasses import dataclass, field
 from ..core.engine import ContingencyQuery, ContingencyReport, PCAnalyzer
 from ..core.predicates import Predicate
 from ..parallel.executor import SolveExecutor, default_workers
+from ..parallel.pool import WorkerPool
+from ..solvers.registry import backend_capabilities
 
 __all__ = ["BatchStatistics", "BatchResult", "BatchExecutor"]
 
@@ -43,6 +50,7 @@ class BatchStatistics:
     warm_seconds: float = 0.0
     execute_seconds: float = 0.0
     group_sizes: dict[str, int] = field(default_factory=dict)
+    pool_statistics: dict[str, float] | None = None
 
     @property
     def wall_seconds(self) -> float:
@@ -59,6 +67,8 @@ class BatchStatistics:
             "execute_seconds": self.execute_seconds,
             "wall_seconds": self.wall_seconds,
             "group_sizes": dict(self.group_sizes),
+            "pool_statistics": (None if self.pool_statistics is None
+                                else dict(self.pool_statistics)),
         }
 
     def summary(self) -> str:
@@ -87,32 +97,64 @@ class BatchResult:
         return "\n".join(lines)
 
 
+def _session_key_for(analyzer: PCAnalyzer) -> str:
+    """A content fingerprint identifying ``analyzer`` on pool workers.
+
+    Matches the registry's session fingerprint (constraints + options +
+    observed data), so a service-passed key and a derived key for the same
+    session address the same worker-side state.
+    """
+    from .fingerprint import (
+        combine_fingerprints,
+        fingerprint_bound_options,
+        fingerprint_pcset,
+        fingerprint_relation,
+    )
+
+    parts = [fingerprint_pcset(analyzer.pcset),
+             fingerprint_bound_options(analyzer.options)]
+    if analyzer.observed is not None:
+        parts.append(fingerprint_relation(analyzer.observed))
+    return combine_fingerprints(*parts)
+
+
 class BatchExecutor:
     """Runs query batches against an analyzer, concurrently and region-grouped.
 
     Parameters
     ----------
     max_workers:
-        Thread-pool width (default: ``min(8, cpu_count)``).  ``1`` degrades
+        Pool width (default: ``min(8, cpu_count)``).  ``1`` degrades
         gracefully to sequential execution — useful for debugging and for
         analyzers that are not safe to share across threads (a plain
         :class:`PCAnalyzer` without a shared thread-safe decomposition cache
         should be driven with ``max_workers=1``; analyzers built by the
         service layer are always safe).
     mode:
-        The :class:`~repro.parallel.SolveExecutor` flavour for phase 2
-        (``"thread"`` by default).  Phase 1 (program warming) always uses
-        threads — warming must populate the *parent's* caches, which a
-        worker process cannot do.
+        The pool flavour for phase 2 (``"thread"`` by default;
+        ``"process"`` for the warm persistent-pool path).  Phase 1
+        (program warming) always uses threads — warming must populate the
+        *parent's* caches, which a worker process cannot do.
+    pool:
+        A long-lived :class:`~repro.parallel.pool.WorkerPool` to borrow
+        (the service passes its own).  When omitted the executor lazily
+        creates and owns one with ``(max_workers, mode)`` — still
+        persistent across its batches — and tears it down in
+        :meth:`close` / on interpreter exit.
     """
 
-    def __init__(self, max_workers: int | None = None, mode: str = "thread"):
+    def __init__(self, max_workers: int | None = None, mode: str = "thread",
+                 pool: WorkerPool | None = None):
         if max_workers is not None and max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {max_workers}")
         self._max_workers = max_workers or default_workers()
         self._mode = mode
-        # Fail fast on an unknown mode (SolveExecutor validates).
+        # Fail fast on an unknown mode (SolveExecutor validates the name).
         SolveExecutor(max_workers=1, mode=mode)
+        self._pool = pool
+        self._owns_pool = pool is None
+        self._own_pool: WorkerPool | None = None
+        self._fallback_pool: WorkerPool | None = None
 
     @property
     def max_workers(self) -> int:
@@ -122,8 +164,48 @@ class BatchExecutor:
     def mode(self) -> str:
         return self._mode
 
+    @property
+    def pool(self) -> WorkerPool | None:
+        """The pool batches currently borrow (None until first use)."""
+        return self._pool if self._pool is not None else self._own_pool
+
     # ------------------------------------------------------------------ #
-    # Execution
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut down pools this executor owns (idempotent).  Borrowed pools
+        belong to their owner (the service) and are left running."""
+        if self._owns_pool and self._own_pool is not None:
+            self._own_pool.shutdown()
+            self._own_pool = None
+        if self._fallback_pool is not None:
+            self._fallback_pool.shutdown()
+            self._fallback_pool = None
+
+    def __enter__(self) -> "BatchExecutor":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def _borrowed_pool(self) -> WorkerPool:
+        if self._pool is not None:
+            return self._pool
+        if self._own_pool is None:
+            self._own_pool = WorkerPool(max_workers=self._max_workers,
+                                        mode=self._mode, name="batch")
+        return self._own_pool
+
+    def _thread_fallback(self) -> WorkerPool:
+        """A thread pool for analyzers whose backend is not process-safe."""
+        if self._fallback_pool is None:
+            self._fallback_pool = WorkerPool(max_workers=self._max_workers,
+                                            mode="thread",
+                                            name="batch-fallback")
+        return self._fallback_pool
+
+    # ------------------------------------------------------------------ #
+    # Grouping
     # ------------------------------------------------------------------ #
     def group_by_region(self, queries: list[ContingencyQuery]
                         ) -> dict[Predicate | None, list[int]]:
@@ -146,9 +228,19 @@ class BatchExecutor:
             groups.setdefault((query.region, query.attribute), []).append(position)
         return groups
 
+    # ------------------------------------------------------------------ #
+    # Execution
+    # ------------------------------------------------------------------ #
     def execute(self, analyzer: PCAnalyzer,
-                queries: list[ContingencyQuery]) -> BatchResult:
-        """Answer every query; reports come back in input order."""
+                queries: list[ContingencyQuery],
+                session_key: str | None = None) -> BatchResult:
+        """Answer every query; reports come back in input order.
+
+        ``session_key`` identifies the analyzer on pool workers (the
+        service passes its session fingerprint); omitted, a content
+        fingerprint is derived so direct executor use still gets warm
+        worker routing.
+        """
         statistics = BatchStatistics(total_queries=len(queries),
                                      max_workers=self._max_workers,
                                      executor_mode=self._mode)
@@ -176,23 +268,53 @@ class BatchExecutor:
             for region, attribute in pairs:
                 analyzer.prepare(region, attribute)
         else:
-            with ThreadPoolExecutor(max_workers=self._max_workers) as pool:
-                list(pool.map(lambda pair: analyzer.prepare(*pair), pairs))
+            with ThreadPoolExecutor(max_workers=self._max_workers) as warm_pool:
+                list(warm_pool.map(lambda pair: analyzer.prepare(*pair), pairs))
         statistics.warm_seconds = time.perf_counter() - started
 
-        # Phase 2 — every query now runs against a warm decomposition,
-        # fanned out through the shared solve executor.  Thread mode keeps
-        # the historical behaviour; process mode (opt-in) pickles the warm
-        # analyzer to worker processes for GIL-free solves — best combined
-        # with *private* (non-service) caches, whose compiled programs
-        # travel in the pickle; shared LRU caches cannot cross processes,
-        # so service-built analyzers arrive cold in workers (a persistent
-        # warm worker pool is a ROADMAP item).  The analyzer's MILP backend
-        # is passed so the process_safe capability gate fails fast instead
-        # of crashing inside a worker.
+        # Phase 2 — every query now runs against a warm program, fanned out
+        # through the persistent worker pool.  Thread mode keeps the
+        # historical shared-memory behaviour; process mode registers the
+        # session on each involved worker once, pre-ships the warm compiled
+        # skeletons to their affinity workers, and from then on ships only
+        # keys — the per-batch fork/pickle cost the per-call executor used
+        # to pay is gone.  Backends that are not process-safe fall back to
+        # the thread pool.
+        pool = self._borrowed_pool()
+        if (pool.mode == "process" and not backend_capabilities(
+                analyzer.options.milp_backend).process_safe):
+            pool = self._thread_fallback()
+        statistics.executor_mode = pool.mode
+        before = pool.statistics.snapshot()
         started = time.perf_counter()
-        with SolveExecutor(max_workers=self._max_workers, mode=self._mode,
-                           backend=analyzer.options.milp_backend) as executor:
-            reports = executor.map(analyzer.analyze, queries)
+        if pool.mode == "process":
+            solver = analyzer.solver
+            key = session_key or _session_key_for(analyzer)
+            entries = {}
+            keyed_queries = []
+            for query in queries:
+                program_key = solver.program_key(query.region, query.attribute)
+                program = solver.program(query.region, query.attribute)
+                depth = solver.resolved_early_stop_depth(query.region,
+                                                         query.attribute)
+                entries[program_key] = program
+                keyed_queries.append((program_key, program, query, depth))
+            pool.warm(entries)
+            reports = pool.analyze(key, analyzer, keyed_queries)
+        else:
+            keyed_queries = [(None, None, query, None) for query in queries]
+            reports = pool.analyze(session_key or "batch", analyzer,
+                                   keyed_queries)
         statistics.execute_seconds = time.perf_counter() - started
+        after = pool.statistics.snapshot()
+        # Pool traffic attributed to this batch as a before/after delta of
+        # the (shared) pool's counters.  Exact for the common sequential
+        # case; when batches overlap on one service the deltas apportion the
+        # pool's combined traffic across the overlapping batches — an
+        # observability caveat, never a correctness one.
+        statistics.pool_statistics = {
+            name: after.as_dict()[name] - before.as_dict()[name]
+            for name in ("tasks_dispatched", "programs_shipped", "warm_hits",
+                         "sessions_shipped", "worker_restarts")
+        }
         return BatchResult(reports, statistics)

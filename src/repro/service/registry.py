@@ -50,6 +50,8 @@ class RegisteredSession:
     registered_at: float
     _decomposition_cache: object = field(default=None, repr=False)
     _program_cache: object = field(default=None, repr=False)
+    _worker_pool: object = field(default=None, repr=False)
+    _cell_statistics: object = field(default=None, repr=False)
     _analyzer: PCAnalyzer | None = field(default=None, repr=False)
     _lock: threading.Lock = field(default_factory=threading.Lock, repr=False)
 
@@ -63,7 +65,9 @@ class RegisteredSession:
                     decomposition_cache=self._decomposition_cache,
                     cache_namespace=decomposition_namespace(self.pcset,
                                                             self.options),
-                    program_cache=self._program_cache)
+                    program_cache=self._program_cache,
+                    worker_pool=self._worker_pool,
+                    cell_statistics=self._cell_statistics)
             return self._analyzer
 
     def analyze(self, query: ContingencyQuery) -> ContingencyReport:
@@ -114,11 +118,22 @@ class SessionRegistry:
     program_cache:
         Shared cache of compiled bound programs, handed to every session's
         analyzer alongside the decomposition cache.
+    worker_pool:
+        The owning service's persistent worker pool, handed to every
+        session's analyzer so sharded fan-out borrows it instead of
+        spinning per-call executors.
+    cell_statistics:
+        Shared :class:`~repro.plan.passes.ObservedCellStatistics` feed, so
+        every session's measured decompositions inform every other
+        session's adaptive cell budgeting.
     """
 
-    def __init__(self, decomposition_cache=None, program_cache=None):
+    def __init__(self, decomposition_cache=None, program_cache=None,
+                 worker_pool=None, cell_statistics=None):
         self._decomposition_cache = decomposition_cache
         self._program_cache = program_cache
+        self._worker_pool = worker_pool
+        self._cell_statistics = cell_statistics
         self._sessions: dict[str, list[RegisteredSession]] = {}
         self._lock = threading.RLock()
 
@@ -152,6 +167,8 @@ class SessionRegistry:
                 registered_at=time.time(),
                 _decomposition_cache=self._decomposition_cache,
                 _program_cache=self._program_cache,
+                _worker_pool=self._worker_pool,
+                _cell_statistics=self._cell_statistics,
             )
             versions.append(session)
             return session

@@ -36,6 +36,8 @@ from ..core.bounds import BoundOptions
 from ..core.engine import ContingencyQuery, ContingencyReport
 from ..core.pcset import PredicateConstraintSet
 from ..exceptions import ReproError
+from ..parallel.pool import WorkerPool, default_pool_mode
+from ..plan.passes import ObservedCellStatistics
 from ..relational.relation import Relation
 from .batch import BatchExecutor, BatchResult
 from .cache import CacheStatistics, LRUCache
@@ -58,6 +60,7 @@ class ServiceStatistics:
     decompositions_computed: int
     decomposition_solver_calls: int
     programs_compiled: int
+    worker_pool: dict[str, float] | None = None
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -70,6 +73,8 @@ class ServiceStatistics:
             "decompositions_computed": self.decompositions_computed,
             "decomposition_solver_calls": self.decomposition_solver_calls,
             "programs_compiled": self.programs_compiled,
+            "worker_pool": (None if self.worker_pool is None
+                            else dict(self.worker_pool)),
         }
 
     def summary(self) -> str:
@@ -124,6 +129,15 @@ class ContingencyService:
         The second backend for ``verify="cross-backend"`` (default:
         ``branch-and-bound``, the pure-Python implementation — maximally
         independent from the default scipy/HiGHS path).
+    pool_mode:
+        Flavour of the service-owned persistent
+        :class:`~repro.parallel.pool.WorkerPool`: ``"thread"`` (default),
+        ``"process"`` (warm worker caches + real CPU scale-out), or
+        ``"serial"``.  Defaults to the ``REPRO_POOL`` environment toggle
+        (``1`` selects processes — the CI leg that exercises the warm-pool
+        path).  The pool outlives every batch: it serves batch phase 2 and
+        every session's sharded fan-out, and is torn down by
+        :meth:`shutdown` (or the atexit reaper).
     """
 
     _VERIFY_MODES = (None, "cross-backend")
@@ -134,7 +148,8 @@ class ContingencyService:
                  max_workers: int | None = None,
                  default_options: BoundOptions | None = None,
                  verify: str | None = None,
-                 verify_backend: str = "branch-and-bound"):
+                 verify_backend: str = "branch-and-bound",
+                 pool_mode: str | None = None):
         if verify not in self._VERIFY_MODES:
             raise ReproError(
                 f"unknown verify mode {verify!r}; expected one of "
@@ -143,10 +158,16 @@ class ContingencyService:
                                              name="decomposition")
         self._program_cache = LRUCache(program_cache_entries, name="program")
         self._report_cache = LRUCache(report_cache_entries, name="report")
+        self._worker_pool = WorkerPool(max_workers=max_workers,
+                                       mode=pool_mode or default_pool_mode(),
+                                       name="service")
+        self._cell_statistics = ObservedCellStatistics()
         self._registry = SessionRegistry(
             decomposition_cache=self._decomposition_cache,
-            program_cache=self._program_cache)
-        self._executor = BatchExecutor(max_workers)
+            program_cache=self._program_cache,
+            worker_pool=self._worker_pool,
+            cell_statistics=self._cell_statistics)
+        self._executor = BatchExecutor(max_workers, pool=self._worker_pool)
         self._default_options = default_options
         self._verify_backend = verify_backend if verify == "cross-backend" else None
         self._queries_answered = 0
@@ -159,6 +180,32 @@ class ContingencyService:
     @property
     def registry(self) -> SessionRegistry:
         return self._registry
+
+    @property
+    def worker_pool(self) -> WorkerPool:
+        """The service-owned persistent worker pool."""
+        return self._worker_pool
+
+    @property
+    def cell_statistics(self) -> ObservedCellStatistics:
+        """The shared adaptive cell-count feed (one across all sessions)."""
+        return self._cell_statistics
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def shutdown(self) -> None:
+        """Stop the worker pool (idempotent; it restarts lazily if the
+        service keeps serving).  The atexit reaper covers services that are
+        never shut down explicitly."""
+        self._executor.close()
+        self._worker_pool.shutdown()
+
+    def __enter__(self) -> "ContingencyService":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.shutdown()
 
     @property
     def decomposition_cache(self) -> LRUCache:
@@ -252,7 +299,8 @@ class ContingencyService:
                               for positions in missing_by_query.values()]
         distinct_queries = [queries[position]
                             for position in distinct_positions]
-        result = self._executor.execute(session.analyzer, distinct_queries)
+        result = self._executor.execute(session.analyzer, distinct_queries,
+                                        session_key=session.fingerprint)
         for (query_fingerprint, positions), report in zip(
                 missing_by_query.items(), result.reports):
             self._report_cache.put(
@@ -287,6 +335,7 @@ class ContingencyService:
             decompositions_computed=decompositions,
             decomposition_solver_calls=solver_calls,
             programs_compiled=programs,
+            worker_pool=self._worker_pool.statistics.as_dict(),
         )
 
     def clear_caches(self) -> None:

@@ -109,6 +109,56 @@ class TestCliBound:
         assert code == 2
         assert "error:" in capsys.readouterr().err
 
+    @pytest.fixture
+    def disjoint_constraint_file(self, tmp_path):
+        path = tmp_path / "disjoint.txt"
+        path.write_text(
+            "0 <= utc <= 1 => 1.0 <= price <= 10.0, (2, 5)\n"
+            "2 <= utc <= 3 => 1.0 <= price <= 20.0, (2, 5)\n"
+            "4 <= utc <= 5 => 1.0 <= price <= 30.0, (2, 5)\n"
+            "6 <= utc <= 7 => 1.0 <= price <= 40.0, (2, 5)\n")
+        return path
+
+    def test_bound_workers_reports_shared_pool(self, capsys,
+                                               disjoint_constraint_file):
+        code = main(["bound", "--constraints", str(disjoint_constraint_file),
+                     "--aggregate", "sum", "--attribute", "price",
+                     "--workers", "2", "--parallel-mode", "thread",
+                     "--no-closure-check"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "shard(s) over 2 worker(s) on the shared thread pool" in output
+        assert "merged shard solves" in output
+
+    def test_bound_workers_avg_uses_cross_shard_search(self, capsys,
+                                                       disjoint_constraint_file):
+        code = main(["bound", "--constraints", str(disjoint_constraint_file),
+                     "--aggregate", "avg", "--attribute", "price",
+                     "--workers", "2", "--no-closure-check"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "cross-shard binary search" in output
+        assert "result range" in output
+
+    def test_bound_workers_match_serial_ranges(self, capsys,
+                                               disjoint_constraint_file):
+        for aggregate in ("sum", "avg"):
+            assert main(["bound", "--constraints",
+                         str(disjoint_constraint_file),
+                         "--aggregate", aggregate, "--attribute", "price",
+                         "--no-closure-check"]) == 0
+            serial_output = capsys.readouterr().out
+            assert main(["bound", "--constraints",
+                         str(disjoint_constraint_file),
+                         "--aggregate", aggregate, "--attribute", "price",
+                         "--workers", "3", "--no-closure-check"]) == 0
+            parallel_output = capsys.readouterr().out
+            serial_range = [line for line in serial_output.splitlines()
+                            if line.startswith("result range")]
+            parallel_range = [line for line in parallel_output.splitlines()
+                              if line.startswith("result range")]
+            assert serial_range == parallel_range
+
 
 class TestGroupByAnalysis:
     def build_analyzer(self) -> PCAnalyzer:

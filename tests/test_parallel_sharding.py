@@ -193,21 +193,26 @@ class TestSolveExecutor:
                       backend="test-native-handle")
 
     def test_batch_process_mode_honours_capability_gate(self):
-        """A process-mode batch fails fast on a process-unsafe backend
-        instead of crashing inside a worker."""
+        """A process-mode batch falls back to the thread pool on a
+        process-unsafe backend instead of crashing inside a worker."""
         from repro.core.engine import ContingencyQuery, PCAnalyzer
         from repro.service.batch import BatchExecutor
+        from repro.solvers.milp import _solve_scipy
 
         register_backend(
             "test-native-handle-batch",
-            lambda model, time_limit=None: None,
+            lambda model, time_limit=None: _solve_scipy(model),
             replace=True,
             capabilities=BackendCapabilities(process_safe=False))
         analyzer = PCAnalyzer(windows_pcset(3), options=BoundOptions(
             check_closure=False, milp_backend="test-native-handle-batch"))
-        executor = BatchExecutor(max_workers=2, mode="process")
-        with pytest.raises(SolverError, match="not process-safe"):
-            executor.execute(analyzer, [ContingencyQuery.count()])
+        with BatchExecutor(max_workers=2, mode="process") as executor:
+            result = executor.execute(analyzer, [ContingencyQuery.count()])
+        assert result.statistics.executor_mode == "thread"
+        baseline = PCAnalyzer(windows_pcset(3), options=BoundOptions(
+            check_closure=False)).analyze(ContingencyQuery.count())
+        assert result.reports[0].lower == baseline.lower
+        assert result.reports[0].upper == baseline.upper
 
     def test_solve_programs_matches_direct_bounds(self):
         solver = PCBoundSolver(windows_pcset(4),

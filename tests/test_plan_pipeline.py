@@ -14,6 +14,8 @@ Two properties anchor this module:
 
 from __future__ import annotations
 
+import math
+
 import numpy as np
 import pytest
 
@@ -35,6 +37,7 @@ from repro.experiments.reporting import format_result_range_table, intersect_ran
 from repro.plan import BoundQuery, build_plan, optimize_plan
 from repro.plan.passes import (
     ConstraintMergingPass,
+    ObservedCellStatistics,
     RegionPruningPass,
     StrategySelectionPass,
 )
@@ -257,6 +260,145 @@ class TestStrategySelectionPass:
                 assert loose.lower <= tight.lower + 1e-6
             if tight.upper is not None and loose.upper is not None:
                 assert loose.upper >= tight.upper - 1e-6
+
+
+class TestAdaptiveCellBudget:
+    """Measured cell counts replace the worst-case 2^n estimate."""
+
+    def statistics(self, num_constraints: int, cells: int, assumed: int = 0):
+        from repro.core.cells import DecompositionStatistics
+
+        return DecompositionStatistics(num_constraints=num_constraints,
+                                       satisfiable_cells=cells,
+                                       assumed_satisfiable=assumed)
+
+    def test_feed_needs_minimum_samples(self):
+        feed = ObservedCellStatistics()
+        feed.observe(self.statistics(8, 20))
+        feed.observe(self.statistics(8, 24))
+        assert feed.estimate(10) is None
+        feed.observe(self.statistics(8, 16))
+        assert feed.estimate(10) is not None
+
+    def test_feed_ignores_early_stopped_decompositions(self):
+        feed = ObservedCellStatistics()
+        for _ in range(5):
+            feed.observe(self.statistics(8, 200, assumed=64))
+        assert feed.sample_count == 0
+        assert feed.estimate(10) is None
+
+    def test_estimate_scales_max_observed_density(self):
+        feed = ObservedCellStatistics()
+        # Densities: 17/255, 25/255, 20/255 — the max (25/255) wins, so
+        # the estimate stays conservative on the cost axis.
+        for cells in (17, 25, 20):
+            feed.observe(self.statistics(8, cells))
+        estimate = feed.estimate(10)
+        assert estimate == math.ceil((25 / 255) * 1023)
+        # Larger-set samples never inform a smaller set: scaling a big
+        # sparse set's density down would bypass the cell-budget guard.
+        assert feed.estimate(2) is None
+        feed.observe(self.statistics(8, 255))  # density 1.0
+        assert feed.estimate(10) == 1023
+
+    def sparse_feed(self) -> ObservedCellStatistics:
+        """A feed whose measurements say: ~2% of subsets are satisfiable."""
+        feed = ObservedCellStatistics()
+        for cells in (5, 6, 5):
+            feed.observe(self.statistics(8, cells))
+        return feed
+
+    def test_observed_estimate_avoids_needless_early_stop(self):
+        pcset = TestStrategySelectionPass().overlapping_pcset()
+        options = BoundOptions(check_closure=False, cell_budget=64)
+        plan = build_plan(BoundQuery(AggregateFunction.COUNT), pcset, options)
+        # Worst case (2^10) blows the budget: early stop engages...
+        worst_case = StrategySelectionPass()(plan)
+        assert worst_case.early_stop_depth is not None
+        # ...but measured density (~24 cells predicted) fits it: exact.
+        adaptive = StrategySelectionPass(self.sparse_feed())(plan)
+        assert adaptive.early_stop_depth is None
+
+    def test_observed_estimate_still_early_stops_dense_sets(self):
+        feed = ObservedCellStatistics()
+        for cells in (200, 210, 205):  # dense (but measured) overlap
+            feed.observe(self.statistics(8, cells))
+        pcset = TestStrategySelectionPass().overlapping_pcset()
+        options = BoundOptions(check_closure=False, cell_budget=64)
+        plan = build_plan(BoundQuery(AggregateFunction.COUNT), pcset, options)
+        adaptive = StrategySelectionPass(feed)(plan)
+        assert adaptive.early_stop_depth is not None
+        assert any("observed" in note for note in adaptive.trace)
+
+    def test_large_sparse_sample_never_disables_budget_for_small_sets(self):
+        """A near-disjoint 30-constraint sample (vanishing density) must not
+        talk a dense 10-constraint set out of its cell budget."""
+        feed = ObservedCellStatistics()
+        for _ in range(3):
+            feed.observe(self.statistics(30, 35))  # density ~3e-8
+        assert feed.estimate(10) is None
+        pcset = TestStrategySelectionPass().overlapping_pcset()
+        options = BoundOptions(check_closure=False, cell_budget=16)
+        plan = build_plan(BoundQuery(AggregateFunction.COUNT), pcset, options)
+        guarded = StrategySelectionPass(feed)(plan)
+        assert guarded.early_stop_depth is not None  # budget guard intact
+
+    def test_adaptive_depth_is_pinned_and_travels_in_the_pickle(self):
+        """Cache keys stay stable as the feed learns, and a pickled solver
+        (a pool worker's copy) computes the parent's keys for resolved
+        pairs — the warm-shipping protocol depends on it."""
+        import pickle
+
+        pcset = TestStrategySelectionPass().overlapping_pcset()
+        solver = PCBoundSolver(pcset, BoundOptions(check_closure=False,
+                                                   cell_budget=16))
+        key_before = solver.program_key(None, "price")
+        # Learning new densities must not move an already-resolved pair.
+        for cells in (5, 6, 5):
+            solver.cell_statistics.observe(
+                TestAdaptiveCellBudget().statistics(8, cells))
+        assert solver.program_key(None, "price") == key_before
+        worker_copy = pickle.loads(pickle.dumps(solver))
+        assert worker_copy.program_key(None, "price") == key_before
+
+    def test_worker_pin_matches_parent_keys_for_late_pairs(self):
+        """The analyze-task depth handshake: a worker whose copy predates a
+        pair's resolution adopts the parent's decision and computes the
+        parent's program key (pre-ship warm programs depend on it)."""
+        import pickle
+
+        pcset = TestStrategySelectionPass().overlapping_pcset()
+        parent = PCBoundSolver(pcset, BoundOptions(check_closure=False,
+                                                   cell_budget=16))
+        worker = pickle.loads(pickle.dumps(parent))  # no pairs resolved yet
+        # Parent learns sparse densities, then resolves a brand-new pair —
+        # possibly to a different depth than a fresh feed would choose.
+        for cells in (5, 6, 5):
+            parent.cell_statistics.observe(
+                TestAdaptiveCellBudget().statistics(8, cells))
+        parent_key = parent.program_key(None, "price")
+        depth = parent.resolved_early_stop_depth(None, "price")
+        worker.pin_early_stop_depth(None, "price", depth)
+        assert worker.program_key(None, "price") == parent_key
+
+    def test_solver_feeds_its_own_decompositions(self):
+        """A solver's exact decompositions adapt its later budget decisions."""
+        pcset = TestStrategySelectionPass().overlapping_pcset(count=6)
+        solver = PCBoundSolver(pcset, NO_CLOSURE)
+        assert solver.cell_statistics.sample_count == 0
+        solver.bound(AggregateFunction.COUNT)
+        assert solver.cell_statistics.sample_count == 1
+
+    def test_service_shares_one_feed_across_sessions(self):
+        service = ContingencyService()
+        pcset = TestStrategySelectionPass().overlapping_pcset(count=6)
+        service.register("a", pcset, options=NO_CLOSURE)
+        service.register("b", pcset, options=BoundOptions(check_closure=False,
+                                                          cell_budget=1024))
+        service.analyze("a", ContingencyQuery.count())
+        assert service.cell_statistics.sample_count >= 1
+        session_b = service.session("b")
+        assert session_b.analyzer.solver.cell_statistics is service.cell_statistics
 
 
 class TestCompiledProgramEquivalence:

@@ -192,6 +192,69 @@ def test_cross_backend_verification_sound_and_identical(kind):
                           "cross-backend vs serial")
 
 
+@pytest.mark.parametrize("seed", [707, 808])
+@pytest.mark.parametrize("kind", ["disjoint", "overlapping", "mandatory"])
+def test_sharded_avg_matches_serial_and_stays_sound(seed, kind):
+    """Cross-shard AVG (the pooled binary search) equals the serial search.
+
+    AVG is the one aggregate whose bounds do not merge from independent
+    shard ranges — the binary search couples every cell through the shared
+    target.  The cross-shard search instead exchanges per-shard
+    ``value − target`` optima once per probe, which must reproduce the
+    serial search's decisions bit-for-bit: same midpoints, same endpoints.
+    Covered regimes: no observed partition (the floored search), an
+    observed partition (``known_count > 0``), and randomized regions.
+    """
+    relation, observed, missing, pcset, _ = scenario(seed, kind)
+    serial = PCBoundSolver(pcset, BoundOptions())
+    sharded = PCBoundSolver(pcset, BoundOptions(solve_workers=3))
+    rng = np.random.default_rng(seed)
+    regions = [None] + [Predicate.range("t", low, low + 30.0)
+                        for low in rng.uniform(0.0, 60.0, 3)]
+    for region in regions:
+        query = ContingencyQuery.avg("v", region)
+        truth = query.ground_truth(missing)
+        serial_range = serial.bound(AggregateFunction.AVG, "v", region)
+        sharded_range = sharded.bound(AggregateFunction.AVG, "v", region)
+        assert_contains(sharded_range, truth, query, "sharded AVG")
+        assert_same_range(serial_range, sharded_range, query,
+                          "sharded AVG vs serial")
+    # With an observed partition the search carries (known_sum, known_count)
+    # — the unfloored regime, where the probe objective is fully separable.
+    serial_analyzer = PCAnalyzer(pcset, observed=observed,
+                                 options=BoundOptions())
+    sharded_analyzer = PCAnalyzer(pcset, observed=observed,
+                                  options=BoundOptions(solve_workers=3))
+    for region in regions:
+        query = ContingencyQuery.avg("v", region)
+        truth = query.ground_truth(relation)
+        serial_report = serial_analyzer.analyze(query)
+        sharded_report = sharded_analyzer.analyze(query)
+        assert_contains(sharded_report.result_range, truth, query,
+                        "sharded AVG analyze")
+        assert_same_range(serial_report.result_range,
+                          sharded_report.result_range, query,
+                          "sharded AVG analyze vs serial")
+
+
+def test_sharded_avg_through_process_pool_matches_serial():
+    """The same equality holds when the probes run on process workers."""
+    from repro.parallel.pool import WorkerPool
+
+    _, _, missing, pcset, _ = scenario(909, "mandatory")
+    serial = PCBoundSolver(pcset, BoundOptions())
+    with WorkerPool(max_workers=3, mode="process", name="avg-test") as pool:
+        sharded = PCBoundSolver(pcset, BoundOptions(solve_workers=3),
+                                worker_pool=pool)
+        query = ContingencyQuery.avg("v", None)
+        truth = query.ground_truth(missing)
+        serial_range = serial.bound(AggregateFunction.AVG, "v")
+        pooled_range = sharded.bound(AggregateFunction.AVG, "v")
+        assert_contains(pooled_range, truth, query, "process-pool AVG")
+        assert_same_range(serial_range, pooled_range, query,
+                          "process-pool AVG vs serial")
+
+
 def test_sharded_verified_combination_is_sound():
     """Sharding and verification compose: fan out, cross-check, stay sound."""
     _, _, missing, pcset, queries = scenario(606, "disjoint")
