@@ -10,8 +10,9 @@ paper's exact sizes.
 Benchmarks that measure *this repository's* performance (rather than
 regenerate paper artifacts) additionally record their wall times and
 speedups through the ``bench_record`` fixture; the session writes them to
-``benchmarks/BENCH_PR4.json`` so the perf trajectory is machine-readable
-from PR 4 on — diff the file across PRs instead of scraping pytest logs.
+``benchmarks/BENCH_PR5.json`` so the perf trajectory is machine-readable
+from PR 4 on — diff the per-PR files against each other instead of
+scraping pytest logs.
 """
 
 from __future__ import annotations
@@ -31,7 +32,7 @@ def pytest_configure(config):
 
 
 _BENCH_DIR = Path(__file__).parent
-_TRAJECTORY_FILE = _BENCH_DIR / "BENCH_PR4.json"
+_TRAJECTORY_FILE = _BENCH_DIR / "BENCH_PR5.json"
 _RECORDS: list[dict] = []
 
 
@@ -59,7 +60,7 @@ def report_artifact(capsys):
 
 @pytest.fixture
 def bench_record(request):
-    """Record one benchmark's timings into ``BENCH_PR4.json``.
+    """Record one benchmark's timings into ``BENCH_PR5.json``.
 
     Call with keyword fields; ``seconds``-suffixed fields are wall times,
     ``speedup`` fields are ratios.  The benchmark name defaults to the

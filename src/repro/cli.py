@@ -121,6 +121,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--repeat", type=int, default=1,
                               help="run the batch this many times (>1 shows "
                                    "the effect of warm caches)")
+    serve_parser.add_argument("--max-cost", type=float, default=None,
+                              metavar="UNITS",
+                              help="program-aware admission budget: queries "
+                                   "priced above UNITS (from their plan: "
+                                   "constraints, estimated cells, shard "
+                                   "layout, program warmth) are rejected "
+                                   "before any solve is dispatched")
     serve_parser.add_argument("--no-closure-check", action="store_true",
                               help="skip the closed-world check (assume closure)")
     _add_solver_arguments(serve_parser)
@@ -161,6 +168,14 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
                        metavar="CELLS",
                        help="let the plan optimizer early-stop automatically "
                             "when the worst-case cell count exceeds CELLS")
+    group.add_argument("--shard-strategy", default=None,
+                       choices=["auto", "component", "region"],
+                       help="how the sharding pass splits plans for "
+                            "--workers: component (independent constraint "
+                            "components), region (partition the query region "
+                            "so one-component sets shard too), or auto "
+                            "(default; component first, region when the "
+                            "enumeration is worth fanning out)")
     group.add_argument("--verify-backend", default=None, metavar="NAME",
                        help="cross-check every range on this second MILP "
                             "backend and fail loudly when the two backends "
@@ -187,6 +202,8 @@ def _solver_options(args: argparse.Namespace):
         if args.cell_budget < 1:
             raise ReproError("--cell-budget must be at least 1")
         options.cell_budget = args.cell_budget
+    if args.shard_strategy is not None:
+        options.shard_strategy = args.shard_strategy
     return options
 
 
@@ -281,20 +298,25 @@ def _command_bound(args: argparse.Namespace) -> int:
         print(f"                  - {note}")
     if options.solve_workers is not None and options.solve_workers > 1:
         # Every aggregate parallelises now: COUNT/SUM/MIN/MAX merge shard
-        # ranges, AVG runs the cross-shard binary search.
+        # ranges, AVG runs the cross-shard binary search — and region
+        # sharding fans the cell enumeration out for one-component sets.
         sharded = analyzer.solver.sharded_plan(query.region, query.attribute)
-        flavour = ("cross-shard binary search"
-                   if query.aggregate is AggregateFunction.AVG
-                   else "merged shard solves")
+        if sharded.strategy == "region":
+            flavour = "region-split cell enumeration"
+        elif query.aggregate is AggregateFunction.AVG:
+            flavour = "cross-shard binary search"
+        else:
+            flavour = "merged shard solves"
         # Report the pool the solve actually borrowed: the resolved mode
         # can differ from --parallel-mode (process-unsafe backends fall
         # back to threads, width 1 degrades to serial).
         pool = analyzer.solver.borrow_pool(options.solve_workers)
-        print(f"sharding        : {len(sharded)} shard(s) over "
+        print(f"sharding        : {sharded.strategy} strategy, "
+              f"{len(sharded)} shard(s) over "
               f"{options.solve_workers} worker(s) on the shared "
               f"{pool.mode} pool"
               + (f" ({flavour})" if sharded.is_sharded
-                 else " (single component; solved serially)"))
+                 else " (unsplittable; solved serially)"))
     if options.verify_backend is not None:
         print(f"verification    : cross-backend against "
               f"{options.verify_backend}")
@@ -341,23 +363,31 @@ def _load_queries(path_text: str) -> list[ContingencyQuery]:
 
 
 def _command_serve_batch(args: argparse.Namespace) -> int:
-    from .service import ContingencyService
+    from .service import AdmissionPolicy, ContingencyService
 
     if args.repeat < 1:
         raise ReproError("--repeat must be at least 1")
     if args.workers is not None and args.workers < 1:
         raise ReproError("--workers must be at least 1")
+    if args.max_cost is not None and args.max_cost <= 0:
+        raise ReproError("--max-cost must be positive")
     pcset = _load_constraints(args.constraints)
     queries = _load_queries(args.queries)
     observed = read_csv(args.observed) if args.observed else None
     options = _solver_options(args)
 
-    service = ContingencyService(max_workers=args.workers)
+    admission = (None if args.max_cost is None
+                 else AdmissionPolicy(max_query_cost=args.max_cost))
+    service = ContingencyService(max_workers=args.workers,
+                                 admission=admission)
     session_name = Path(args.constraints).stem
     session = service.register(session_name, pcset, observed=observed,
                                options=options)
     print(f"session         : {session.name} v{session.version} "
           f"({session.fingerprint[:12]}, {len(pcset)} constraints)")
+    if args.max_cost is not None:
+        print(f"admission       : per-query budget {args.max_cost:.1f} "
+              f"unit(s); over-budget queries are rejected at the plan stage")
     for round_number in range(1, args.repeat + 1):
         result = service.execute_batch(session_name, queries)
         print(f"batch round {round_number}   : {result.statistics.summary()}")

@@ -28,12 +28,13 @@ sound (the feasible region is a superset of the true one).
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 
 from ..exceptions import SolverError
 from ..plan.ir import BoundPlan, BoundQuery, build_plan
 from ..plan.passes import ObservedCellStatistics, default_passes, optimize_plan
 from ..plan.program import BoundProgram, compile_plan
+from ..plan.sharding import default_shard_strategy
 from ..relational.aggregates import AggregateFunction
 from ..solvers.milp import MILPBackend
 from .cells import (
@@ -74,10 +75,18 @@ class BoundOptions:
     (see :mod:`repro.parallel`):
 
     ``solve_workers``
-        When > 1, COUNT/SUM/MIN/MAX queries whose constraint-overlap graph
-        splits into independent components are sharded into per-component
-        programs and solved on a worker pool of this width.  ``None`` (and
-        ``1``) keep the serial single-program path.
+        When > 1, queries are sharded onto a worker pool of this width
+        through the plan pipeline's sharding pass: multi-component
+        constraint sets split into per-component programs (ranges merged
+        exactly), and one-component sets split by query region (cell
+        enumeration fanned out, then merged into the serial-identical
+        program).  ``None`` (and ``1``) keep the serial single-program path.
+    ``shard_strategy``
+        Which sharding strategy the pass prefers: ``"auto"`` (component
+        splitting when the overlap graph shards, region splitting for
+        expensive one-component plans), ``"component"``, or ``"region"``.
+        Defaults to the ``REPRO_SHARD_STRATEGY`` environment toggle (the
+        region-preferred CI leg) falling back to ``"auto"``.
     ``parallel_mode``
         Pool flavour for the fan-out: ``"thread"`` (default, safe for every
         backend), ``"process"`` (real CPU scale-out; requires the backend's
@@ -102,6 +111,7 @@ class BoundOptions:
     solve_workers: int | None = None
     parallel_mode: str = "thread"
     verify_backend: str | None = None
+    shard_strategy: str = field(default_factory=default_shard_strategy)
 
 
 @dataclass(frozen=True)
@@ -310,6 +320,30 @@ class PCBoundSolver:
         """The cache key for one shard's program (program key + shard token)."""
         return self._program_key(region, attribute) + shard.cache_token()
 
+    def has_cached_program(self, region: Predicate | None = None,
+                           attribute: str | None = None,
+                           shard=None) -> bool:
+        """Whether the pair's (or one shard's) compiled program is warm.
+
+        Admission pricing consults this to discount queries that will only
+        patch parameters into an existing skeleton — passing ``shard``
+        checks the shard-token-extended key that component-sharded
+        execution actually populates, instead of the unsharded pair key it
+        never compiles.  The lookup peeks: it must not perturb cache
+        statistics or LRU recency, and it never compiles anything.
+        """
+        if self._program_cache is not None:
+            key = self._program_key(region, attribute)
+            if shard is not None:
+                key = key + shard.cache_token()
+            peek = getattr(self._program_cache, "peek",
+                           self._program_cache.get)
+            return peek(key) is not None
+        private_key = ((region, attribute) if shard is None
+                       else (region, attribute, shard.cache_token()))
+        with self._program_lock:
+            return private_key in self._local_programs
+
     @property
     def decompositions_computed(self) -> int:
         """How many decompositions this solver actually ran (cache misses).
@@ -378,26 +412,28 @@ class PCBoundSolver:
         workers = self._options.solve_workers
         if workers is not None and workers > 1:
             from ..parallel.pool import in_pool_thread, in_worker
-            from ..parallel.sharding import SHARDABLE_AGGREGATES
+            from ..plan.sharding import SHARDABLE_AGGREGATES
 
             # Inside a pool worker — process or thread — the fan-out IS the
             # pool; sharding again would run every per-shard solve inline
             # (or spawn pools from workers), multiplying cost for zero
             # concurrency, so pooled analyzers degrade to the serial path.
             if not in_worker() and not in_pool_thread():
-                if aggregate in SHARDABLE_AGGREGATES:
-                    sharded = self.sharded_plan(region, attribute,
-                                                max_shards=workers)
-                    if sharded.is_sharded:
+                sharded = self.sharded_plan(region, attribute,
+                                            max_shards=workers)
+                if sharded.is_sharded and sharded.strategy == "component":
+                    if aggregate in SHARDABLE_AGGREGATES:
                         return self._bound_sharded(sharded, aggregate,
                                                    attribute, region, workers)
-                elif aggregate is AggregateFunction.AVG:
-                    sharded = self.sharded_plan(region, attribute,
-                                                max_shards=workers)
-                    if sharded.is_sharded:
+                    if aggregate is AggregateFunction.AVG:
                         return self._bound_avg_sharded(sharded, attribute,
                                                        region, known_sum,
                                                        known_count, workers)
+                # Region-sharded plans deliberately fall through: the serial
+                # program path below compiles against the pool-merged
+                # decomposition (see _decompose_plan), so every aggregate —
+                # AVG included — executes on the serial-identical program
+                # while the enumeration work fanned out.
         program = self.program(region, attribute)
         return program.bound(aggregate, known_sum=known_sum,
                              known_count=known_count)
@@ -438,7 +474,7 @@ class PCBoundSolver:
                        attribute: str | None, region: Predicate | None,
                        workers: int) -> ResultRange:
         """Fan the per-shard programs out over the pool and merge the ranges."""
-        from ..parallel.sharding import (
+        from ..plan.sharding import (
             merge_shard_ranges,
             merge_shard_statistics,
         )
@@ -470,7 +506,7 @@ class PCBoundSolver:
         import math as _math
 
         from ..parallel.pool import sharded_avg_range
-        from ..parallel.sharding import merge_shard_statistics
+        from ..plan.sharding import merge_shard_statistics
 
         aggregate = AggregateFunction.AVG
         keyed = self._keyed_shard_programs(sharded, region, attribute)
@@ -650,19 +686,23 @@ class PCBoundSolver:
     def sharded_plan(self, region: Predicate | None = None,
                      attribute: str | None = None,
                      max_shards: int | None = None):
-        """The :class:`~repro.parallel.ShardedBoundPlan` for a (region,
-        attribute) pair: the optimized plan split along the independent
-        components of its constraint-overlap graph, capped at ``max_shards``
-        (defaulting to ``options.solve_workers``).  A single-component plan
-        comes back with one shard (``is_sharded`` False).
+        """The :class:`~repro.plan.ShardedBoundPlan` for a (region,
+        attribute) pair: the optimized plan run through the sharding pass
+        (:func:`~repro.plan.sharding.select_sharding`), capped at
+        ``max_shards`` (defaulting to ``options.solve_workers``).  The
+        strategy preference comes from ``options.shard_strategy``; a plan no
+        strategy can split comes back with one shard (``is_sharded`` False).
 
         Sharded plans are memoized per (region, attribute, max_shards):
         building one runs the optimizer plus a quadratic predicate-overlap
-        scan, which a warm repeated query must not pay again.  Plans and
-        the shard layouts they induce are immutable, so the cached object
-        is safe to share across threads.
+        scan, which a warm repeated query must not pay again — and under
+        ``auto`` the region-splitting decision consults the mutable
+        observed-density feed, so memoization also pins the first decision
+        (the same stability argument as the adaptive early-stop memo).
+        Plans and the shard layouts they induce are immutable, so the
+        cached object is safe to share across threads.
         """
-        from ..parallel.sharding import shard_plan
+        from ..plan.sharding import select_sharding
 
         if max_shards is None:
             max_shards = self._options.solve_workers
@@ -674,7 +714,8 @@ class PCBoundSolver:
         aggregate = (AggregateFunction.COUNT if attribute is None
                      else AggregateFunction.SUM)
         plan = self.plan(BoundQuery(aggregate, attribute, region))
-        sharded = shard_plan(plan, max_shards=max_shards)
+        sharded = select_sharding(plan, max_shards=max_shards,
+                                  cell_statistics=self._cell_statistics)
         with self._program_lock:
             self._sharded_plans[key] = sharded
         return sharded
@@ -874,8 +915,57 @@ class PCBoundSolver:
         if self._cell_statistics is not None:
             self._cell_statistics.observe(decomposition.statistics)
 
+    def _region_decomposition_factory(self, plan: BoundPlan):
+        """A pool-fanned way to compute ``plan``'s decomposition, or None.
+
+        Returns a zero-argument callable only when the sharding pass chose
+        region splitting for this pair (one-component overlap graph, a
+        usable partition attribute, fan-out requested and not already
+        running inside a pool worker).  The callable produces a
+        decomposition *identical* to the inline enumeration — the cell-union
+        equality argued in :mod:`repro.plan.sharding` — so it slots into
+        :func:`decompose_cached` as a ``compute_override`` without touching
+        keys, namespaces or the accounting callback.
+        """
+        workers = self._options.solve_workers
+        if workers is None or workers <= 1:
+            return None
+        from ..parallel.pool import in_pool_thread, in_worker
+
+        if in_worker() or in_pool_thread():
+            return None
+        sharded = self.sharded_plan(plan.query.region, plan.query.attribute,
+                                    max_shards=workers)
+        if sharded.strategy != "region" or not sharded.is_sharded:
+            return None
+        return lambda: self._pooled_region_decomposition(plan, sharded,
+                                                         workers)
+
+    def _pooled_region_decomposition(self, plan: BoundPlan, sharded,
+                                     workers: int) -> CellDecomposition:
+        """Fan the region shards' enumerations out and union their cells.
+
+        Each task carries its shard's full constraint set and sub-region
+        (self-contained, so any worker can run it); routing keys reuse the
+        shard program keys, so repeated sharded queries keep their affinity
+        workers.  The shard plans inherit the parent's strategy and resolved
+        early-stop depth, which is what makes the merged cell set equal the
+        serial enumeration under every knob combination.
+        """
+        from ..plan.sharding import merge_shard_decompositions
+
+        region = plan.query.region
+        attribute = plan.query.attribute
+        keyed = [(self.shard_program_key(shard, region, attribute),
+                  shard.plan.pcset, shard.plan.query.region,
+                  shard.plan.strategy, shard.plan.early_stop_depth)
+                 for shard in sharded]
+        decompositions = self.borrow_pool(workers).decompose_shards(keyed)
+        return merge_shard_decompositions(plan, decompositions)
+
     def _decompose_plan(self, plan: BoundPlan) -> CellDecomposition:
         region = plan.query.region
+        compute_override = self._region_decomposition_factory(plan)
         if self._shared_cache is not None:
             namespace = None
             if self._cache_namespace is not None:
@@ -895,7 +985,8 @@ class PCBoundSolver:
                 early_stop_depth=plan.early_stop_depth,
                 cache=self._shared_cache,
                 namespace=namespace,
-                on_compute=self._record_decomposition)
+                on_compute=self._record_decomposition,
+                compute_override=compute_override)
         # Programs for the same region but different attributes can compile
         # concurrently (the batch executor's warm phase), so the private
         # dict needs per-region locking to keep one decomposition per
@@ -914,7 +1005,8 @@ class PCBoundSolver:
                     plan.pcset, region,
                     strategy=plan.strategy,
                     early_stop_depth=plan.early_stop_depth,
-                    on_compute=self._record_decomposition)
+                    on_compute=self._record_decomposition,
+                    compute_override=compute_override)
                 with self._program_lock:
                     self._decomposition_cache[region] = decomposition
                     self._decomposition_locks.pop(region, None)

@@ -210,6 +210,16 @@ class PCAnalyzer:
         """
         return self._solver.plan(query)
 
+    def sharded_plan_for(self, query: ContingencyQuery):
+        """The :class:`~repro.plan.ShardedBoundPlan` the sharding pass would
+        execute ``query`` through (introspection: strategy, shard layout).
+
+        Like :meth:`plan_for` this never decomposes or solves — the service
+        layer prices admission decisions from it, and the CLI renders it as
+        the sharding half of the EXPLAIN output.
+        """
+        return self._solver.sharded_plan(query.region, query.attribute)
+
     # ------------------------------------------------------------------ #
     # Main API
     # ------------------------------------------------------------------ #

@@ -22,6 +22,7 @@ __all__ = [
     "UnboundedProblemError",
     "SolverError",
     "DisjointRangeError",
+    "QueryRejectedError",
     "JoinBoundError",
     "DatasetError",
     "WorkloadError",
@@ -90,6 +91,27 @@ class DisjointRangeError(SolverError):
         super().__init__(message)
         self.first = first
         self.second = second
+
+
+class QueryRejectedError(ReproError):
+    """Raised when admission control declines to run a query.
+
+    Shed load is not an internal failure: the service priced the query from
+    its plan (before any decomposition or solve was dispatched) and decided
+    it would exceed the configured budget, the admission queue was full, or
+    a deferred query waited past its deadline.  ``cost`` and ``limit`` carry
+    the priced units and the budget that tripped, ``reason`` is one of
+    ``"over-budget"``, ``"queue-full"`` or ``"timeout"``, so callers can
+    retry, downscope, or route to a bigger deployment without parsing the
+    message.
+    """
+
+    def __init__(self, message: str, cost: float | None = None,
+                 limit: float | None = None, reason: str = "rejected"):
+        super().__init__(message)
+        self.cost = cost
+        self.limit = limit
+        self.reason = reason
 
 
 class InfeasibleProblemError(SolverError):

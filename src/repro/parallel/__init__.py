@@ -6,12 +6,15 @@ immutable compiled skeletons, which is exactly the precondition for three
 features that previously had no safe seam:
 
 ``sharding``
-    :class:`ShardedBoundPlan` splits one optimized
-    :class:`~repro.plan.BoundPlan` along the *independent components* of its
-    constraint-overlap graph.  Predicates in different components never
-    overlap, so the §4.2 MILP separates into per-shard programs whose bounds
-    recombine exactly (:func:`merge_shard_ranges`) — the plan-level analogue
-    of partitioned query scale-out.
+    A compatibility shim: sharding is now a plan-pipeline pass
+    (:mod:`repro.plan.sharding`), with a pluggable
+    :class:`~repro.plan.sharding.ShardingStrategy` interface behind two
+    splitters — constraint-component splitting (independent overlap
+    components solve as separate programs and merge ranges exactly) and
+    region-level splitting (one-component constraint sets fan their cell
+    enumeration out across sub-regions of a partition attribute and merge
+    cells into the serial-identical program).  The names re-exported here
+    keep historical imports working.
 ``executor``
     :class:`SolveExecutor` fans independent program solves out over a thread
     pool or — for backends whose capability flags declare their compiled
@@ -46,10 +49,15 @@ from .pool import (
 )
 from .sharding import (
     SHARDABLE_AGGREGATES,
+    ConstraintComponentSharding,
     PlanShard,
+    RegionSharding,
     ShardedBoundPlan,
+    ShardingStrategy,
+    merge_shard_decompositions,
     merge_shard_ranges,
     partition_constraint_indices,
+    select_sharding,
     shard_plan,
 )
 from .verify import cross_check_ranges
@@ -61,10 +69,15 @@ __all__ = [
     "shared_pool",
     "shutdown_shared_pools",
     "SHARDABLE_AGGREGATES",
+    "ShardingStrategy",
+    "ConstraintComponentSharding",
+    "RegionSharding",
     "PlanShard",
     "ShardedBoundPlan",
     "merge_shard_ranges",
+    "merge_shard_decompositions",
     "partition_constraint_indices",
+    "select_sharding",
     "shard_plan",
     "cross_check_ranges",
 ]

@@ -232,6 +232,21 @@ def _handle_probe(programs, sessions, task):
                                     with_floor=with_floor)
 
 
+def _handle_decompose(programs, sessions, task):
+    """One region shard's cell enumeration (the region-sharding fan-out).
+
+    Decompose tasks are self-contained — the constraint set and sub-region
+    travel with the task — so they need no warm program state; the parent
+    unions the returned cells into the serial-identical decomposition
+    (:func:`repro.plan.sharding.merge_shard_decompositions`).
+    """
+    from ..core.cells import CellDecomposer
+
+    _, _, _key, pcset, region, strategy, early_stop_depth = task
+    decomposer = CellDecomposer(pcset, strategy, early_stop_depth)
+    return decomposer.decompose(region)
+
+
 def _handle_analyze(programs, sessions, task):
     _, _, session_key, program_key, program, query, resolved_depth = task
     if program is not None:
@@ -254,6 +269,7 @@ _HANDLERS = {
     "register": _handle_register,
     "solve": _handle_solve,
     "probe": _handle_probe,
+    "decompose": _handle_decompose,
     "analyze": _handle_analyze,
 }
 
@@ -643,6 +659,42 @@ class WorkerPool:
         return [outcomes[start:start + width]
                 for start in range(0, len(outcomes), width)]
 
+    def decompose_shards(self, keyed_tasks: Sequence[tuple]) -> list:
+        """Enumerate every region shard's cells, in order.
+
+        ``keyed_tasks`` entries are ``(key, pcset, region, strategy,
+        early_stop_depth)`` — the key routes the task to its affinity
+        worker (so a repeated sharded query keeps landing on the same
+        workers), and the rest is the self-contained decomposition job.
+        Returns one :class:`~repro.core.cells.CellDecomposition` per task;
+        the caller unions them (:func:`repro.plan.sharding.
+        merge_shard_decompositions`).
+        """
+        def run_one(task):
+            from ..core.cells import CellDecomposer
+
+            _key, pcset, region, strategy, early_stop_depth = task
+            return CellDecomposer(pcset, strategy,
+                                  early_stop_depth).decompose(region)
+
+        if self._inline() or len(keyed_tasks) <= 1:
+            return [run_one(task) for task in keyed_tasks]
+        if self._mode == "thread":
+            return self._thread_map(run_one, list(keyed_tasks))
+        requests = [("decompose", task[0], tuple(task), position)
+                    for position, task in enumerate(keyed_tasks)]
+        results = self._locked_round(requests)
+        return [results[position] for position in range(len(keyed_tasks))]
+
+    def speculative_capacity(self, base_tasks: int) -> bool:
+        """Whether the pool can absorb work beyond ``base_tasks`` concurrent
+        tasks — the gate for speculative AVG probing, which trades redundant
+        solves for halved search round-trips only when workers would
+        otherwise idle."""
+        if self._mode == "serial" or in_worker() or in_pool_thread():
+            return False
+        return self._max_workers > base_tasks
+
     def analyze(self, session_key, analyzer,
                 keyed_queries: Sequence[tuple]) -> list:
         """Answer ``(program_key, program, query, resolved_depth)`` entries,
@@ -849,6 +901,9 @@ class WorkerPool:
             shipped = self._maybe_ship(worker, key, program)
             return ("probe", task_id, key, shipped, target, at_least,
                     with_floor)
+        if kind == "decompose":
+            # Self-contained: no program shipping or warm bookkeeping.
+            return ("decompose", task_id) + args
         assert kind == "analyze"
         session_key, program_key, program, query, resolved_depth = args
         shipped = self._maybe_ship(worker, program_key, program)
@@ -992,10 +1047,48 @@ def _achievable(per_shard: list[tuple], at_least: bool, with_floor: bool,
     return value >= -1e-9 if at_least else value <= 1e-9
 
 
+class _DirectedAvgSearch:
+    """One direction of the AVG binary search (upper when ``at_least``).
+
+    Mirrors :meth:`repro.plan.program.BoundProgram._avg_search` exactly —
+    same open/close test, same midpoint, same interval update — so the
+    pooled search's decision sequence is the serial search's bit-for-bit.
+    ``probes`` counts consumed probe results (speculative children included
+    once consumed), bounded by the serial search's iteration budget.
+    """
+
+    def __init__(self, low: float, high: float, at_least: bool):
+        self.low = low
+        self.high = high
+        self.at_least = at_least
+        self.probes = 0
+
+    def open(self, tolerance: float) -> bool:
+        return (self.high - self.low
+                > tolerance * max(1.0, abs(self.high), abs(self.low)))
+
+    @property
+    def midpoint(self) -> float:
+        return (self.low + self.high) / 2.0
+
+    def apply(self, midpoint: float, achievable: bool) -> None:
+        self.probes += 1
+        if achievable == self.at_least:
+            self.low = midpoint
+        else:
+            self.high = midpoint
+
+    @property
+    def conservative(self) -> float:
+        """The endpoint that always contains the true extreme average."""
+        return self.high if self.at_least else self.low
+
+
 def sharded_avg_range(pool: WorkerPool, keyed_programs: Sequence[tuple],
                       known_sum: float, known_count: float,
                       low_start: float, high_start: float,
-                      tolerance: float, max_iterations: int
+                      tolerance: float, max_iterations: int,
+                      speculative: bool | None = None
                       ) -> tuple[float, float]:
     """The (lower, upper) extreme achievable averages, searched across shards.
 
@@ -1006,38 +1099,65 @@ def sharded_avg_range(pool: WorkerPool, keyed_programs: Sequence[tuple],
     scale out with the rest of the sharded plan.  The probe decisions are
     the serial search's decisions exactly, so the returned endpoints match
     the single-program path (same midpoints, same conservative rounding).
+
+    ``speculative`` additionally evaluates *both* children of each active
+    midpoint one level ahead in the same round: whichever way the parent
+    probe decides, the next midpoint's verdict is already in hand, so the
+    search consumes two levels per round-trip — halving rounds on
+    high-latency pools at the price of one discarded probe per search per
+    round.  Defaults to :meth:`WorkerPool.speculative_capacity` (speculate
+    only when workers would otherwise idle).  Decisions, midpoints and
+    endpoints are unchanged: a child midpoint is computed from the same
+    operands the serial search would use, and the per-search probe budget
+    still caps total consumed probes at ``max_iterations``.
     """
     with_floor = known_count == 0
-    up_low, up_high = low_start, high_start
-    down_low, down_high = low_start, high_start
-    for _ in range(max_iterations):
-        up_open = (up_high - up_low
-                   > tolerance * max(1.0, abs(up_high), abs(up_low)))
-        down_open = (down_high - down_low
-                     > tolerance * max(1.0, abs(down_high), abs(down_low)))
-        if not up_open and not down_open:
+    searches = [_DirectedAvgSearch(low_start, high_start, at_least=True),
+                _DirectedAvgSearch(low_start, high_start, at_least=False)]
+    if speculative is None:
+        speculative = pool.speculative_capacity(
+            2 * max(1, len(keyed_programs)))
+    while True:
+        probes: list[tuple] = []
+        owners: list[tuple] = []
+        for search in searches:
+            if search.probes >= max_iterations or not search.open(tolerance):
+                continue
+            midpoint = search.midpoint
+            probes.append((midpoint, search.at_least, with_floor))
+            owners.append((search, midpoint))
+            if speculative and search.probes + 1 < max_iterations:
+                # The two possible next midpoints, computed from the same
+                # operands the serial search will use after deciding the
+                # parent — float-identical to the post-decision midpoint.
+                for child in ((search.low + midpoint) / 2.0,
+                              (midpoint + search.high) / 2.0):
+                    probes.append((child, search.at_least, with_floor))
+                    owners.append((search, child))
+        if not probes:
             break
-        probes = []
-        if up_open:
-            up_mid = (up_low + up_high) / 2.0
-            probes.append((up_mid, True, with_floor))
-        if down_open:
-            down_mid = (down_low + down_high) / 2.0
-            probes.append((down_mid, False, with_floor))
         outcomes = pool.avg_probes(keyed_programs, probes)
-        cursor = 0
-        if up_open:
-            constant = known_sum - up_mid * known_count
-            if _achievable(outcomes[cursor], True, with_floor, constant):
-                up_low = up_mid
-            else:
-                up_high = up_mid
-            cursor += 1
-        if down_open:
-            constant = known_sum - down_mid * known_count
-            if _achievable(outcomes[cursor], False, with_floor, constant):
-                down_high = down_mid
-            else:
-                down_low = down_mid
+        verdicts: dict[tuple, bool] = {}
+        parents: dict[int, float] = {}
+        for (search, target), outcome in zip(owners, outcomes):
+            constant = known_sum - target * known_count
+            verdicts[(id(search), target)] = _achievable(
+                outcome, search.at_least, with_floor, constant)
+            parents.setdefault(id(search), target)
+        for search in searches:
+            parent = parents.get(id(search))
+            if parent is None:
+                continue
+            search.apply(parent, verdicts[(id(search), parent)])
+            if not speculative:
+                continue
+            # Consume the pre-computed child verdict when the search is
+            # still open and has budget — exactly one extra serial step.
+            if search.probes >= max_iterations or not search.open(tolerance):
+                continue
+            child = search.midpoint
+            verdict = verdicts.get((id(search), child))
+            if verdict is not None:
+                search.apply(child, verdict)
     # Conservative endpoints, exactly like the serial search.
-    return down_low, up_high
+    return searches[1].conservative, searches[0].conservative

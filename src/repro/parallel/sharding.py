@@ -1,282 +1,35 @@
-"""Plan-level sharding: split one bound plan into independent sub-plans.
+"""Compatibility shim: sharding moved into the plan pipeline.
 
-The §4.2 MILP couples two cell variables only when some predicate-constraint
-covers both, and a constraint covers a cell only when the cell lies inside
-its predicate.  Constraints whose predicates never overlap therefore never
-share a cell: the *connected components* of the predicate-overlap graph
-induce a block-diagonal MILP, and each block can compile and solve as its
-own :class:`~repro.plan.BoundProgram` on its own worker.
-
-Soundness/exactness argument, pinned by the randomized property harness:
-
-* every cell of the full decomposition is covered by constraints of exactly
-  one component (a covering set spanning two components would witness an
-  overlap between them), so the sub-plans' cells partition the full plan's
-  cells;
-* COUNT/SUM objectives and all frequency rows are separable across that
-  partition, so the full optimum — upper *and* lower — is the **sum** of the
-  per-shard optima;
-* MAX/MIN bounds are per-cell extrema and per-constraint forced-extremum
-  scans, both of which distribute over the partition as **max/min**.
-
-AVG does not decompose (the binary search couples every cell through the
-shared target), so AVG queries keep the serial single-program path; the
-facade routes per aggregate via :data:`SHARDABLE_AGGREGATES`.
-
-Shards are keyed compatibly with the existing (namespace, region, attribute)
-program-cache scheme: :meth:`PlanShard.cache_token` extends a program cache
-key without colliding with the unsharded program for the same pair.
+Sharding is now a first-class plan-pipeline pass — the implementation,
+including the :class:`~repro.plan.sharding.ShardingStrategy` interface, the
+constraint-component and region-level splitters, and every merge contract,
+lives in :mod:`repro.plan.sharding`.  This module re-exports the public
+names so existing imports (``from repro.parallel.sharding import
+shard_plan``) keep working; new code should import from ``repro.plan``
+directly.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from ..plan.sharding import (
+    SHARD_STRATEGIES,
+    SHARDABLE_AGGREGATES,
+    ConstraintComponentSharding,
+    PlanShard,
+    RegionSharding,
+    ShardedBoundPlan,
+    ShardingStrategy,
+    default_shard_strategy,
+    merge_shard_decompositions,
+    merge_shard_ranges,
+    merge_shard_statistics,
+    partition_constraint_indices,
+    select_sharding,
+    shard_plan,
+)
 
-from ..core.cells import DecompositionStatistics
-from ..core.pcset import PredicateConstraintSet
-from ..core.ranges import ResultRange
-from ..exceptions import SolverError
-from ..plan.ir import BoundPlan
-from ..relational.aggregates import AggregateFunction
-
-__all__ = ["SHARDABLE_AGGREGATES", "PlanShard", "ShardedBoundPlan",
+__all__ = ["SHARDABLE_AGGREGATES", "SHARD_STRATEGIES", "PlanShard",
+           "ShardedBoundPlan", "ShardingStrategy", "ConstraintComponentSharding",
+           "RegionSharding", "default_shard_strategy", "select_sharding",
            "partition_constraint_indices", "shard_plan", "merge_shard_ranges",
-           "merge_shard_statistics"]
-
-#: Aggregates whose bounds recombine exactly from independent shards.
-SHARDABLE_AGGREGATES = frozenset({
-    AggregateFunction.COUNT,
-    AggregateFunction.SUM,
-    AggregateFunction.MIN,
-    AggregateFunction.MAX,
-})
-
-
-def partition_constraint_indices(pcset: PredicateConstraintSet
-                                 ) -> list[tuple[int, ...]]:
-    """Connected components of the predicate-overlap graph, as index tuples.
-
-    Components are ordered by their smallest member and indices inside a
-    component are ascending, so the partition is deterministic for a given
-    constraint order.  A pairwise-disjoint set (the paper's partitioned fast
-    path) short-circuits to singletons without the quadratic overlap scan.
-    """
-    count = len(pcset)
-    if count == 0:
-        return []
-    if pcset.is_pairwise_disjoint():
-        return [(index,) for index in range(count)]
-    predicates = pcset.predicates()
-    parent = list(range(count))
-
-    def find(node: int) -> int:
-        while parent[node] != node:
-            parent[node] = parent[parent[node]]
-            node = parent[node]
-        return node
-
-    for i in range(count):
-        for j in range(i + 1, count):
-            root_i, root_j = find(i), find(j)
-            if root_i == root_j:
-                continue
-            if predicates[i].overlaps(predicates[j]):
-                parent[root_j] = root_i
-    components: dict[int, list[int]] = {}
-    for index in range(count):
-        components.setdefault(find(index), []).append(index)
-    ordered = sorted(components.values(), key=lambda member: member[0])
-    return [tuple(member) for member in ordered]
-
-
-@dataclass(frozen=True)
-class PlanShard:
-    """One independent slice of a sharded plan.
-
-    ``indices`` are the positions of this shard's constraints in the parent
-    plan's (optimized) constraint set; ``plan`` is a complete
-    :class:`BoundPlan` over just those constraints, compilable through the
-    ordinary :func:`repro.plan.compile_plan` path.
-    """
-
-    shard_index: int
-    shard_count: int
-    indices: tuple[int, ...]
-    plan: BoundPlan
-
-    @property
-    def pcset(self) -> PredicateConstraintSet:
-        return self.plan.pcset
-
-    def cache_token(self) -> tuple:
-        """A key suffix distinguishing this shard in the program cache.
-
-        Appended to the existing (namespace, region, attribute) program key:
-        the constraint indices identify the slice content-wise and the shard
-        count disambiguates different shard layouts of the same plan (the
-        grouping depends on the requested worker width).
-        """
-        return ("shard", self.shard_count, self.shard_index, self.indices)
-
-    def describe(self) -> str:
-        names = ", ".join(pc.name for pc in self.pcset)
-        return (f"shard {self.shard_index + 1}/{self.shard_count}: "
-                f"{len(self.pcset)} constraint(s) [{names}]")
-
-
-@dataclass(frozen=True)
-class ShardedBoundPlan:
-    """A bound plan split into independently-solvable shards.
-
-    ``shards`` always partition the parent's constraint set; a plan whose
-    overlap graph is a single component yields exactly one shard, which
-    callers should treat as "do not shard" (:attr:`is_sharded` is False).
-    """
-
-    parent: BoundPlan
-    shards: tuple[PlanShard, ...]
-
-    @property
-    def is_sharded(self) -> bool:
-        return len(self.shards) > 1
-
-    def __len__(self) -> int:
-        return len(self.shards)
-
-    def __iter__(self):
-        return iter(self.shards)
-
-    def describe(self) -> str:
-        lines = [f"sharded plan: {self.parent.query.describe()} "
-                 f"({len(self.shards)} shard(s))"]
-        lines.extend(f"  {shard.describe()}" for shard in self.shards)
-        return "\n".join(lines)
-
-
-def _group_components(components: list[tuple[int, ...]],
-                      max_shards: int) -> list[list[int]]:
-    """Pack components into at most ``max_shards`` groups, balancing size.
-
-    Greedy longest-processing-time: components in decreasing size land on
-    the currently-lightest group.  Constraint count stands in for cost —
-    cell enumeration and model size both grow with it.  Group membership is
-    re-sorted so each shard preserves the parent's constraint order.
-    """
-    bins: list[list[int]] = [[] for _ in range(min(max_shards, len(components)))]
-    loads = [0] * len(bins)
-    for component in sorted(components, key=len, reverse=True):
-        target = loads.index(min(loads))
-        bins[target].extend(component)
-        loads[target] += len(component)
-    groups = [sorted(group) for group in bins if group]
-    groups.sort(key=lambda group: group[0])
-    return groups
-
-
-def shard_plan(plan: BoundPlan, max_shards: int | None = None
-               ) -> ShardedBoundPlan:
-    """Split an (optimized) plan along its independent constraint components.
-
-    ``max_shards`` caps the number of shards (e.g. at the worker-pool
-    width); surplus components are packed together, which stays exact —
-    a shard holding two independent components is itself block-diagonal.
-    Plans whose overlap graph is one component come back as a single shard.
-    """
-    if max_shards is not None and max_shards < 1:
-        raise SolverError(f"max_shards must be positive, got {max_shards}")
-    components = partition_constraint_indices(plan.pcset)
-    if len(components) <= 1:
-        groups = [sorted(components[0])] if components else []
-    else:
-        groups = _group_components(components, max_shards or len(components))
-    if not groups:
-        groups = [[]]
-    disjoint = plan.pcset.is_pairwise_disjoint()
-    shards = []
-    for shard_index, indices in enumerate(groups):
-        subset = PredicateConstraintSet(
-            [plan.pcset[index] for index in indices], plan.pcset.domains)
-        if disjoint:
-            subset.mark_disjoint(True)
-        shard_plan_ir = plan.amended(pcset=subset).annotated(
-            f"sharding: component slice {shard_index + 1}/{len(groups)} "
-            f"({len(indices)} of {len(plan.pcset)} constraint(s))")
-        shards.append(PlanShard(shard_index=shard_index,
-                                shard_count=len(groups),
-                                indices=tuple(indices),
-                                plan=shard_plan_ir))
-    return ShardedBoundPlan(parent=plan, shards=tuple(shards))
-
-
-def _merge_additive(ranges: list[ResultRange]) -> tuple[float, float]:
-    lower = 0.0
-    upper = 0.0
-    for result in ranges:
-        # COUNT/SUM shard ranges always carry numeric endpoints (possibly
-        # infinite); None would indicate a non-additive aggregate slipped in.
-        if result.lower is None or result.upper is None:
-            raise SolverError(
-                f"cannot additively merge range with undefined endpoint: {result}")
-        lower += result.lower
-        upper += result.upper
-    return lower, upper
-
-
-def _merge_extremum(values: list[float | None], want_max: bool) -> float | None:
-    present = [value for value in values if value is not None]
-    if not present:
-        return None
-    return max(present) if want_max else min(present)
-
-
-def merge_shard_statistics(statistics_list) -> DecompositionStatistics:
-    """Sum per-shard decomposition counters into one batch-level record.
-
-    Keeps the sharded path's observability on par with serial execution:
-    the merged range reports the total enumeration work its shards paid,
-    exactly as a single monolithic decomposition would.
-    """
-    merged = DecompositionStatistics()
-    for statistics in statistics_list:
-        if statistics is None:
-            continue
-        merged.num_constraints += statistics.num_constraints
-        merged.cells_evaluated += statistics.cells_evaluated
-        merged.solver_calls += statistics.solver_calls
-        merged.rewrites_saved += statistics.rewrites_saved
-        merged.subtrees_pruned += statistics.subtrees_pruned
-        merged.satisfiable_cells += statistics.satisfiable_cells
-        merged.assumed_satisfiable += statistics.assumed_satisfiable
-    return merged
-
-
-def merge_shard_ranges(aggregate: AggregateFunction,
-                       ranges: list[ResultRange],
-                       attribute: str | None = None,
-                       statistics: DecompositionStatistics | None = None
-                       ) -> ResultRange:
-    """Recombine per-shard missing-partition ranges into the full range.
-
-    COUNT/SUM add endpoint-wise (the separable-MILP argument in the module
-    docstring); MAX/MIN take extrema with ``None`` endpoints meaning "this
-    shard guarantees/permits no rows" and dropping out of the merge.  AVG is
-    rejected — route it through the serial program instead.
-    """
-    if aggregate not in SHARDABLE_AGGREGATES:
-        raise SolverError(
-            f"{aggregate.value} bounds do not decompose across shards")
-    if not ranges:
-        raise SolverError("merge_shard_ranges() needs at least one range")
-    if aggregate in (AggregateFunction.COUNT, AggregateFunction.SUM):
-        lower, upper = _merge_additive(ranges)
-    elif aggregate is AggregateFunction.MAX:
-        # Any shard's guaranteed row is a global guarantee; the largest
-        # possible value overall is the largest any shard permits.
-        lower = _merge_extremum([result.lower for result in ranges], want_max=True)
-        upper = _merge_extremum([result.upper for result in ranges], want_max=True)
-    else:
-        lower = _merge_extremum([result.lower for result in ranges], want_max=False)
-        upper = _merge_extremum([result.upper for result in ranges], want_max=False)
-    return ResultRange(lower, upper, aggregate, attribute,
-                       closed=all(result.closed for result in ranges),
-                       statistics=statistics)
+           "merge_shard_statistics", "merge_shard_decompositions"]

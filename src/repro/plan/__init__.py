@@ -21,10 +21,17 @@ physical execution:
     binary search) only patch objective parameters.  Programs are immutable
     after compilation and safe to share across threads, which is what lets
     the service layer LRU-cache them alongside decompositions.
+``sharding``
+    The sharding pass: a pluggable :class:`ShardingStrategy` maps one
+    optimized plan to a :class:`ShardedBoundPlan` — constraint-component
+    splitting for block-diagonal MILPs, region-level splitting for
+    one-component constraint sets — selected by :func:`select_sharding`
+    from the plan's preference and the observed-density feed.
 
-The pipeline's entry points are :func:`build_plan`, :func:`optimize_plan`
-and :func:`compile_plan`; :class:`repro.core.bounds.PCBoundSolver` drives
-them and remains the public solving facade.
+The pipeline's entry points are :func:`build_plan`, :func:`optimize_plan`,
+:func:`compile_plan` and :func:`select_sharding`;
+:class:`repro.core.bounds.PCBoundSolver` drives them and remains the public
+solving facade.
 """
 
 from .ir import BoundPlan, BoundQuery, build_plan
@@ -34,9 +41,22 @@ from .passes import (
     RegionPruningPass,
     StrategySelectionPass,
     default_passes,
+    estimated_cell_count,
     optimize_plan,
 )
 from .program import BoundProgram, compile_plan
+from .sharding import (
+    ConstraintComponentSharding,
+    PlanShard,
+    RegionSharding,
+    ShardedBoundPlan,
+    ShardingStrategy,
+    default_shard_strategy,
+    merge_shard_decompositions,
+    merge_shard_ranges,
+    select_sharding,
+    shard_plan,
+)
 
 __all__ = [
     "BoundPlan",
@@ -47,7 +67,18 @@ __all__ = [
     "ConstraintMergingPass",
     "StrategySelectionPass",
     "default_passes",
+    "estimated_cell_count",
     "optimize_plan",
     "BoundProgram",
     "compile_plan",
+    "ShardingStrategy",
+    "ConstraintComponentSharding",
+    "RegionSharding",
+    "PlanShard",
+    "ShardedBoundPlan",
+    "default_shard_strategy",
+    "select_sharding",
+    "shard_plan",
+    "merge_shard_ranges",
+    "merge_shard_decompositions",
 ]

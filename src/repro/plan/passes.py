@@ -28,9 +28,30 @@ from .ir import BoundPlan
 
 __all__ = ["PlanPass", "ObservedCellStatistics", "RegionPruningPass",
            "ConstraintMergingPass", "StrategySelectionPass", "default_passes",
-           "optimize_plan"]
+           "optimize_plan", "estimated_cell_count"]
 
 PlanPass = Callable[[BoundPlan], BoundPlan]
+
+
+def estimated_cell_count(plan: BoundPlan,
+                         cell_statistics: "ObservedCellStatistics | None" = None
+                         ) -> tuple[int, str]:
+    """Predicted satisfiable cells for ``plan``, with the estimate's source.
+
+    The single costing signal behind both arms of strategy selection: the
+    cell-budget pass compares it against the plan's budget, and sharding
+    selection (:func:`repro.plan.sharding.select_sharding`) gates region
+    splitting on it.  Returns ``(estimate, source)`` where ``source`` is
+    ``"worst-case"`` (the combinatorial bound) or ``"observed"`` (the
+    density feed's tighter prediction, used only when it is tighter).
+    """
+    estimate = estimate_cell_count(plan.pcset)
+    source = "worst-case"
+    if cell_statistics is not None:
+        observed = cell_statistics.estimate(len(plan.pcset))
+        if observed is not None and observed < estimate:
+            estimate, source = observed, "observed"
+    return estimate, source
 
 
 class ObservedCellStatistics:
@@ -248,12 +269,7 @@ class StrategySelectionPass:
             return plan  # the naive strategy ignores early stopping
         if plan.pcset.is_pairwise_disjoint():
             return plan  # the disjoint fast path is already linear
-        estimate = estimate_cell_count(plan.pcset)
-        source = "worst-case"
-        if self._cell_statistics is not None:
-            observed = self._cell_statistics.estimate(len(plan.pcset))
-            if observed is not None and observed < estimate:
-                estimate, source = observed, "observed"
+        estimate, source = estimated_cell_count(plan, self._cell_statistics)
         if estimate <= budget:
             return plan
         depth = max(1, int(math.floor(math.log2(budget))))

@@ -11,6 +11,13 @@ deriving a default cache namespace) is a lazy import that only triggers when
 a shared cache is in play.
 """
 
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionStatistics,
+    QueryCost,
+    price_query,
+)
 from .batch import BatchExecutor, BatchResult, BatchStatistics
 from .cache import CacheStatistics, LRUCache
 from .fingerprint import (
@@ -27,6 +34,11 @@ from .registry import RegisteredSession, SessionRegistry
 from .service import ContingencyService, ServiceStatistics
 
 __all__ = [
+    "AdmissionController",
+    "AdmissionPolicy",
+    "AdmissionStatistics",
+    "QueryCost",
+    "price_query",
     "BatchExecutor",
     "BatchResult",
     "BatchStatistics",

@@ -137,11 +137,12 @@ def fingerprint_query(query: ContingencyQuery) -> str:
 def fingerprint_bound_options(options: BoundOptions) -> str:
     """Content hash of the solver tuning knobs (plan-pipeline knobs included).
 
-    ``solve_workers`` participates because sharded and serial execution may
-    legitimately differ under approximate (early-stopped) enumeration, and
-    ``verify_backend`` because a verified session fails differently from an
-    unverified one.  ``parallel_mode`` is excluded: thread vs process pools
-    can never change a range, only its wall-clock cost.
+    ``solve_workers`` and ``shard_strategy`` participate because sharded and
+    serial execution may legitimately differ under approximate
+    (early-stopped) enumeration, and ``verify_backend`` because a verified
+    session fails differently from an unverified one.  ``parallel_mode`` is
+    excluded: thread vs process pools can never change a range, only its
+    wall-clock cost.
     """
     tokens = [
         "options",
@@ -156,6 +157,7 @@ def fingerprint_bound_options(options: BoundOptions) -> str:
         str(int(options.program_reuse)),
         "" if options.solve_workers is None else str(options.solve_workers),
         "" if options.verify_backend is None else str(options.verify_backend),
+        options.shard_strategy,
     ]
     return _digest(tokens)
 

@@ -93,6 +93,7 @@ class RegisteredSession:
             "constraints": len(self.pcset),
             "total_max_rows": self.pcset.total_max_rows(),
             "observed_rows": 0 if self.observed is None else self.observed.num_rows,
+            "shard_strategy": self.options.shard_strategy,
             "registered_at": self.registered_at,
         }
 

@@ -39,6 +39,13 @@ from ..exceptions import ReproError
 from ..parallel.pool import WorkerPool, default_pool_mode
 from ..plan.passes import ObservedCellStatistics
 from ..relational.relation import Relation
+from .admission import (
+    AdmissionController,
+    AdmissionPolicy,
+    AdmissionTicket,
+    QueryCost,
+    price_query,
+)
 from .batch import BatchExecutor, BatchResult
 from .cache import CacheStatistics, LRUCache
 from .fingerprint import fingerprint_query
@@ -61,6 +68,7 @@ class ServiceStatistics:
     decomposition_solver_calls: int
     programs_compiled: int
     worker_pool: dict[str, float] | None = None
+    admission: dict[str, float] | None = None
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -75,13 +83,15 @@ class ServiceStatistics:
             "programs_compiled": self.programs_compiled,
             "worker_pool": (None if self.worker_pool is None
                             else dict(self.worker_pool)),
+            "admission": (None if self.admission is None
+                          else dict(self.admission)),
         }
 
     def summary(self) -> str:
         decomposition = self.decomposition_cache
         program = self.program_cache
         report = self.report_cache
-        return "\n".join([
+        lines = [
             f"queries answered       : {self.queries_answered} "
             f"({self.batches_executed} batch(es), "
             f"{self.sessions_registered} session(s))",
@@ -98,7 +108,15 @@ class ServiceStatistics:
             f"decompositions computed: {self.decompositions_computed} "
             f"({self.decomposition_solver_calls} satisfiability call(s), "
             f"{self.programs_compiled} program(s) compiled)",
-        ])
+        ]
+        if self.admission is not None:
+            lines.append(
+                f"admission control      : "
+                f"{int(self.admission['admitted'])} admitted / "
+                f"{int(self.admission['deferred'])} deferred / "
+                f"{int(self.admission['rejected'])} rejected "
+                f"({self.admission['units_admitted']:.1f} unit(s) admitted)")
+        return "\n".join(lines)
 
 
 class ContingencyService:
@@ -138,6 +156,15 @@ class ContingencyService:
         path).  The pool outlives every batch: it serves batch phase 2 and
         every session's sharded fan-out, and is torn down by
         :meth:`shutdown` (or the atexit reaper).
+    admission:
+        Optional :class:`~repro.service.admission.AdmissionPolicy` enabling
+        program-aware admission control: every cold query is priced from
+        its plan (constraint count, estimated cells, sharded layout,
+        program warmth, pool warm-hit rate) *before* anything is solved,
+        and queries over the per-query budget — or arriving when capacity
+        and the bounded admission queue are both exhausted — are shed with
+        :class:`~repro.exceptions.QueryRejectedError`.  Report-cache hits
+        bypass admission (answering from cache costs nothing to meter).
     """
 
     _VERIFY_MODES = (None, "cross-backend")
@@ -149,7 +176,8 @@ class ContingencyService:
                  default_options: BoundOptions | None = None,
                  verify: str | None = None,
                  verify_backend: str = "branch-and-bound",
-                 pool_mode: str | None = None):
+                 pool_mode: str | None = None,
+                 admission: AdmissionPolicy | None = None):
         if verify not in self._VERIFY_MODES:
             raise ReproError(
                 f"unknown verify mode {verify!r}; expected one of "
@@ -170,6 +198,8 @@ class ContingencyService:
         self._executor = BatchExecutor(max_workers, pool=self._worker_pool)
         self._default_options = default_options
         self._verify_backend = verify_backend if verify == "cross-backend" else None
+        self._admission = (None if admission is None
+                           else AdmissionController(admission))
         self._queries_answered = 0
         self._batches_executed = 0
         self._counter_lock = threading.Lock()
@@ -190,6 +220,11 @@ class ContingencyService:
     def cell_statistics(self) -> ObservedCellStatistics:
         """The shared adaptive cell-count feed (one across all sessions)."""
         return self._cell_statistics
+
+    @property
+    def admission(self) -> AdmissionController | None:
+        """The admission controller (None when the service admits freely)."""
+        return self._admission
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -266,8 +301,30 @@ class ContingencyService:
         with self._counter_lock:
             self._queries_answered += 1
         key = ("report", session.fingerprint, fingerprint_query(query))
-        return self._report_cache.get_or_compute(
-            key, lambda: session.analyze(query))
+        if self._admission is None:
+            return self._report_cache.get_or_compute(
+                key, lambda: session.analyze(query))
+        # Admission-controlled path: cache hits bypass pricing entirely
+        # (they cost nothing worth metering); cold queries are priced from
+        # their plan and admitted — or shed — before any solve runs.  The
+        # solve itself still goes through get_or_compute, so concurrent
+        # racers on one key keep the single-flight dedup the non-admission
+        # path has: each racer holds its own admitted units while waiting
+        # (two requests genuinely are in flight), but only the winner
+        # solves — the losers adopt the cached report.
+        report = self._report_cache.get(key)
+        if report is not None:
+            return report
+        with self._admission.admit(self._price(session, query)):
+            return self._report_cache.get_or_compute(
+                key, lambda: session.analyze(query))
+
+    def _price(self, session: RegisteredSession,
+               query: ContingencyQuery) -> QueryCost:
+        """Price one query from its plan (no decomposition, no solve)."""
+        return price_query(session.analyzer.solver, query,
+                           pool_statistics=self._worker_pool.statistics,
+                           cell_statistics=self._cell_statistics)
 
     def execute_batch(self, name: str, queries: list[ContingencyQuery],
                       version: int | None = None) -> BatchResult:
@@ -299,8 +356,21 @@ class ContingencyService:
                               for positions in missing_by_query.values()]
         distinct_queries = [queries[position]
                             for position in distinct_positions]
-        result = self._executor.execute(session.analyzer, distinct_queries,
-                                        session_key=session.fingerprint)
+        # Price the batch's distinct cache misses and admit them as one
+        # capacity reservation before anything is dispatched: every query
+        # must clear the per-query budget, and the whole batch is shed at
+        # the plan stage when it cannot.
+        ticket: AdmissionTicket | None = None
+        if self._admission is not None and distinct_queries:
+            costs = [self._price(session, query)
+                     for query in distinct_queries]
+            ticket = self._admission.admit_many(costs)
+        try:
+            result = self._executor.execute(session.analyzer, distinct_queries,
+                                            session_key=session.fingerprint)
+        finally:
+            if ticket is not None:
+                ticket.release()
         for (query_fingerprint, positions), report in zip(
                 missing_by_query.items(), result.reports):
             self._report_cache.put(
@@ -336,6 +406,8 @@ class ContingencyService:
             decomposition_solver_calls=solver_calls,
             programs_compiled=programs,
             worker_pool=self._worker_pool.statistics.as_dict(),
+            admission=(None if self._admission is None
+                       else self._admission.statistics.as_dict()),
         )
 
     def clear_caches(self) -> None:

@@ -341,3 +341,87 @@ class TestCliSessions:
         assert code == 0
         output = capsys.readouterr().out
         assert len(output.strip().splitlines()) == 2  # header + one session
+
+
+class TestCliShardingAndAdmission:
+    @pytest.fixture
+    def chained_constraint_file(self, tmp_path):
+        """Overlapping windows — one overlap component (unshardable by
+        constraint components), the region splitter's target regime."""
+        path = tmp_path / "chained.txt"
+        path.write_text(
+            "0 <= utc <= 2 => 1.0 <= price <= 10.0, (0, 5)\n"
+            "1 <= utc <= 3 => 1.0 <= price <= 20.0, (0, 5)\n"
+            "2 <= utc <= 4 => 1.0 <= price <= 30.0, (0, 5)\n"
+            "3 <= utc <= 5 => 1.0 <= price <= 40.0, (0, 5)\n"
+            "4 <= utc <= 6 => 1.0 <= price <= 50.0, (0, 5)\n")
+        return path
+
+    def test_bound_region_strategy_shards_one_component_set(
+            self, capsys, chained_constraint_file):
+        code = main(["bound", "--constraints", str(chained_constraint_file),
+                     "--aggregate", "sum", "--attribute", "price",
+                     "--workers", "2", "--shard-strategy", "region",
+                     "--no-closure-check"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "region strategy" in output
+        assert "region-split cell enumeration" in output
+
+    def test_bound_region_matches_serial_range(self, capsys,
+                                               chained_constraint_file):
+        def range_line(arguments):
+            assert main(arguments) == 0
+            return [line for line in capsys.readouterr().out.splitlines()
+                    if line.startswith("result range")]
+
+        serial = range_line(["bound", "--constraints",
+                             str(chained_constraint_file),
+                             "--aggregate", "sum", "--attribute", "price",
+                             "--no-closure-check"])
+        region = range_line(["bound", "--constraints",
+                             str(chained_constraint_file),
+                             "--aggregate", "sum", "--attribute", "price",
+                             "--workers", "2", "--shard-strategy", "region",
+                             "--no-closure-check"])
+        assert serial == region
+
+    def test_bound_component_strategy_reports_unsplittable(
+            self, capsys, chained_constraint_file):
+        code = main(["bound", "--constraints", str(chained_constraint_file),
+                     "--aggregate", "count",
+                     "--workers", "2", "--shard-strategy", "component",
+                     "--no-closure-check"])
+        assert code == 0
+        assert "unsplittable; solved serially" in capsys.readouterr().out
+
+    def test_serve_batch_max_cost_rejects_before_solving(
+            self, capsys, chained_constraint_file, query_file):
+        code = main(["serve-batch", "--constraints",
+                     str(chained_constraint_file),
+                     "--queries", str(query_file), "--no-closure-check",
+                     "--max-cost", "0.5"])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "admission       : per-query budget 0.5" in captured.out
+        assert "rejected" in captured.err and "budget" in captured.err
+
+    def test_serve_batch_max_cost_admits_affordable_batches(
+            self, capsys, chained_constraint_file, query_file):
+        code = main(["serve-batch", "--constraints",
+                     str(chained_constraint_file),
+                     "--queries", str(query_file), "--no-closure-check",
+                     "--max-cost", "1000000"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "batch round 1" in output
+        assert "admission control" in output
+
+    def test_serve_batch_rejects_non_positive_max_cost(
+            self, capsys, chained_constraint_file, query_file):
+        code = main(["serve-batch", "--constraints",
+                     str(chained_constraint_file),
+                     "--queries", str(query_file), "--no-closure-check",
+                     "--max-cost", "0"])
+        assert code == 2
+        assert "--max-cost" in capsys.readouterr().err

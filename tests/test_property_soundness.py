@@ -255,6 +255,76 @@ def test_sharded_avg_through_process_pool_matches_serial():
                           "process-pool AVG vs serial")
 
 
+@pytest.mark.parametrize("seed", [111, 222])
+@pytest.mark.parametrize("kind", ["disjoint", "overlapping", "mandatory"])
+def test_region_sharded_matches_component_sharded_and_serial(seed, kind):
+    """Region-sharded == constraint-sharded == serial, truth inside all three.
+
+    The region splitter's contract is *identity*: its shards merge at the
+    cell level into the serial program, so every aggregate — AVG included —
+    must return the serial range bit-for-bit.  The overlapping scenarios
+    are the ones component splitting cannot shard (one overlap component),
+    i.e. exactly the regime region splitting was built for; on disjoint
+    scenarios the region preference defers to component splitting, so the
+    equality chain also pins that hand-off.
+    """
+    _, _, missing, pcset, queries = scenario(seed, kind)
+    serial = PCBoundSolver(pcset, BoundOptions())
+    component = PCBoundSolver(pcset, BoundOptions(
+        solve_workers=3, shard_strategy="component"))
+    region = PCBoundSolver(pcset, BoundOptions(
+        solve_workers=3, shard_strategy="region"))
+    for query in queries:
+        truth = query.ground_truth(missing)
+        serial_range = serial.bound(query.aggregate, query.attribute,
+                                    query.region)
+        component_range = component.bound(query.aggregate, query.attribute,
+                                          query.region)
+        region_range = region.bound(query.aggregate, query.attribute,
+                                    query.region)
+        assert_contains(serial_range, truth, query, "serial")
+        assert_contains(component_range, truth, query, "component-sharded")
+        assert_contains(region_range, truth, query, "region-sharded")
+        assert_same_range(serial_range, component_range, query,
+                          "component-sharded vs serial")
+        assert_same_range(serial_range, region_range, query,
+                          "region-sharded vs serial")
+
+
+def test_region_sharding_engages_on_one_component_sets():
+    """The acceptance scenario: a one-component set actually fans out.
+
+    Component splitting cannot shard the overlapping scenario (one overlap
+    component), so before this PR it solved serially no matter how many
+    workers were requested; the region splitter must produce >= 2 shards,
+    dispatch their enumerations to the worker pool, and still return serial
+    ranges for every aggregate.
+    """
+    from repro.parallel.pool import WorkerPool
+
+    _, _, missing, pcset, _ = scenario(131, "overlapping")
+    serial = PCBoundSolver(pcset, BoundOptions())
+    with WorkerPool(max_workers=3, mode="process",
+                    name="acceptance") as pool:
+        region = PCBoundSolver(pcset, BoundOptions(
+            solve_workers=3, shard_strategy="region"), worker_pool=pool)
+        sharded = region.sharded_plan(None, "v")
+        assert sharded.strategy == "region" and len(sharded) >= 2
+        # Component splitting really cannot shard this set (one component).
+        from repro.plan.sharding import shard_plan
+        assert not shard_plan(sharded.parent).is_sharded
+        before = pool.statistics.tasks_dispatched
+        for aggregate, attribute in AGGREGATES:
+            query = ContingencyQuery(aggregate, attribute, None)
+            truth = query.ground_truth(missing)
+            serial_range = serial.bound(aggregate, attribute)
+            region_range = region.bound(aggregate, attribute)
+            assert_contains(region_range, truth, query, "region acceptance")
+            assert_same_range(serial_range, region_range, query,
+                              "region acceptance vs serial")
+        assert pool.statistics.tasks_dispatched >= before + 2
+
+
 def test_sharded_verified_combination_is_sound():
     """Sharding and verification compose: fan out, cross-check, stay sound."""
     _, _, missing, pcset, queries = scenario(606, "disjoint")
