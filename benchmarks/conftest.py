@@ -10,9 +10,14 @@ paper's exact sizes.
 Benchmarks that measure *this repository's* performance (rather than
 regenerate paper artifacts) additionally record their wall times and
 speedups through the ``bench_record`` fixture; the session writes them to
-``benchmarks/BENCH_PR5.json`` so the perf trajectory is machine-readable
-from PR 4 on — diff the per-PR files against each other instead of
-scraping pytest logs.
+``benchmarks/BENCH_PR6.json`` so the perf trajectory is machine-readable
+from PR 4 on — merge the per-PR files with ``repro bench-report`` (or
+``python benchmarks/trajectory.py``) instead of scraping pytest logs.
+
+Every record is stamped with the environment it ran under — git SHA,
+timestamp, CPU count, and the ``REPRO_POOL`` / ``REPRO_SHARD_STRATEGY`` /
+``REPRO_TRACE`` toggles — because a trajectory comparison across PRs is
+meaningless without knowing whether the runs were comparable.
 """
 
 from __future__ import annotations
@@ -20,6 +25,7 @@ from __future__ import annotations
 import json
 import os
 import platform
+import subprocess
 import time
 from pathlib import Path
 
@@ -32,8 +38,28 @@ def pytest_configure(config):
 
 
 _BENCH_DIR = Path(__file__).parent
-_TRAJECTORY_FILE = _BENCH_DIR / "BENCH_PR5.json"
+_TRAJECTORY_FILE = _BENCH_DIR / "BENCH_PR6.json"
 _RECORDS: list[dict] = []
+
+#: Environment toggles that change what the benchmarks measure; their
+#: values ride along on every record so cross-PR diffs can rule out
+#: configuration drift.
+_ENV_TOGGLES = ("REPRO_POOL", "REPRO_SHARD_STRATEGY", "REPRO_TRACE")
+
+
+def _git_sha() -> str | None:
+    try:
+        return subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"], cwd=_BENCH_DIR,
+            capture_output=True, text=True, timeout=10,
+        ).stdout.strip() or None
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _environment_stamp() -> dict:
+    return {name: os.environ[name] for name in _ENV_TOGGLES
+            if name in os.environ}
 
 
 def pytest_collection_modifyitems(items):
@@ -60,15 +86,21 @@ def report_artifact(capsys):
 
 @pytest.fixture
 def bench_record(request):
-    """Record one benchmark's timings into ``BENCH_PR5.json``.
+    """Record one benchmark's timings into ``BENCH_PR6.json``.
 
     Call with keyword fields; ``seconds``-suffixed fields are wall times,
     ``speedup`` fields are ratios.  The benchmark name defaults to the
-    test's node name so records stay greppable across PRs.
+    test's node name so records stay greppable across PRs.  Each record is
+    stamped with its recording time and any active ``REPRO_*`` toggles.
     """
 
     def _record(name: str | None = None, **fields) -> None:
-        _RECORDS.append({"benchmark": name or request.node.name, **fields})
+        record = {"benchmark": name or request.node.name, **fields}
+        record["recorded_at"] = time.strftime("%Y-%m-%dT%H:%M:%S%z")
+        environment = _environment_stamp()
+        if environment:
+            record["environment"] = environment
+        _RECORDS.append(record)
 
     return _record
 
@@ -83,6 +115,8 @@ def pytest_sessionfinish(session, exitstatus):
             "platform": platform.platform(),
             "python": platform.python_version(),
             "cpu_count": os.cpu_count(),
+            "git_sha": _git_sha(),
+            "environment": _environment_stamp(),
         },
         "records": _RECORDS,
     }

@@ -1,0 +1,98 @@
+"""Benchmark: observability overhead — tracing off must stay (near) free.
+
+The instrumented hot path (``tracer.span`` at every pipeline stage, counter
+publishing at every statistics bump) runs on *every* query, traced or not.
+This benchmark pins the contract from two sides:
+
+* ``warm_seconds`` — warm-cache service queries with tracing disabled; the
+  cross-PR trajectory (``repro bench-report``) compares it against the
+  pre-observability PRs, which is where the <5% regression budget is
+  checked.
+* ``profiled_seconds`` / ``overhead_ratio`` — the same warm queries with
+  ``profile=True``, quantifying what a forced trace costs when you ask
+  for one.
+
+It also exports the profiled query's span tree to ``PROFILE_PR6.json``
+(schema ``repro-query-profile/1``) so CI archives a real profile artifact
+next to the ``BENCH_PR*`` trajectory files.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.bounds import BoundOptions
+from repro.core.engine import ContingencyQuery
+from repro.core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from repro.core.pcset import PredicateConstraintSet
+from repro.core.predicates import Predicate
+from repro.obs import get_tracer
+from repro.service import ContingencyService
+
+_PROFILE_FILE = Path(__file__).parent / "PROFILE_PR6.json"
+
+
+def build_pcset() -> PredicateConstraintSet:
+    constraints = []
+    for day in range(6):
+        constraints.append(PredicateConstraint(
+            Predicate.range("utc", 10.0 + day, 11.5 + day),
+            ValueConstraint({"price": (0.0, 100.0 + 10.0 * day)}),
+            FrequencyConstraint(0, 20 + day), name=f"day-{day}"))
+    return PredicateConstraintSet(constraints)
+
+
+@pytest.mark.paper_artifact("observability-overhead")
+def test_bench_profile_overhead(report_artifact, bench_record):
+    assert not get_tracer().active  # tracing genuinely off for the baseline
+    queries = [ContingencyQuery.sum("price",
+                                    Predicate.range("utc", 10.0 + i % 5,
+                                                    13.0 + i % 5))
+               for i in range(10)]
+    with ContingencyService(max_workers=2) as service:
+        service.register("bench", build_pcset(),
+                         options=BoundOptions(check_closure=False))
+        for query in queries:
+            service.analyze("bench", query)  # cold pass: fill every cache
+
+        rounds = 50
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for query in queries:
+                service.analyze("bench", query)
+        warm_seconds = (time.perf_counter() - started) / (rounds * len(queries))
+
+        started = time.perf_counter()
+        for _ in range(rounds):
+            for query in queries:
+                service.analyze("bench", query, profile=True)
+        profiled_seconds = ((time.perf_counter() - started)
+                            / (rounds * len(queries)))
+
+        # Export one representative profile as the CI artifact.
+        profile = service.analyze("bench", queries[0], profile=True).profile
+        profile.export_json(_PROFILE_FILE)
+
+    overhead_ratio = profiled_seconds / max(warm_seconds, 1e-12)
+    report_artifact(
+        "Observability overhead (warm report-cache hits)\n"
+        f"  tracing off   : {warm_seconds * 1e6:.1f} us/query\n"
+        f"  profile=True  : {profiled_seconds * 1e6:.1f} us/query\n"
+        f"  forced-trace overhead: {overhead_ratio:.2f}x\n"
+        f"  profile artifact     : {_PROFILE_FILE.name}")
+    bench_record(warm_seconds=warm_seconds,
+                 profiled_seconds=profiled_seconds,
+                 overhead_ratio=overhead_ratio,
+                 queries=len(queries), rounds=rounds)
+
+    assert _PROFILE_FILE.exists()
+    # Even a forced trace on a pure cache hit stays cheap — and cache-hit
+    # latency is microseconds, so allow generous CI jitter headroom.
+    assert overhead_ratio < 50.0

@@ -1,0 +1,41 @@
+"""Merge the per-PR ``BENCH_PR*.json`` trajectory files into one report.
+
+Runnable directly::
+
+    python benchmarks/trajectory.py            # human-readable report
+    python benchmarks/trajectory.py --json     # merged JSON (schema
+                                               # repro-bench-report/1)
+
+Thin wrapper over :mod:`repro.obs.bench` — the same merge backs the
+``repro bench-report`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+_BENCH_DIR = Path(__file__).parent
+_SRC = _BENCH_DIR.parent / "src"
+if str(_SRC) not in sys.path:  # runnable without an installed package
+    sys.path.insert(0, str(_SRC))
+
+from repro.obs.bench import bench_report  # noqa: E402
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="merge benchmarks/BENCH_PR*.json into one report")
+    parser.add_argument("--directory", default=str(_BENCH_DIR),
+                        help="directory holding the trajectory files "
+                             "(default: this script's directory)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit the merged report as JSON")
+    args = parser.parse_args(argv)
+    print(bench_report(args.directory, as_json=args.json))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -14,6 +14,15 @@ Two groups of commands:
   caches warm up).
 * ``repro sessions`` — register one or more constraint files and print the
   resulting session registry (names, versions, content fingerprints).
+* ``repro stats`` — print the process-wide metrics registry snapshot
+  (works on a fresh process: an idle registry renders as empty, nothing is
+  started as a side effect).
+* ``repro bench-report`` — merge the per-PR ``benchmarks/BENCH_PR*.json``
+  trajectory files into one cross-PR report.
+
+``bound`` and ``serve-batch`` take ``--profile`` (and ``--profile-json
+PATH``) to print an EXPLAIN ANALYZE span-tree profile of the query or the
+final batch round.
 
 Run ``python -m repro --help`` for the full option listing.
 """
@@ -21,6 +30,7 @@ Run ``python -m repro --help`` for the full option listing.
 from __future__ import annotations
 
 import argparse
+import json
 import re
 import sys
 from pathlib import Path
@@ -103,6 +113,7 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker-pool flavour for --workers "
                                    "(default: thread; process needs a "
                                    "process-safe backend)")
+    _add_profile_arguments(bound_parser)
     _add_solver_arguments(bound_parser)
     bound_parser.set_defaults(handler=_command_bound)
 
@@ -130,6 +141,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "before any solve is dispatched")
     serve_parser.add_argument("--no-closure-check", action="store_true",
                               help="skip the closed-world check (assume closure)")
+    _add_profile_arguments(serve_parser)
     _add_solver_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve_batch)
 
@@ -143,7 +155,36 @@ def build_parser() -> argparse.ArgumentParser:
                                       "by every session")
     sessions_parser.set_defaults(handler=_command_sessions)
 
+    stats_parser = subparsers.add_parser(
+        "stats",
+        help="print the process-wide metrics registry snapshot")
+    stats_parser.add_argument("--json", action="store_true",
+                              help="emit the snapshot as JSON instead of text")
+    stats_parser.set_defaults(handler=_command_stats)
+
+    bench_parser = subparsers.add_parser(
+        "bench-report",
+        help="merge benchmarks/BENCH_PR*.json into one cross-PR report")
+    bench_parser.add_argument("--directory", default="benchmarks",
+                              help="directory holding the BENCH_PR*.json "
+                                   "trajectory files (default: benchmarks)")
+    bench_parser.add_argument("--json", action="store_true",
+                              help="emit the merged report as JSON")
+    bench_parser.set_defaults(handler=_command_bench_report)
+
     return parser
+
+
+def _add_profile_arguments(parser: argparse.ArgumentParser) -> None:
+    """The EXPLAIN ANALYZE flags shared by ``bound`` and ``serve-batch``."""
+    group = parser.add_argument_group("profiling")
+    group.add_argument("--profile", action="store_true",
+                       help="record and print the query's span tree "
+                            "(EXPLAIN ANALYZE); forces tracing for this "
+                            "run even without REPRO_TRACE=1")
+    group.add_argument("--profile-json", default=None, metavar="PATH",
+                       help="also export the profile as JSON "
+                            "(schema repro-query-profile/1)")
 
 
 def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
@@ -283,7 +324,8 @@ def _command_bound(args: argparse.Namespace) -> int:
     if args.parallel_mode is not None:
         options.parallel_mode = args.parallel_mode
     analyzer = PCAnalyzer(pcset, observed=observed, options=options)
-    report = analyzer.analyze(query)
+    report, profile = _maybe_profiled(args, "query",
+                                      lambda: analyzer.analyze(query))
     # The program was compiled (and cached) by analyze(); reading its plan
     # back avoids running the optimizer pipeline a second time.
     plan = analyzer.solver.program(query.region, query.attribute).plan
@@ -328,6 +370,7 @@ def _command_bound(args: argparse.Namespace) -> int:
           f"{report.missing_range.upper}]")
     print(f"closed world    : {report.missing_range.closed}")
     print(f"solve time      : {report.elapsed_seconds * 1000:.1f} ms")
+    _print_profile(args, profile)
     return 0
 
 
@@ -388,8 +431,16 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     if args.max_cost is not None:
         print(f"admission       : per-query budget {args.max_cost:.1f} "
               f"unit(s); over-budget queries are rejected at the plan stage")
+    profile = None
     for round_number in range(1, args.repeat + 1):
-        result = service.execute_batch(session_name, queries)
+        if round_number == args.repeat:
+            # Profile the final round: with --repeat > 1 that is the warm
+            # round, the one worth explaining.
+            result, profile = _maybe_profiled(
+                args, "batch",
+                lambda: service.execute_batch(session_name, queries))
+        else:
+            result = service.execute_batch(session_name, queries)
         print(f"batch round {round_number}   : {result.statistics.summary()}")
     from .experiments.reporting import format_result_range_table
 
@@ -397,6 +448,52 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
         [(query.describe(), report.result_range)
          for query, report in zip(queries, result.reports)]))
     print(service.statistics().summary())
+    _print_profile(args, profile)
+    return 0
+
+
+def _maybe_profiled(args: argparse.Namespace, name: str, run: Callable):
+    """Run ``run()``, recording a span-tree profile when the flags ask."""
+    if not (args.profile or args.profile_json):
+        return run(), None
+    from .obs import QueryProfile, Trace, get_tracer
+
+    with get_tracer().trace(name, force=True) as handle:
+        result = run()
+    profile = (QueryProfile.from_trace(handle)
+               if isinstance(handle, Trace) else None)
+    return result, profile
+
+
+def _print_profile(args: argparse.Namespace, profile) -> None:
+    if profile is None:
+        return
+    if args.profile:
+        print("\nprofile (EXPLAIN ANALYZE):")
+        print(profile.render())
+    if args.profile_json:
+        profile.export_json(args.profile_json)
+        print(f"profile JSON    : {args.profile_json}")
+
+
+def _command_stats(args: argparse.Namespace) -> int:
+    from .obs import get_registry
+
+    registry = get_registry()
+    if args.json:
+        print(json.dumps(registry.snapshot(), indent=2, sort_keys=True))
+    else:
+        print(registry.render())
+    return 0
+
+
+def _command_bench_report(args: argparse.Namespace) -> int:
+    from .obs.bench import bench_report
+
+    try:
+        print(bench_report(args.directory, as_json=args.json))
+    except ValueError as error:
+        raise ReproError(str(error))
     return 0
 
 

@@ -31,6 +31,7 @@ import threading
 from dataclasses import dataclass, field, replace
 
 from ..exceptions import SolverError
+from ..obs.trace import get_tracer
 from ..plan.ir import BoundPlan, BoundQuery, build_plan
 from ..plan.passes import ObservedCellStatistics, default_passes, optimize_plan
 from ..plan.program import BoundProgram, compile_plan
@@ -395,20 +396,25 @@ class PCBoundSolver:
         """
         if aggregate.needs_attribute and attribute is None:
             raise SolverError(f"{aggregate.value} bounds require an attribute")
-        closed = self._is_closed(region)
-        result = self._bound_missing(aggregate, attribute, region,
-                                     known_sum, known_count)
-        if self._options.verify_backend is not None:
-            result = self._cross_check(result, aggregate, attribute, region,
-                                       known_sum, known_count)
-        if not closed:
-            result = self._widen_for_open_world(result, aggregate)
-        return result
+        tracer = get_tracer()
+        with tracer.span("bound"):
+            tracer.annotate(aggregate=aggregate.value)
+            closed = self._is_closed(region)
+            result = self._bound_missing(aggregate, attribute, region,
+                                         known_sum, known_count)
+            if self._options.verify_backend is not None:
+                with tracer.span("bound.verify"):
+                    result = self._cross_check(result, aggregate, attribute,
+                                               region, known_sum, known_count)
+            if not closed:
+                result = self._widen_for_open_world(result, aggregate)
+            return result
 
     def _bound_missing(self, aggregate: AggregateFunction,
                        attribute: str | None, region: Predicate | None,
                        known_sum: float, known_count: float) -> ResultRange:
         """The closed-world missing-partition range, serial or sharded."""
+        tracer = get_tracer()
         workers = self._options.solve_workers
         if workers is not None and workers > 1:
             from ..parallel.pool import in_pool_thread, in_worker
@@ -419,24 +425,33 @@ class PCBoundSolver:
             # (or spawn pools from workers), multiplying cost for zero
             # concurrency, so pooled analyzers degrade to the serial path.
             if not in_worker() and not in_pool_thread():
-                sharded = self.sharded_plan(region, attribute,
-                                            max_shards=workers)
+                with tracer.span("shard.plan"):
+                    sharded = self.sharded_plan(region, attribute,
+                                                max_shards=workers)
+                    tracer.annotate(strategy=sharded.strategy,
+                                    shards=len(sharded))
                 if sharded.is_sharded and sharded.strategy == "component":
                     if aggregate in SHARDABLE_AGGREGATES:
-                        return self._bound_sharded(sharded, aggregate,
-                                                   attribute, region, workers)
+                        with tracer.span("solve.sharded"):
+                            tracer.annotate(shards=len(sharded))
+                            return self._bound_sharded(sharded, aggregate,
+                                                       attribute, region,
+                                                       workers)
                     if aggregate is AggregateFunction.AVG:
-                        return self._bound_avg_sharded(sharded, attribute,
-                                                       region, known_sum,
-                                                       known_count, workers)
+                        with tracer.span("solve.avg_sharded"):
+                            tracer.annotate(shards=len(sharded))
+                            return self._bound_avg_sharded(
+                                sharded, attribute, region, known_sum,
+                                known_count, workers)
                 # Region-sharded plans deliberately fall through: the serial
                 # program path below compiles against the pool-merged
                 # decomposition (see _decompose_plan), so every aggregate —
                 # AVG included — executes on the serial-identical program
                 # while the enumeration work fanned out.
         program = self.program(region, attribute)
-        return program.bound(aggregate, known_sum=known_sum,
-                             known_count=known_count)
+        with tracer.span("solve.serial"):
+            return program.bound(aggregate, known_sum=known_sum,
+                                 known_count=known_count)
 
     def borrow_pool(self, workers: int):
         """The worker pool the fan-out runs on: the injected (service-owned)
@@ -637,10 +652,15 @@ class PCBoundSolver:
         which constraints survive pruning/merging and which enumeration
         strategy the compiled program will use.
         """
-        plan = build_plan(query, self._pcset, self._options)
-        if self._options.optimize:
-            plan = optimize_plan(plan, default_passes(self._cell_statistics))
-            plan = self._pin_adaptive_depth(plan)
+        tracer = get_tracer()
+        with tracer.span("plan"):
+            plan = build_plan(query, self._pcset, self._options)
+            if self._options.optimize:
+                with tracer.span("plan.optimize"):
+                    plan = optimize_plan(plan,
+                                         default_passes(self._cell_statistics))
+                    plan = self._pin_adaptive_depth(plan)
+            tracer.annotate(constraints=len(plan.pcset))
         return plan
 
     def _pin_adaptive_depth(self, plan: BoundPlan) -> BoundPlan:
@@ -824,13 +844,16 @@ class PCBoundSolver:
         # the compiled program serves every aggregate over the pair.
         aggregate = (AggregateFunction.COUNT if attribute is None
                      else AggregateFunction.SUM)
-        plan = self.plan(BoundQuery(aggregate, attribute, region))
-        decomposition = self._decompose_plan(plan)
-        program = compile_plan(
-            plan, decomposition,
-            avg_tolerance=self._options.avg_tolerance,
-            avg_max_iterations=self._options.avg_max_iterations,
-            reuse=self._options.program_reuse)
+        tracer = get_tracer()
+        with tracer.span("compile"):
+            plan = self.plan(BoundQuery(aggregate, attribute, region))
+            decomposition = self._decompose_plan(plan)
+            program = compile_plan(
+                plan, decomposition,
+                avg_tolerance=self._options.avg_tolerance,
+                avg_max_iterations=self._options.avg_max_iterations,
+                reuse=self._options.program_reuse)
+            tracer.annotate(cells=len(decomposition.cells))
         with self._counter_lock:
             self._programs_compiled += 1
         return program
@@ -850,18 +873,21 @@ class PCBoundSolver:
             namespace = ("plan-shard", self._cache_namespace,
                          self._options.optimize, self._options.cell_budget,
                          plan.early_stop_depth, shard.cache_token())
-        decomposition = decompose_cached(
-            plan.pcset, region,
-            strategy=plan.strategy,
-            early_stop_depth=plan.early_stop_depth,
-            cache=self._shared_cache,
-            namespace=namespace,
-            on_compute=self._record_decomposition)
-        program = compile_plan(
-            plan, decomposition,
-            avg_tolerance=self._options.avg_tolerance,
-            avg_max_iterations=self._options.avg_max_iterations,
-            reuse=self._options.program_reuse)
+        tracer = get_tracer()
+        with tracer.span("compile.shard"):
+            decomposition = decompose_cached(
+                plan.pcset, region,
+                strategy=plan.strategy,
+                early_stop_depth=plan.early_stop_depth,
+                cache=self._shared_cache,
+                namespace=namespace,
+                on_compute=self._record_decomposition)
+            program = compile_plan(
+                plan, decomposition,
+                avg_tolerance=self._options.avg_tolerance,
+                avg_max_iterations=self._options.avg_max_iterations,
+                reuse=self._options.program_reuse)
+            tracer.annotate(cells=len(decomposition.cells))
         with self._counter_lock:
             self._programs_compiled += 1
         return program
@@ -964,6 +990,13 @@ class PCBoundSolver:
         return merge_shard_decompositions(plan, decompositions)
 
     def _decompose_plan(self, plan: BoundPlan) -> CellDecomposition:
+        tracer = get_tracer()
+        with tracer.span("decompose"):
+            decomposition = self._decompose_plan_inner(plan)
+            tracer.annotate(cells=len(decomposition.cells))
+        return decomposition
+
+    def _decompose_plan_inner(self, plan: BoundPlan) -> CellDecomposition:
         region = plan.query.region
         compute_override = self._region_decomposition_factory(plan)
         if self._shared_cache is not None:

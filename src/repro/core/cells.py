@@ -194,6 +194,13 @@ class CellDecomposer:
             use_rewrite = self._strategy is DecompositionStrategy.DFS_REWRITE
             cells = self._decompose_dfs(query_box, statistics, use_rewrite)
         statistics.satisfiable_cells = len(cells)
+        # The tally lives at the enumeration site — not at the cache/merge
+        # layers above — so serial, thread-pooled and process-pooled
+        # enumerations all charge their satisfiability-solver calls to
+        # whichever span actually ran them, exactly once.
+        from ..obs.trace import get_tracer
+
+        get_tracer().add("solver_calls", statistics.solver_calls)
         return CellDecomposition(cells, statistics, query_region)
 
     # ------------------------------------------------------------------ #

@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from typing import Mapping
 
 from ..exceptions import QueryError
+from ..obs.trace import get_tracer
 from ..relational.aggregates import AggregateFunction
 from ..relational.expressions import TrueExpression
 from ..relational.query import AggregateQuery
@@ -103,6 +104,11 @@ class ContingencyReport:
     observed_value: float | None
     observed_rows: int
     elapsed_seconds: float
+    #: The EXPLAIN ANALYZE span tree, attached only when the caller asked
+    #: for one (``ContingencyService.analyze(..., profile=True)``) — plain
+    #: analyzer calls leave it None so reports stay lean and picklable
+    #: across the worker-pool boundary.
+    profile: "object | None" = None
 
     @property
     def lower(self) -> float | None:
@@ -234,17 +240,22 @@ class PCAnalyzer:
     def analyze(self, query: ContingencyQuery) -> ContingencyReport:
         """Bound the query and package the full report."""
         started = time.perf_counter()
-        observed_value, observed_rows, observed_sum = self._observed_summary(query)
-        if query.aggregate is AggregateFunction.AVG:
-            missing = self._solver.bound(query.aggregate, query.attribute,
-                                         query.region,
-                                         known_sum=observed_sum,
-                                         known_count=float(observed_rows))
-            combined = missing  # AVG combination happens inside the solver.
-        else:
-            missing = self._solver.bound(query.aggregate, query.attribute,
-                                         query.region)
-            combined = self._combine(query, missing, observed_value)
+        tracer = get_tracer()
+        with tracer.span("analyze"):
+            tracer.annotate(aggregate=query.aggregate.value)
+            with tracer.span("observed"):
+                observed_value, observed_rows, observed_sum = \
+                    self._observed_summary(query)
+            if query.aggregate is AggregateFunction.AVG:
+                missing = self._solver.bound(query.aggregate, query.attribute,
+                                             query.region,
+                                             known_sum=observed_sum,
+                                             known_count=float(observed_rows))
+                combined = missing  # AVG combination inside the solver.
+            else:
+                missing = self._solver.bound(query.aggregate, query.attribute,
+                                             query.region)
+                combined = self._combine(query, missing, observed_value)
         elapsed = time.perf_counter() - started
         return ContingencyReport(query=query, result_range=combined,
                                  missing_range=missing,

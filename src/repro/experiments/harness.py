@@ -16,7 +16,6 @@ partition, evaluate a query workload, and collect per-estimator metrics.
 from __future__ import annotations
 
 import math
-import time
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
@@ -24,6 +23,7 @@ import numpy as np
 
 from ..baselines.base import MissingDataEstimator
 from ..core.engine import ContingencyQuery
+from ..obs.metrics import timed
 from ..relational.relation import Relation
 
 __all__ = ["EvaluationMetrics", "evaluate_estimator", "evaluate_estimators"]
@@ -92,9 +92,9 @@ def evaluate_estimator(estimator: MissingDataEstimator,
     metrics = EvaluationMetrics(estimator=estimator.name)
     for query in queries:
         truth = query.ground_truth(missing)
-        started = time.perf_counter()
-        estimate = estimator.estimate(query)
-        metrics.total_seconds += time.perf_counter() - started
+        with timed("experiments.estimate_seconds") as timer:
+            estimate = estimator.estimate(query)
+        metrics.total_seconds += timer.seconds
         metrics.num_queries += 1
         if truth is None:
             # The aggregate is undefined on the missing rows (e.g. AVG over a

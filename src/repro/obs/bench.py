@@ -1,0 +1,106 @@
+"""Merging the per-PR benchmark trajectory files into one report.
+
+Every PR's benchmark run writes ``benchmarks/BENCH_PR<N>.json`` (schema
+``repro-bench-trajectory/1``).  The files are append-only history — this
+module merges them into a single sorted view so the perf trajectory of any
+benchmark can be read across PRs without hand-diffing JSON.  It backs both
+``benchmarks/trajectory.py`` (runnable helper) and the ``repro bench-report``
+CLI subcommand.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any
+
+__all__ = ["load_trajectory_files", "merge_trajectories", "render_report",
+           "bench_report"]
+
+_FILE_PATTERN = re.compile(r"BENCH_PR(\d+)\.json$")
+
+
+def load_trajectory_files(directory: Path) -> list[tuple[int, dict]]:
+    """(pr_number, payload) for every BENCH_PR*.json, ascending by PR."""
+    found: list[tuple[int, dict]] = []
+    for path in sorted(directory.glob("BENCH_PR*.json")):
+        match = _FILE_PATTERN.search(path.name)
+        if not match:
+            continue
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise ValueError(f"unreadable trajectory file {path}: {error}")
+        found.append((int(match.group(1)), payload))
+    found.sort(key=lambda pair: pair[0])
+    return found
+
+
+def merge_trajectories(files: list[tuple[int, dict]]) -> dict[str, Any]:
+    """One merged record set: benchmark → [{pr, recorded_at, **fields}, ...].
+
+    Within a benchmark, entries are sorted by PR so consecutive rows read as
+    the metric's history.  Machine blocks are kept per-PR (hardware can
+    change between runs and the comparison must say so).
+    """
+    benchmarks: dict[str, list[dict]] = {}
+    machines: dict[str, dict] = {}
+    for pr, payload in files:
+        machines[f"PR{pr}"] = dict(payload.get("machine") or {})
+        for record in payload.get("records", []):
+            name = record.get("benchmark", "(unnamed)")
+            entry = {"pr": pr,
+                     "recorded_at": payload.get("recorded_at")}
+            entry.update({key: value for key, value in record.items()
+                          if key != "benchmark"})
+            benchmarks.setdefault(name, []).append(entry)
+    for entries in benchmarks.values():
+        entries.sort(key=lambda entry: entry["pr"])
+    return {
+        "schema": "repro-bench-report/1",
+        "prs": sorted(pr for pr, _ in files),
+        "machines": machines,
+        "benchmarks": dict(sorted(benchmarks.items())),
+    }
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def render_report(merged: dict[str, Any]) -> str:
+    """The human-readable merged trajectory (``repro bench-report``)."""
+    lines: list[str] = []
+    prs = merged.get("prs", [])
+    if not prs:
+        return "(no BENCH_PR*.json trajectory files found)"
+    lines.append("benchmark trajectory across PRs "
+                 + ", ".join(f"PR{pr}" for pr in prs))
+    for name, entries in merged["benchmarks"].items():
+        lines.append(f"\n{name}:")
+        for entry in entries:
+            fields = {key: value for key, value in entry.items()
+                      if key not in ("pr", "recorded_at")}
+            # Seconds and speedups first — they are what trajectories track.
+            timing = {key: value for key, value in fields.items()
+                      if "seconds" in key or "speedup" in key}
+            other = {key: value for key, value in fields.items()
+                     if key not in timing}
+            rendered = "  ".join(f"{key}={_format_value(value)}"
+                                 for part in (timing, other)
+                                 for key, value in sorted(part.items()))
+            lines.append(f"  PR{entry['pr']:<3d} {rendered}")
+    return "\n".join(lines)
+
+
+def bench_report(directory: Path | str, as_json: bool = False) -> str:
+    """Load, merge and render the trajectory under ``directory``."""
+    merged = merge_trajectories(load_trajectory_files(Path(directory)))
+    if as_json:
+        return json.dumps(merged, indent=2, sort_keys=True)
+    return render_report(merged)

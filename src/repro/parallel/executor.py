@@ -27,6 +27,8 @@ from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Callable, Iterable, Sequence
 
 from ..exceptions import SolverError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..relational.aggregates import AggregateFunction
 from ..solvers.registry import backend_capabilities
 
@@ -141,14 +143,20 @@ class SolveExecutor:
         the property the workers=1 CI configuration pins.
         """
         items = list(items)
+        get_registry().counter("executor.tasks").inc(len(items))
+        tracer = get_tracer()
         if self._mode == "serial" or len(items) <= 1:
-            return [fn(item) for item in items]
+            with tracer.span("executor.map"):
+                tracer.annotate(mode="serial", items=len(items))
+                return [fn(item) for item in items]
         pool = self._ensure_pool()
         chunksize = 1
         if self._mode == "process":
             # Amortise per-task IPC for large fan-outs.
             chunksize = max(1, len(items) // (self._max_workers * 4))
-        return list(pool.map(fn, items, chunksize=chunksize))
+        with tracer.span("executor.map"):
+            tracer.annotate(mode=self._mode, items=len(items))
+            return list(pool.map(fn, items, chunksize=chunksize))
 
     def solve_programs(self, programs: Sequence, aggregate: AggregateFunction,
                        known_sum: float = 0.0, known_count: float = 0.0

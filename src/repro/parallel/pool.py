@@ -55,6 +55,8 @@ from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 from ..exceptions import SolverError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..relational.aggregates import AggregateFunction
 from ..solvers.registry import backend_capabilities
 
@@ -244,7 +246,9 @@ def _handle_decompose(programs, sessions, task):
 
     _, _, _key, pcset, region, strategy, early_stop_depth = task
     decomposer = CellDecomposer(pcset, strategy, early_stop_depth)
-    return decomposer.decompose(region)
+    decomposition = decomposer.decompose(region)
+    get_tracer().annotate(cells=len(decomposition.cells))
+    return decomposition
 
 
 def _handle_analyze(programs, sessions, task):
@@ -273,6 +277,17 @@ _HANDLERS = {
     "analyze": _handle_analyze,
 }
 
+#: Constant span names per task kind — instrumentation sites never build
+#: names dynamically, so the tracing-disabled fast path allocates nothing.
+_TASK_SPANS = {
+    "warm": "pool.warm",
+    "register": "pool.register",
+    "solve": "pool.solve",
+    "probe": "pool.probe",
+    "decompose": "pool.decompose",
+    "analyze": "pool.analyze",
+}
+
 
 def _worker_main(index: int, connection) -> None:
     """One worker process: loop over tasks, keep program/session state warm.
@@ -281,11 +296,21 @@ def _worker_main(index: int, connection) -> None:
     queue: a queue's cross-process lock can be stranded by a worker killed
     mid-``put``, deadlocking every sibling, whereas a pipe has exactly one
     reader and one writer per direction and dies with its worker.
+
+    Task payloads are ``(kind, task_id, trace_context, *args)`` and replies
+    ``(task_id, ok, payload, spans)``: the third payload slot carries the
+    coordinator's (trace_id, parent_span_id) — or None when it is not
+    tracing — and the handler runs under a tracer capture whose finished
+    spans travel back in the reply for re-parenting into the coordinator's
+    trace.  A killed worker simply never replies, so its spans are lost but
+    the coordinator's trace stays structurally intact (the re-dispatched
+    task reports from the replacement worker).
     """
     global _IN_WORKER
     _IN_WORKER = True
     programs = _WorkerProgramCache()
     sessions: dict = {}
+    tracer = get_tracer()
     while True:
         try:
             task = connection.recv()
@@ -293,18 +318,21 @@ def _worker_main(index: int, connection) -> None:
             return
         if task is None:
             return
-        kind, task_id = task[0], task[1]
+        kind, task_id, trace_context = task[0], task[1], task[2]
+        task = (kind, task_id) + task[3:]
+        capture = tracer.capture(_TASK_SPANS[kind], trace_context)
         try:
-            payload = _HANDLERS[kind](programs, sessions, task)
-            connection.send((task_id, True, payload))
+            with capture:
+                payload = _HANDLERS[kind](programs, sessions, task)
+            connection.send((task_id, True, payload, capture.export()))
         except BaseException as error:  # noqa: BLE001 - forwarded to parent
             try:
-                connection.send((task_id, False, error))
+                connection.send((task_id, False, error, None))
             except Exception:  # unpicklable exception: ship a description
                 try:
                     connection.send((task_id, False,
                                      SolverError(f"{type(error).__name__}: "
-                                                 f"{error}")))
+                                                 f"{error}"), None))
                 except Exception:  # pragma: no cover - pipe gone
                     return
 
@@ -346,6 +374,13 @@ class PoolStatistics:
         return PoolStatistics(self.rounds, self.tasks_dispatched,
                               self.programs_shipped, self.warm_hits,
                               self.sessions_shipped, self.worker_restarts)
+
+
+#: Registry counter names, precomputed so publishing never formats strings.
+_POOL_METRICS = {field: f"pool.{field}"
+                 for field in ("rounds", "tasks_dispatched",
+                               "programs_shipped", "warm_hits",
+                               "sessions_shipped", "worker_restarts")}
 
 
 class _ProcessWorker:
@@ -476,6 +511,13 @@ class WorkerPool:
     @property
     def statistics(self) -> PoolStatistics:
         return self._statistics
+
+    def _bump(self, field: str, amount: int = 1) -> None:
+        """Advance one pool counter: the dataclass view (the historical
+        surface callers snapshot/delta) and the shared registry together."""
+        statistics = self._statistics
+        setattr(statistics, field, getattr(statistics, field) + amount)
+        get_registry().counter(_POOL_METRICS[field]).inc(amount)
 
     def alive_workers(self) -> int:
         """How many worker processes are currently alive (0 when not started
@@ -619,9 +661,17 @@ class WorkerPool:
             return (result.lower, result.upper, result.closed)
 
         if self._inline() or len(keyed_programs) <= 1:
-            return [run_one(pair) for pair in keyed_programs]
+            tracer = get_tracer()
+            results = []
+            for position, pair in enumerate(keyed_programs):
+                with tracer.span("pool.solve"):
+                    if len(keyed_programs) > 1:
+                        tracer.annotate(shard=position)
+                    results.append(run_one(pair))
+            return results
         if self._mode == "thread":
-            return self._thread_map(run_one, list(keyed_programs))
+            return self._thread_map(run_one, list(keyed_programs),
+                                    label="pool.solve", shard_attr=True)
         requests = [
             ("solve", key, (key, program, aggregate, known_sum, known_count),
              position)
@@ -647,7 +697,7 @@ class WorkerPool:
         if self._inline() or len(flat) <= 1:
             outcomes = [run_one(item) for item in flat]
         elif self._mode == "thread":
-            outcomes = self._thread_map(run_one, flat)
+            outcomes = self._thread_map(run_one, flat, label="pool.probe")
         else:
             requests = [
                 ("probe", pair[0],
@@ -674,13 +724,23 @@ class WorkerPool:
             from ..core.cells import CellDecomposer
 
             _key, pcset, region, strategy, early_stop_depth = task
-            return CellDecomposer(pcset, strategy,
-                                  early_stop_depth).decompose(region)
+            decomposition = CellDecomposer(pcset, strategy,
+                                           early_stop_depth).decompose(region)
+            get_tracer().annotate(cells=len(decomposition.cells))
+            return decomposition
 
         if self._inline() or len(keyed_tasks) <= 1:
-            return [run_one(task) for task in keyed_tasks]
+            tracer = get_tracer()
+            results = []
+            for position, task in enumerate(keyed_tasks):
+                with tracer.span("pool.decompose"):
+                    if len(keyed_tasks) > 1:
+                        tracer.annotate(shard=position)
+                    results.append(run_one(task))
+            return results
         if self._mode == "thread":
-            return self._thread_map(run_one, list(keyed_tasks))
+            return self._thread_map(run_one, list(keyed_tasks),
+                                    label="pool.decompose", shard_attr=True)
         requests = [("decompose", task[0], tuple(task), position)
                     for position, task in enumerate(keyed_tasks)]
         results = self._locked_round(requests)
@@ -715,7 +775,8 @@ class WorkerPool:
         if self._inline() or len(keyed_queries) <= 1:
             return [run_one(entry) for entry in keyed_queries]
         if self._mode == "thread":
-            return self._thread_map(run_one, list(keyed_queries))
+            return self._thread_map(run_one, list(keyed_queries),
+                                    label="pool.analyze")
         requests = [
             ("analyze", program_key,
              (session_key, program_key, program, query, resolved_depth),
@@ -731,26 +792,40 @@ class WorkerPool:
     def _inline(self) -> bool:
         return self._mode == "serial" or in_worker() or in_pool_thread()
 
-    def _thread_map(self, fn, items: list) -> list:
+    def _thread_map(self, fn, items: list, label: str = "pool.task",
+                    shard_attr: bool = False) -> list:
         with self._round_lock:
             executor = self._ensure_started()
         # Thread-mode rounds run concurrently (no round lock), so the
         # counters need their own lock to stay exact under shared use.
         with self._statistics_lock:
-            self._statistics.rounds += 1
-            self._statistics.tasks_dispatched += len(items)
+            self._bump("rounds")
+            self._bump("tasks_dispatched", len(items))
+        # Capture the caller's trace position before fanning out: worker
+        # threads attach to it so the fan-out yields one tree.
+        tracer = get_tracer()
+        trace = tracer.current_trace
+        parent = tracer.current_span
+        parent_id = parent.span_id if parent is not None else None
 
-        def guarded(item):
+        def guarded(indexed):
             # Nested pool use from inside a pool thread runs inline —
             # waiting on our own executor from one of its threads would
             # deadlock once every thread blocks.
+            index, item = indexed
             _POOL_THREAD.active = True
             try:
-                return fn(item)
+                if trace is None:
+                    return fn(item)
+                with tracer.attach(trace, parent_id):
+                    with tracer.span(label):
+                        if shard_attr:
+                            tracer.annotate(shard=index)
+                        return fn(item)
             finally:
                 _POOL_THREAD.active = False
 
-        return list(executor.map(guarded, items))
+        return list(executor.map(guarded, enumerate(items)))
 
     # ------------------------------------------------------------------ #
     # Process-mode dispatch/collect with restart-on-death
@@ -778,7 +853,7 @@ class WorkerPool:
         then the parent blocks sending into the worker's full inbound
         buffer, and both sides are alive so no recovery ever fires.
         """
-        self._statistics.rounds += 1
+        self._bump("rounds")
         pending: dict[int, _PendingTask] = {}
         backlogs: dict[int, deque] = {}
         for kind, key, args, position in requests:
@@ -801,7 +876,7 @@ class WorkerPool:
             for connection in ready:
                 worker_index = connections[connection]
                 try:
-                    task_id, ok, payload = connection.recv()
+                    task_id, ok, payload, spans = connection.recv()
                 except (EOFError, OSError):
                     self._respawn(worker_index, pending)
                     continue
@@ -814,9 +889,26 @@ class WorkerPool:
                         continue
                     raise payload if isinstance(payload, BaseException) \
                         else SolverError(str(payload))
+                self._adopt_spans(task, worker_index, spans)
                 if task.position is not None:
                     collected[task.position] = payload
         return collected
+
+    def _adopt_spans(self, task: _PendingTask, worker_index: int,
+                     spans) -> None:
+        """Splice a reply's worker spans into the coordinator's trace.
+
+        The adopted subtree's root is tagged with the worker that ran the
+        task and — for the per-shard task kinds — the shard position, which
+        is what :meth:`repro.obs.profile.QueryProfile.shard_skew` reads."""
+        if not spans:
+            return
+        root = get_tracer().adopt(spans)
+        if root is None:
+            return
+        root.attributes.setdefault("worker", worker_index)
+        if task.position is not None and task.kind in ("solve", "decompose"):
+            root.attributes.setdefault("shard", task.position)
 
     def _feed_backlogs(self, backlogs: dict, pending: dict) -> None:
         """Top every worker up to the in-flight cap from its backlog."""
@@ -867,6 +959,9 @@ class WorkerPool:
                 worker = self._workers[worker_index]
         task_id = next(self._task_ids)
         payload = self._build_payload(kind, task_id, worker, args)
+        # Trace context rides in slot 2 of every payload; None (the common
+        # untraced case) tells the worker to skip recording entirely.
+        payload = (payload[0], payload[1], get_tracer().context()) + payload[2:]
         pending[task_id] = _PendingTask(position=position, kind=kind,
                                        args=args, worker_index=worker_index,
                                        attempts=attempts)
@@ -877,19 +972,19 @@ class WorkerPool:
             # pending on it, including the entry just recorded.
             self._respawn(worker_index, pending)
             return
-        self._statistics.tasks_dispatched += 1
+        self._bump("tasks_dispatched")
 
     def _build_payload(self, kind: str, task_id: int,
                        worker: _ProcessWorker, args: tuple) -> tuple:
         if kind == "register":
             session_key, analyzer = args
             worker.sessions.add(session_key)
-            self._statistics.sessions_shipped += 1
+            self._bump("sessions_shipped")
             return ("register", task_id, session_key, analyzer)
         if kind == "warm":
             key, program = args
             worker.warm_keys.add(key)
-            self._statistics.programs_shipped += 1
+            self._bump("programs_shipped")
             return ("warm", task_id, key, program)
         if kind == "solve":
             key, program, aggregate, known_sum, known_count = args
@@ -913,10 +1008,10 @@ class WorkerPool:
     def _maybe_ship(self, worker: _ProcessWorker, key, program):
         """Ship ``program`` only if ``worker`` does not hold ``key`` warm."""
         if key in worker.warm_keys:
-            self._statistics.warm_hits += 1
+            self._bump("warm_hits")
             return None
         worker.warm_keys.add(key)
-        self._statistics.programs_shipped += 1
+        self._bump("programs_shipped")
         return program
 
     def _recover(self, pending: dict) -> None:
@@ -927,7 +1022,7 @@ class WorkerPool:
             self._respawn(worker_index, pending)
 
     def _respawn(self, worker_index: int, pending: dict) -> _ProcessWorker:
-        self._statistics.worker_restarts += 1
+        self._bump("worker_restarts")
         old = self._workers[worker_index]
         try:
             old.process.join(timeout=0.5)
@@ -1136,7 +1231,10 @@ def sharded_avg_range(pool: WorkerPool, keyed_programs: Sequence[tuple],
                     owners.append((search, child))
         if not probes:
             break
-        outcomes = pool.avg_probes(keyed_programs, probes)
+        tracer = get_tracer()
+        with tracer.span("avg.round"):
+            tracer.annotate(probes=len(probes), shards=len(keyed_programs))
+            outcomes = pool.avg_probes(keyed_programs, probes)
         verdicts: dict[tuple, bool] = {}
         parents: dict[int, float] = {}
         for (search, target), outcome in zip(owners, outcomes):

@@ -24,6 +24,7 @@ from ..core.cells import (
 )
 from ..core.constraints import FrequencyConstraint, PredicateConstraint
 from ..core.pcset import PredicateConstraintSet
+from ..obs.metrics import get_registry
 from .ir import BoundPlan
 
 __all__ = ["PlanPass", "ObservedCellStatistics", "RegionPruningPass",
@@ -83,14 +84,20 @@ class ObservedCellStatistics:
 
     def observe(self, statistics: DecompositionStatistics) -> None:
         """Record one finished decomposition's measured cell count."""
+        registry = get_registry()
         if statistics.assumed_satisfiable > 0:
+            registry.counter("cells.observations_skipped").inc()
             return  # early-stopped: cells were assumed, not measured
         count = statistics.num_constraints
         if count < 2 or count >= 62:
+            registry.counter("cells.observations_skipped").inc()
             return  # degenerate or estimate-capped sizes carry no signal
         density = statistics.satisfiable_cells / worst_case_cell_count(count)
         with self._lock:
             self._samples.append((count, density))
+            samples = len(self._samples)
+        registry.counter("cells.observations").inc()
+        registry.gauge("cells.samples").set(samples)
 
     @property
     def sample_count(self) -> int:

@@ -34,6 +34,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..exceptions import SolverError
+from ..obs.trace import get_tracer
 from ..relational.aggregates import AggregateFunction
 from ..solvers.lp import LPSolution, Sense, SolutionStatus
 from ..solvers.milp import CompiledMILP, MILPModel, solve_milp
@@ -415,6 +416,10 @@ class BoundProgram:
     def _solve_value(self, variant: str, cell_coefficients: np.ndarray,
                      sense: Sense) -> float:
         """Optimum of the patched objective, with the solver's status policy."""
+        # Every patched-objective MILP solve funnels through here — the one
+        # chokepoint the per-span solver-call tallies hang off (no-op
+        # without an active trace).
+        get_tracer().add("solver_calls", 1)
         if self._reuse:
             status, objective = self._skeleton(variant).solve_objective(
                 cell_coefficients, sense)
@@ -592,13 +597,17 @@ class BoundProgram:
                     find_upper: bool) -> float:
         """Binary search for the extreme achievable average."""
         tolerance = self._avg_tolerance
+        tracer = get_tracer()
         low, high = low_start, high_start
         for _ in range(self._avg_max_iterations):
             if high - low <= tolerance * max(1.0, abs(high), abs(low)):
                 break
             midpoint = (low + high) / 2.0
-            if self._average_achievable(known_sum, known_count, midpoint,
-                                        at_least=find_upper):
+            with tracer.span("avg.round"):
+                tracer.annotate(target=midpoint, upper=find_upper)
+                achievable = self._average_achievable(
+                    known_sum, known_count, midpoint, at_least=find_upper)
+            if achievable:
                 if find_upper:
                     low = midpoint
                 else:

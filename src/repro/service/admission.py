@@ -34,11 +34,21 @@ import time
 from dataclasses import dataclass
 
 from ..exceptions import QueryRejectedError
+from ..obs.metrics import get_registry
+from ..obs.trace import get_tracer
 from ..plan.passes import ObservedCellStatistics, estimated_cell_count
 from ..relational.aggregates import AggregateFunction
 
 __all__ = ["QueryCost", "price_query", "AdmissionPolicy",
            "AdmissionStatistics", "AdmissionTicket", "AdmissionController"]
+
+#: Registry counter names, precomputed so the mutation hot path never
+#: formats strings (mirrors the worker pool's ``_POOL_METRICS`` idiom).
+_ADMISSION_METRICS = {
+    field: f"admission.{field}"
+    for field in ("priced", "admitted", "deferred", "rejected_over_budget",
+                  "rejected_queue_full", "rejected_timeout", "units_admitted")
+}
 
 
 @dataclass(frozen=True)
@@ -256,6 +266,13 @@ class AdmissionController:
         self._pending = 0
         self._statistics = AdmissionStatistics()
 
+    def _bump(self, field: str, amount: float = 1) -> None:
+        """Advance one decision counter in the dataclass snapshot *and* the
+        process-wide metrics registry (``admission.*``)."""
+        statistics = self._statistics
+        setattr(statistics, field, getattr(statistics, field) + amount)
+        get_registry().counter(_ADMISSION_METRICS[field]).inc(amount)
+
     @property
     def policy(self) -> AdmissionPolicy:
         return self._policy
@@ -281,10 +298,10 @@ class AdmissionController:
         """
         policy = self._policy
         with self._condition:
-            self._statistics.priced += 1
+            self._bump("priced")
             budget = policy.max_query_cost if enforce_budget else None
             if budget is not None and cost.units > budget:
-                self._statistics.rejected_over_budget += 1
+                self._bump("rejected_over_budget")
                 raise QueryRejectedError(
                     f"query rejected before any solve was dispatched: "
                     f"{cost.describe()} exceeds the per-query budget of "
@@ -293,21 +310,22 @@ class AdmissionController:
             capacity = policy.capacity
             if capacity is not None and not self._fits(cost.units, capacity):
                 if self._pending >= policy.max_pending:
-                    self._statistics.rejected_queue_full += 1
+                    self._bump("rejected_queue_full")
                     raise QueryRejectedError(
                         f"query rejected: {cost.describe()} cannot run now "
                         f"({self._in_flight:.1f}/{capacity:.1f} unit(s) in "
                         f"flight) and the admission queue is full "
                         f"({policy.max_pending} pending)",
                         cost=cost.units, limit=capacity, reason="queue-full")
-                self._statistics.deferred += 1
+                self._bump("deferred")
+                get_tracer().annotate(admission="deferred")
                 self._pending += 1
                 try:
                     deadline = time.monotonic() + policy.max_wait_seconds
                     while not self._fits(cost.units, capacity):
                         remaining = deadline - time.monotonic()
                         if remaining <= 0 or not self._condition.wait(remaining):
-                            self._statistics.rejected_timeout += 1
+                            self._bump("rejected_timeout")
                             raise QueryRejectedError(
                                 f"query rejected: {cost.describe()} waited "
                                 f"{policy.max_wait_seconds:.1f}s for capacity",
@@ -316,8 +334,8 @@ class AdmissionController:
                 finally:
                     self._pending -= 1
             self._in_flight += cost.units
-            self._statistics.admitted += 1
-            self._statistics.units_admitted += cost.units
+            self._bump("admitted")
+            self._bump("units_admitted", cost.units)
             return AdmissionTicket(self, cost.units)
 
     def admit_many(self, costs: list[QueryCost]) -> AdmissionTicket:
@@ -334,8 +352,8 @@ class AdmissionController:
             for cost in costs:
                 if cost.units > budget:
                     with self._condition:
-                        self._statistics.priced += 1
-                        self._statistics.rejected_over_budget += 1
+                        self._bump("priced")
+                        self._bump("rejected_over_budget")
                     raise QueryRejectedError(
                         f"batch rejected before any solve was dispatched: "
                         f"{cost.describe()} exceeds the per-query budget of "

@@ -25,12 +25,13 @@ Results come back in input order, each paired with the same
 
 from __future__ import annotations
 
-import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 
 from ..core.engine import ContingencyQuery, ContingencyReport, PCAnalyzer
 from ..core.predicates import Predicate
+from ..obs.metrics import timed
+from ..obs.trace import get_tracer
 from ..parallel.executor import SolveExecutor, default_workers
 from ..parallel.pool import WorkerPool
 from ..solvers.registry import backend_capabilities
@@ -262,15 +263,20 @@ class BatchExecutor:
         # exactly once; distinct pairs compile in parallel and the per-key
         # locking inside a shared cache dedupes any overlap with
         # concurrent batches.
-        started = time.perf_counter()
+        tracer = get_tracer()
         pairs = list(program_groups)
-        if self._max_workers == 1 or len(pairs) == 1:
-            for region, attribute in pairs:
-                analyzer.prepare(region, attribute)
-        else:
-            with ThreadPoolExecutor(max_workers=self._max_workers) as warm_pool:
-                list(warm_pool.map(lambda pair: analyzer.prepare(*pair), pairs))
-        statistics.warm_seconds = time.perf_counter() - started
+        with timed("batch.warm_seconds") as warm_timer, \
+                tracer.span("batch.warm"):
+            tracer.annotate(programs=len(pairs))
+            if self._max_workers == 1 or len(pairs) == 1:
+                for region, attribute in pairs:
+                    analyzer.prepare(region, attribute)
+            else:
+                with ThreadPoolExecutor(
+                        max_workers=self._max_workers) as warm_pool:
+                    list(warm_pool.map(lambda pair: analyzer.prepare(*pair),
+                                       pairs))
+        statistics.warm_seconds = warm_timer.seconds
 
         # Phase 2 — every query now runs against a warm program, fanned out
         # through the persistent worker pool.  Thread mode keeps the
@@ -286,26 +292,30 @@ class BatchExecutor:
             pool = self._thread_fallback()
         statistics.executor_mode = pool.mode
         before = pool.statistics.snapshot()
-        started = time.perf_counter()
-        if pool.mode == "process":
-            solver = analyzer.solver
-            key = session_key or _session_key_for(analyzer)
-            entries = {}
-            keyed_queries = []
-            for query in queries:
-                program_key = solver.program_key(query.region, query.attribute)
-                program = solver.program(query.region, query.attribute)
-                depth = solver.resolved_early_stop_depth(query.region,
-                                                         query.attribute)
-                entries[program_key] = program
-                keyed_queries.append((program_key, program, query, depth))
-            pool.warm(entries)
-            reports = pool.analyze(key, analyzer, keyed_queries)
-        else:
-            keyed_queries = [(None, None, query, None) for query in queries]
-            reports = pool.analyze(session_key or "batch", analyzer,
-                                   keyed_queries)
-        statistics.execute_seconds = time.perf_counter() - started
+        with timed("batch.execute_seconds") as execute_timer, \
+                tracer.span("batch.execute"):
+            tracer.annotate(queries=len(queries), mode=pool.mode)
+            if pool.mode == "process":
+                solver = analyzer.solver
+                key = session_key or _session_key_for(analyzer)
+                entries = {}
+                keyed_queries = []
+                for query in queries:
+                    program_key = solver.program_key(query.region,
+                                                     query.attribute)
+                    program = solver.program(query.region, query.attribute)
+                    depth = solver.resolved_early_stop_depth(query.region,
+                                                             query.attribute)
+                    entries[program_key] = program
+                    keyed_queries.append((program_key, program, query, depth))
+                pool.warm(entries)
+                reports = pool.analyze(key, analyzer, keyed_queries)
+            else:
+                keyed_queries = [(None, None, query, None)
+                                 for query in queries]
+                reports = pool.analyze(session_key or "batch", analyzer,
+                                       keyed_queries)
+        statistics.execute_seconds = execute_timer.seconds
         after = pool.statistics.snapshot()
         # Pool traffic attributed to this batch as a before/after delta of
         # the (shared) pool's counters.  Exact for the common sequential

@@ -36,6 +36,9 @@ from ..core.bounds import BoundOptions
 from ..core.engine import ContingencyQuery, ContingencyReport
 from ..core.pcset import PredicateConstraintSet
 from ..exceptions import ReproError
+from ..obs.metrics import get_registry
+from ..obs.profile import QueryProfile
+from ..obs.trace import Trace, get_tracer
 from ..parallel.pool import WorkerPool, default_pool_mode
 from ..plan.passes import ObservedCellStatistics
 from ..relational.relation import Relation
@@ -284,7 +287,8 @@ class ContingencyService:
     # Query answering
     # ------------------------------------------------------------------ #
     def analyze(self, name: str, query: ContingencyQuery,
-                version: int | None = None) -> ContingencyReport:
+                version: int | None = None,
+                profile: bool = False) -> ContingencyReport:
         """Answer one query against a registered session, through the caches.
 
         The report cache key is (session fingerprint, query fingerprint):
@@ -292,15 +296,37 @@ class ContingencyService:
         so a cached report can never leak across semantically different
         sessions, while re-registered identical content keeps its warm
         cache.
+
+        ``profile=True`` additionally records the query's span tree —
+        forcing a trace for just this call, whether or not ``REPRO_TRACE``
+        is set — and returns a report whose ``profile`` attribute is the
+        rendered-able :class:`~repro.obs.QueryProfile` (the EXPLAIN ANALYZE
+        view; cached reports themselves are never mutated).
         """
         session = self._registry.get(name, version)
-        return self._analyze_in_session(session, query)
+        if not profile:
+            return self._analyze_in_session(session, query)
+        tracer = get_tracer()
+        with tracer.trace("query", force=True) as handle:
+            tracer.annotate(query=query.describe(), session=session.name)
+            report = self._analyze_in_session(session, query)
+        query_profile = (QueryProfile.from_trace(handle)
+                         if isinstance(handle, Trace) else None)
+        return replace(report, profile=query_profile)
 
     def _analyze_in_session(self, session: RegisteredSession,
                             query: ContingencyQuery) -> ContingencyReport:
         with self._counter_lock:
             self._queries_answered += 1
+        get_registry().counter("service.queries_answered").inc()
         key = ("report", session.fingerprint, fingerprint_query(query))
+        tracer = get_tracer()
+        if tracer.active:
+            # peek() perturbs neither LRU recency nor the cache counters,
+            # so annotating the verdict is observation-only.
+            tracer.annotate(report_cache=(
+                "hit" if self._report_cache.peek(key) is not None
+                else "miss"))
         if self._admission is None:
             return self._report_cache.get_or_compute(
                 key, lambda: session.analyze(query))
@@ -315,7 +341,11 @@ class ContingencyService:
         report = self._report_cache.get(key)
         if report is not None:
             return report
-        with self._admission.admit(self._price(session, query)):
+        with tracer.span("admission"):
+            cost = self._price(session, query)
+            tracer.annotate(units=cost.units)
+            ticket = self._admission.admit(cost)
+        with ticket:
             return self._report_cache.get_or_compute(
                 key, lambda: session.analyze(query))
 
@@ -340,6 +370,9 @@ class ContingencyService:
         with self._counter_lock:
             self._batches_executed += 1
             self._queries_answered += len(queries)
+        registry = get_registry()
+        registry.counter("service.batches_executed").inc()
+        registry.counter("service.queries_answered").inc(len(queries))
 
         cached: dict[int, ContingencyReport] = {}
         missing_by_query: dict[str, list[int]] = {}

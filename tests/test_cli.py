@@ -425,3 +425,90 @@ class TestCliShardingAndAdmission:
                      "--max-cost", "0"])
         assert code == 2
         assert "--max-cost" in capsys.readouterr().err
+
+
+class TestCliObservability:
+    def test_stats_empty_registry_renders_cleanly(self, capsys):
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        previous = set_registry(MetricsRegistry())
+        try:
+            assert main(["stats"]) == 0
+            assert "(no metrics recorded)" in capsys.readouterr().out
+        finally:
+            set_registry(previous)
+
+    def test_stats_json_snapshot(self, capsys):
+        import json as _json
+
+        from repro.obs.metrics import MetricsRegistry, set_registry
+
+        registry = MetricsRegistry()
+        registry.counter("demo.events").inc(4)
+        previous = set_registry(registry)
+        try:
+            assert main(["stats", "--json"]) == 0
+            payload = _json.loads(capsys.readouterr().out)
+            assert payload["counters"]["demo.events"] == 4.0
+        finally:
+            set_registry(previous)
+
+    def test_bound_profile_prints_span_tree(self, capsys, constraint_text_file):
+        code = main(["bound", "--constraints", str(constraint_text_file),
+                     "--aggregate", "sum", "--attribute", "price",
+                     "--no-closure-check", "--profile"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "profile (EXPLAIN ANALYZE):" in output
+        assert "solve.serial" in output
+        assert "solver calls" in output
+
+    def test_bound_profile_json_export(self, capsys, tmp_path,
+                                       constraint_text_file):
+        import json as _json
+
+        target = tmp_path / "profile.json"
+        code = main(["bound", "--constraints", str(constraint_text_file),
+                     "--aggregate", "count", "--no-closure-check",
+                     "--profile-json", str(target)])
+        assert code == 0
+        payload = _json.loads(target.read_text())
+        assert payload["schema"] == "repro-query-profile/1"
+        assert payload["tree"]["name"] == "query"
+        # --profile-json alone exports without printing the tree.
+        assert "EXPLAIN ANALYZE" not in capsys.readouterr().out
+
+    def test_serve_batch_profile_covers_final_round(self, capsys,
+                                                    constraint_text_file,
+                                                    query_file):
+        code = main(["serve-batch", "--constraints",
+                     str(constraint_text_file),
+                     "--queries", str(query_file), "--no-closure-check",
+                     "--repeat", "2", "--profile"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "batch round 2" in output
+        assert "profile (EXPLAIN ANALYZE):" in output
+
+    def test_bench_report_merges_trajectory_files(self, capsys, tmp_path,
+                                                  monkeypatch):
+        import json as _json
+
+        (tmp_path / "BENCH_PR1.json").write_text(_json.dumps({
+            "schema": "repro-bench-trajectory/1",
+            "recorded_at": "2026-01-01T00:00:00+0000",
+            "machine": {"cpu_count": 4},
+            "records": [{"benchmark": "test_bench_demo",
+                         "warm_seconds": 0.5, "speedup": 2.0}],
+        }))
+        code = main(["bench-report", "--directory", str(tmp_path)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "PR1" in output
+        assert "test_bench_demo" in output
+        assert "speedup=2" in output
+
+    def test_bench_report_empty_directory(self, capsys, tmp_path):
+        code = main(["bench-report", "--directory", str(tmp_path)])
+        assert code == 0
+        assert "no BENCH_PR*.json" in capsys.readouterr().out
