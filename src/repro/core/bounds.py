@@ -98,6 +98,15 @@ class BoundOptions:
         :class:`~repro.exceptions.DisjointRangeError` (the cross-backend
         alarm).  Must name a backend different from ``milp_backend`` to be
         a meaningful oracle, though equal names are tolerated.
+    ``solve_batch_size``
+        Fixed batch size for the batched multi-solve kernel and the pool's
+        batched task kinds (``--solve-batch-size`` on the CLI).  ``None``
+        (default) sizes batches adaptively from pool depth and the
+        observed-density feed; the ``REPRO_SOLVE_BATCH_SIZE`` environment
+        override wins over this field so one variable steers parent and
+        worker processes alike.  Like ``parallel_mode``, this knob is
+        excluded from option fingerprints: batched solves are bit-identical
+        to per-cell solves, so it can never change a range.
     """
 
     strategy: DecompositionStrategy = DecompositionStrategy.DFS_REWRITE
@@ -113,6 +122,7 @@ class BoundOptions:
     parallel_mode: str = "thread"
     verify_backend: str | None = None
     shard_strategy: str = field(default_factory=default_shard_strategy)
+    solve_batch_size: int | None = None
 
 
 @dataclass(frozen=True)
@@ -450,6 +460,13 @@ class PCBoundSolver:
                 # while the enumeration work fanned out.
         program = self.program(region, attribute)
         with tracer.span("solve.serial"):
+            from ..solvers.batching import batching_enabled
+
+            if batching_enabled():
+                # The batched kernel path — one skeleton lookup, grouped
+                # (variant, sense) solves.  Bit-identical to program.bound.
+                return program.bound_batch(
+                    [(aggregate, known_sum, known_count)])[0]
             return program.bound(aggregate, known_sum=known_sum,
                                  known_count=known_count)
 
@@ -977,8 +994,15 @@ class PCBoundSolver:
         workers.  The shard plans inherit the parent's strategy and resolved
         early-stop depth, which is what makes the merged cell set equal the
         serial enumeration under every knob combination.
+
+        Batch size for the pool's batched shipping comes from the
+        observed-density feed: dense constraint sets (heavy per-shard
+        enumeration) keep batches small so one task cannot become the
+        critical-path straggler, sparse ones batch aggressively.
         """
+        from ..plan.passes import estimated_cell_count
         from ..plan.sharding import merge_shard_decompositions
+        from ..solvers.batching import adaptive_batch_size
 
         region = plan.query.region
         attribute = plan.query.attribute
@@ -986,7 +1010,12 @@ class PCBoundSolver:
                   shard.plan.pcset, shard.plan.query.region,
                   shard.plan.strategy, shard.plan.early_stop_depth)
                  for shard in sharded]
-        decompositions = self.borrow_pool(workers).decompose_shards(keyed)
+        pool = self.borrow_pool(workers)
+        estimate, _source = estimated_cell_count(plan, self._cell_statistics)
+        batch_size = adaptive_batch_size(
+            len(keyed), pool.max_workers, estimated_cells=estimate,
+            configured=self._options.solve_batch_size)
+        decompositions = pool.decompose_shards(keyed, batch_size=batch_size)
         return merge_shard_decompositions(plan, decompositions)
 
     def _decompose_plan(self, plan: BoundPlan) -> CellDecomposition:

@@ -103,15 +103,20 @@ class QueryRejectedError(ReproError):
     the priced units and the budget that tripped, ``reason`` is one of
     ``"over-budget"``, ``"queue-full"`` or ``"timeout"``, so callers can
     retry, downscope, or route to a bigger deployment without parsing the
-    message.
+    message.  For ``"over-budget"`` rejections, ``cell_budget`` carries the
+    largest estimated-cell count a same-shaped query *would* clear the
+    budget with (the price-model inversion) — the concrete downscoping
+    target, also embedded in the message the CLI prints.
     """
 
     def __init__(self, message: str, cost: float | None = None,
-                 limit: float | None = None, reason: str = "rejected"):
+                 limit: float | None = None, reason: str = "rejected",
+                 cell_budget: int | None = None):
         super().__init__(message)
         self.cost = cost
         self.limit = limit
         self.reason = reason
+        self.cell_budget = cell_budget
 
 
 class InfeasibleProblemError(SolverError):

@@ -162,17 +162,49 @@ class QueryProfile:
         """Total MILP/SAT solver invocations across every span."""
         return self.root.total("solver_calls")
 
+    def _shard_totals(self) -> dict[Any, list[float]]:
+        """Per-shard ``[wall seconds, cells solved]``, summed over every
+        span tagged with that shard id.
+
+        Aggregating by shard *id* — not per span — is what keeps the skew
+        signal stable across batching: a shard that used to emit ten
+        one-cell task spans now emits one ten-cell batch span, and both
+        shapes must report the same per-shard totals.  Spans without a
+        ``cells`` tally count as one cell (the pre-batch task kinds solve
+        exactly one parameterisation per span).
+        """
+        totals: dict[Any, list[float]] = {}
+        for node in self.root.walk():
+            shard = node.attributes.get("shard")
+            if shard is None:
+                continue
+            entry = totals.setdefault(shard, [0.0, 0.0])
+            entry[0] += node.duration
+            cells = node.attributes.get("cells")
+            if isinstance(cells, (int, float)) and not isinstance(cells, bool):
+                entry[1] += cells
+            else:
+                entry[1] += 1
+        return totals
+
     def shard_times(self) -> list[float]:
-        """Wall seconds of every span tagged with a ``shard`` attribute."""
-        return [node.duration for node in self.root.walk()
-                if "shard" in node.attributes]
+        """Total wall seconds per distinct shard (summed across its spans)."""
+        return [entry[0] for entry in self._shard_totals().values()]
+
+    def shard_cells(self) -> list[float]:
+        """Cells solved per distinct shard — the load counter that stays
+        comparable before and after batching, where per-shard *task* counts
+        collapse by the batch factor and would mask hot shards."""
+        return [entry[1] for entry in self._shard_totals().values()]
 
     def shard_skew(self) -> float | None:
-        """max/mean shard wall-time ratio (>= 1.0), None without shards.
+        """max/mean per-shard wall-time ratio (>= 1.0), None without shards.
 
         This is the straggler signal: 1.0 means perfectly balanced shards,
         2.0 means the slowest shard ran twice the mean and the fan-out's
-        critical path is dominated by one straggler.
+        critical path is dominated by one straggler.  Times aggregate per
+        shard id first, so one shard's many task spans (or one batch span)
+        contribute a single total.
         """
         times = self.shard_times()
         if not times:
@@ -181,6 +213,35 @@ class QueryProfile:
         if mean <= 0:
             return 1.0
         return max(times) / mean
+
+    def shard_cell_skew(self) -> float | None:
+        """max/mean per-shard cells-solved ratio (>= 1.0), the load-balance
+        twin of :meth:`shard_skew` in work units instead of wall time."""
+        cells = self.shard_cells()
+        if not cells:
+            return None
+        mean = _statistics.fmean(cells)
+        if mean <= 0:
+            return 1.0
+        return max(cells) / mean
+
+    def batch_counts(self) -> dict[str, float]:
+        """How much pool traffic ran batched: ``batched_tasks`` pool entries
+        carrying ``batched_cells`` solves — the amortization EXPLAIN
+        ANALYZE surfaces (cells per task is the per-task-floor divisor)."""
+        tasks = 0
+        cells = 0.0
+        for node in self.root.walk():
+            if node.name in ("pool.solve_batch", "pool.probe_batch",
+                             "pool.decompose_batch", "pool.analyze_batch"):
+                tasks += 1
+                value = node.attributes.get("cells")
+                if isinstance(value, (int, float)) \
+                        and not isinstance(value, bool):
+                    cells += value
+                else:
+                    cells += 1
+        return {"batched_tasks": float(tasks), "batched_cells": cells}
 
     # ------------------------------------------------------------------ #
     # Rendering
@@ -209,6 +270,10 @@ class QueryProfile:
             times = self.shard_times()
             summary += (f", shards {len(times)}, "
                         f"shard-time skew {skew:.2f}x (max/mean)")
+        batches = self.batch_counts()
+        if batches["batched_tasks"]:
+            summary += (f", batched {batches['batched_cells']:.0f} cell(s) "
+                        f"in {batches['batched_tasks']:.0f} task(s)")
         lines.append(summary)
         return "\n".join(lines)
 
@@ -216,13 +281,18 @@ class QueryProfile:
     # JSON round-trip (BENCH_PR*.json idiom: schema tag + plain records)
     # ------------------------------------------------------------------ #
     def to_dict(self) -> dict[str, Any]:
+        batches = self.batch_counts()
         return {
             "schema": PROFILE_SCHEMA,
             "trace_id": self.trace_id,
             "wall_seconds": self.wall_seconds,
             "solver_calls": self.solver_calls,
             "shard_skew": self.shard_skew(),
+            "shard_cell_skew": self.shard_cell_skew(),
             "shard_count": len(self.shard_times()),
+            "shard_cells": sum(self.shard_cells()),
+            "batched_tasks": batches["batched_tasks"],
+            "batched_cells": batches["batched_cells"],
             "tree": self.root.to_dict(),
         }
 

@@ -58,6 +58,7 @@ from ..exceptions import SolverError
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..relational.aggregates import AggregateFunction
+from ..solvers.batching import adaptive_batch_size, batching_enabled, chunked
 from ..solvers.registry import backend_capabilities
 
 __all__ = ["WorkerPool", "PoolStatistics", "shared_pool",
@@ -251,6 +252,51 @@ def _handle_decompose(programs, sessions, task):
     return decomposition
 
 
+def _handle_solve_batch(programs, sessions, task):
+    """A batch of bound requests against one warm program — one task, one
+    skeleton lookup, one vectorized kernel entry per (variant, sense) group
+    (:meth:`repro.plan.program.BoundProgram.bound_batch`)."""
+    _, _, key, program, requests = task
+    program = _resolve_program(programs, key, program)
+    get_tracer().annotate(cells=len(requests))
+    results = program.bound_batch(list(requests))
+    return [(result.lower, result.upper, result.closed) for result in results]
+
+
+def _handle_probe_batch(programs, sessions, task):
+    """Every AVG probe of one search round against one shard's program —
+    the whole round's coefficient matrix solves in one kernel entry."""
+    _, _, key, program, probes = task
+    program = _resolve_program(programs, key, program)
+    get_tracer().annotate(cells=len(probes))
+    return program.avg_probe_optima_batch(list(probes))
+
+
+def _handle_decompose_batch(programs, sessions, task):
+    """A batch of region-shard enumerations in one task.
+
+    Each entry keeps its own ``pool.decompose`` child span tagged with its
+    *global* shard position and cell count, so per-shard skew accounting
+    stays cell-accurate after batching collapses the task count.
+    """
+    from ..core.cells import CellDecomposer
+
+    _, _, _key, entries = task
+    tracer = get_tracer()
+    results = []
+    total = 0
+    for shard_position, pcset, region, strategy, early_stop_depth in entries:
+        with tracer.span("pool.decompose"):
+            decomposer = CellDecomposer(pcset, strategy, early_stop_depth)
+            decomposition = decomposer.decompose(region)
+            tracer.annotate(shard=shard_position,
+                            cells=len(decomposition.cells))
+        total += len(decomposition.cells)
+        results.append(decomposition)
+    tracer.annotate(cells=total, shards=len(entries))
+    return results
+
+
 def _handle_analyze(programs, sessions, task):
     _, _, session_key, program_key, program, query, resolved_depth = task
     if program is not None:
@@ -268,6 +314,27 @@ def _handle_analyze(programs, sessions, task):
     return analyzer.analyze(query)
 
 
+def _handle_analyze_batch(programs, sessions, task):
+    """A batch of same-program queries against one registered session.
+
+    One program ship (at most), one early-stop pin — the batch shares a
+    program key, so every query resolves the same (region, attribute) pair.
+    """
+    _, _, session_key, program_key, program, queries, resolved_depth = task
+    if program is not None:
+        programs.put(program_key, program)
+    analyzer = sessions.get(session_key)
+    if analyzer is None:
+        raise SolverError(
+            "worker has no registered session for an analyze task "
+            "(the parent must register before dispatching)")
+    first = queries[0]
+    analyzer.solver.pin_early_stop_depth(first.region, first.attribute,
+                                         resolved_depth)
+    get_tracer().annotate(cells=len(queries))
+    return [analyzer.analyze(query) for query in queries]
+
+
 _HANDLERS = {
     "warm": _handle_warm,
     "register": _handle_register,
@@ -275,6 +342,10 @@ _HANDLERS = {
     "probe": _handle_probe,
     "decompose": _handle_decompose,
     "analyze": _handle_analyze,
+    "solve_batch": _handle_solve_batch,
+    "probe_batch": _handle_probe_batch,
+    "decompose_batch": _handle_decompose_batch,
+    "analyze_batch": _handle_analyze_batch,
 }
 
 #: Constant span names per task kind — instrumentation sites never build
@@ -286,6 +357,10 @@ _TASK_SPANS = {
     "probe": "pool.probe",
     "decompose": "pool.decompose",
     "analyze": "pool.analyze",
+    "solve_batch": "pool.solve_batch",
+    "probe_batch": "pool.probe_batch",
+    "decompose_batch": "pool.decompose_batch",
+    "analyze_batch": "pool.analyze_batch",
 }
 
 
@@ -350,6 +425,8 @@ class PoolStatistics:
     warm_hits: int = 0
     sessions_shipped: int = 0
     worker_restarts: int = 0
+    tasks_shipped: int = 0
+    cells_solved: int = 0
 
     @property
     def warm_hit_rate(self) -> float:
@@ -358,6 +435,13 @@ class PoolStatistics:
         if not addressed:
             return 0.0
         return self.warm_hits / addressed
+
+    @property
+    def cells_per_task(self) -> float:
+        """The batching amortization ratio: solves carried per pool entry."""
+        if not self.tasks_shipped:
+            return 0.0
+        return self.cells_solved / self.tasks_shipped
 
     def as_dict(self) -> dict[str, float]:
         return {
@@ -368,19 +452,24 @@ class PoolStatistics:
             "warm_hit_rate": self.warm_hit_rate,
             "sessions_shipped": self.sessions_shipped,
             "worker_restarts": self.worker_restarts,
+            "tasks_shipped": self.tasks_shipped,
+            "cells_solved": self.cells_solved,
+            "cells_per_task": self.cells_per_task,
         }
 
     def snapshot(self) -> "PoolStatistics":
         return PoolStatistics(self.rounds, self.tasks_dispatched,
                               self.programs_shipped, self.warm_hits,
-                              self.sessions_shipped, self.worker_restarts)
+                              self.sessions_shipped, self.worker_restarts,
+                              self.tasks_shipped, self.cells_solved)
 
 
 #: Registry counter names, precomputed so publishing never formats strings.
 _POOL_METRICS = {field: f"pool.{field}"
                  for field in ("rounds", "tasks_dispatched",
                                "programs_shipped", "warm_hits",
-                               "sessions_shipped", "worker_restarts")}
+                               "sessions_shipped", "worker_restarts",
+                               "tasks_shipped", "cells_solved")}
 
 
 class _ProcessWorker:
@@ -519,6 +608,14 @@ class WorkerPool:
         setattr(statistics, field, getattr(statistics, field) + amount)
         get_registry().counter(_POOL_METRICS[field]).inc(amount)
 
+    def _record_batch_traffic(self, tasks: int, cells: int) -> None:
+        """Account one entry point's shipped-task vs solved-cell traffic —
+        the ``pool.tasks_shipped`` / ``pool.cells_solved`` pair whose ratio
+        is the batching amortization EXPLAIN ANALYZE reports."""
+        with self._statistics_lock:
+            self._bump("tasks_shipped", tasks)
+            self._bump("cells_solved", cells)
+
     def alive_workers(self) -> int:
         """How many worker processes are currently alive (0 when not started
         or in thread/serial mode, where there is nothing to strand)."""
@@ -652,14 +749,23 @@ class WorkerPool:
 
         Returns ``(lower, upper, closed)`` endpoint triples.  Process mode
         routes each key to its affinity worker and ships the program only if
-        that worker does not hold it warm.
+        that worker does not hold it warm.  With batching enabled the solves
+        run through the batched kernel (``solve_batch`` tasks in process
+        mode) — same results, one skeleton lookup per program.
         """
+        batched = batching_enabled()
+        request = (aggregate, known_sum, known_count)
+
         def run_one(pair):
             key, program = pair
-            result = program.bound(aggregate, known_sum=known_sum,
-                                   known_count=known_count)
+            if batched:
+                result = program.bound_batch([request])[0]
+            else:
+                result = program.bound(aggregate, known_sum=known_sum,
+                                       known_count=known_count)
             return (result.lower, result.upper, result.closed)
 
+        self._record_batch_traffic(len(keyed_programs), len(keyed_programs))
         if self._inline() or len(keyed_programs) <= 1:
             tracer = get_tracer()
             results = []
@@ -672,6 +778,13 @@ class WorkerPool:
         if self._mode == "thread":
             return self._thread_map(run_one, list(keyed_programs),
                                     label="pool.solve", shard_attr=True)
+        if batched:
+            requests = [
+                ("solve_batch", key, (key, program, (request,)), position)
+                for position, (key, program) in enumerate(keyed_programs)]
+            results = self._locked_round(requests)
+            return [results[position][0]
+                    for position in range(len(keyed_programs))]
         requests = [
             ("solve", key, (key, program, aggregate, known_sum, known_count),
              position)
@@ -687,13 +800,23 @@ class WorkerPool:
         triples (typically the upper- and lower-search midpoints of one
         iteration).  Returns, per probe, the per-shard
         ``(free_optimum, floor_optimum)`` pairs in shard order.
+
+        With batching enabled, the whole round ships as **one task per
+        shard** (the ``probe_batch`` kind): every probe's coefficient row
+        solves against the shard's warm skeleton in one kernel entry,
+        instead of one task per (probe, shard) pair.
         """
+        if batching_enabled() and probes and keyed_programs:
+            return self._avg_probes_batched(list(keyed_programs),
+                                            [tuple(probe) for probe in probes])
+
         def run_one(item):
             (key, program), (target, at_least, with_floor) = item
             return program.avg_probe_optima(target, at_least=at_least,
                                             with_floor=with_floor)
 
         flat = [(pair, probe) for probe in probes for pair in keyed_programs]
+        self._record_batch_traffic(len(flat), len(flat))
         if self._inline() or len(flat) <= 1:
             outcomes = [run_one(item) for item in flat]
         elif self._mode == "thread":
@@ -709,7 +832,41 @@ class WorkerPool:
         return [outcomes[start:start + width]
                 for start in range(0, len(outcomes), width)]
 
-    def decompose_shards(self, keyed_tasks: Sequence[tuple]) -> list:
+    def _avg_probes_batched(self, keyed_programs: list,
+                            probes: list) -> list[list[tuple]]:
+        """One ``probe_batch`` task per shard for a whole search round."""
+        shards = len(keyed_programs)
+
+        def run_shard(pair):
+            _key, program = pair
+            get_tracer().annotate(cells=len(probes))
+            return program.avg_probe_optima_batch(probes)
+
+        self._record_batch_traffic(shards, shards * len(probes))
+        if self._inline() or shards <= 1:
+            tracer = get_tracer()
+            per_shard = []
+            for position, pair in enumerate(keyed_programs):
+                with tracer.span("pool.probe_batch"):
+                    if shards > 1:
+                        tracer.annotate(shard=position)
+                    per_shard.append(run_shard(pair))
+        elif self._mode == "thread":
+            per_shard = self._thread_map(run_shard, keyed_programs,
+                                         label="pool.probe_batch",
+                                         shard_attr=True)
+        else:
+            probe_tuple = tuple(probes)
+            requests = [
+                ("probe_batch", key, (key, program, probe_tuple), position)
+                for position, (key, program) in enumerate(keyed_programs)]
+            results = self._locked_round(requests)
+            per_shard = [results[position] for position in range(shards)]
+        return [[per_shard[shard][index] for shard in range(shards)]
+                for index in range(len(probes))]
+
+    def decompose_shards(self, keyed_tasks: Sequence[tuple],
+                         batch_size: int | None = None) -> list:
         """Enumerate every region shard's cells, in order.
 
         ``keyed_tasks`` entries are ``(key, pcset, region, strategy,
@@ -719,6 +876,12 @@ class WorkerPool:
         Returns one :class:`~repro.core.cells.CellDecomposition` per task;
         the caller unions them (:func:`repro.plan.sharding.
         merge_shard_decompositions`).
+
+        In process mode with batching enabled, shards sharing an affinity
+        worker ship as one ``decompose_batch`` task carrying up to
+        ``batch_size`` enumerations (adaptive from pool depth when the
+        caller passes none) — the pipe round-trips shrink while affinity
+        routing and per-shard skew spans stay exactly as before.
         """
         def run_one(task):
             from ..core.cells import CellDecomposer
@@ -729,22 +892,60 @@ class WorkerPool:
             get_tracer().annotate(cells=len(decomposition.cells))
             return decomposition
 
-        if self._inline() or len(keyed_tasks) <= 1:
+        tasks = list(keyed_tasks)
+        if self._inline() or len(tasks) <= 1:
+            self._record_batch_traffic(len(tasks), len(tasks))
             tracer = get_tracer()
             results = []
-            for position, task in enumerate(keyed_tasks):
+            for position, task in enumerate(tasks):
                 with tracer.span("pool.decompose"):
-                    if len(keyed_tasks) > 1:
+                    if len(tasks) > 1:
                         tracer.annotate(shard=position)
                     results.append(run_one(task))
             return results
         if self._mode == "thread":
-            return self._thread_map(run_one, list(keyed_tasks),
+            self._record_batch_traffic(len(tasks), len(tasks))
+            return self._thread_map(run_one, tasks,
                                     label="pool.decompose", shard_attr=True)
+        if batching_enabled():
+            size = batch_size or adaptive_batch_size(len(tasks),
+                                                     self._max_workers)
+            if size > 1:
+                return self._decompose_batched(tasks, size)
+        self._record_batch_traffic(len(tasks), len(tasks))
         requests = [("decompose", task[0], tuple(task), position)
-                    for position, task in enumerate(keyed_tasks)]
+                    for position, task in enumerate(tasks)]
         results = self._locked_round(requests)
-        return [results[position] for position in range(len(keyed_tasks))]
+        return [results[position] for position in range(len(tasks))]
+
+    def _decompose_batched(self, tasks: list, size: int) -> list:
+        """Chunk decompositions per affinity worker into batch tasks.
+
+        Grouping happens *within* each worker's share of the keys, so a
+        batch never drags a shard away from the worker whose cache its key
+        is pinned to.  Each batch's result list scatters back to the global
+        shard order through the recorded position tuples.
+        """
+        groups: dict[int, list[tuple[int, tuple]]] = {}
+        for position, task in enumerate(tasks):
+            groups.setdefault(self.worker_for(task[0]), []).append(
+                (position, tuple(task)))
+        requests = []
+        for _worker_index, members in sorted(groups.items()):
+            for chunk in chunked(members, size):
+                key = chunk[0][1][0]
+                entries = tuple((position,) + task[1:]
+                                for position, task in chunk)
+                positions = tuple(position for position, _ in chunk)
+                requests.append(("decompose_batch", key, (key, entries),
+                                 positions))
+        self._record_batch_traffic(len(requests), len(tasks))
+        collected = self._locked_round(requests)
+        results: list = [None] * len(tasks)
+        for _kind, _key, _args, positions in requests:
+            for position, value in zip(positions, collected[positions]):
+                results[position] = value
+        return results
 
     def speculative_capacity(self, base_tasks: int) -> bool:
         """Whether the pool can absorb work beyond ``base_tasks`` concurrent
@@ -765,26 +966,71 @@ class WorkerPool:
         worker once, ships cold programs alongside their first query,
         routes by program key so repeated traffic hits warm caches, and
         forwards the parent's resolved adaptive early-stop depth so the
-        worker-side solver computes matching keys.
+        worker-side solver computes matching keys.  With batching enabled,
+        queries sharing a program key (and depth resolution) ship as one
+        ``analyze_batch`` task per chunk.
         """
         self.register_session(session_key, analyzer)
 
         def run_one(entry):
             return analyzer.analyze(entry[2])
 
-        if self._inline() or len(keyed_queries) <= 1:
-            return [run_one(entry) for entry in keyed_queries]
+        entries = list(keyed_queries)
+        if self._inline() or len(entries) <= 1:
+            self._record_batch_traffic(len(entries), len(entries))
+            return [run_one(entry) for entry in entries]
         if self._mode == "thread":
-            return self._thread_map(run_one, list(keyed_queries),
-                                    label="pool.analyze")
+            self._record_batch_traffic(len(entries), len(entries))
+            return self._thread_map(run_one, entries, label="pool.analyze")
+        if batching_enabled():
+            size = adaptive_batch_size(len(entries), self._max_workers)
+            if size > 1:
+                return self._analyze_batched(session_key, entries, size)
+        self._record_batch_traffic(len(entries), len(entries))
         requests = [
             ("analyze", program_key,
              (session_key, program_key, program, query, resolved_depth),
              position)
             for position, (program_key, program, query, resolved_depth)
-            in enumerate(keyed_queries)]
+            in enumerate(entries)]
         results = self._locked_round(requests)
-        return [results[position] for position in range(len(keyed_queries))]
+        return [results[position] for position in range(len(entries))]
+
+    def _analyze_batched(self, session_key, entries: list, size: int) -> list:
+        """Chunk same-program queries into ``analyze_batch`` tasks.
+
+        Queries group by (program key, resolved depth) — the pair that must
+        agree for one worker-side pin to serve the whole chunk — and the
+        first entry's program rides along for the cold-cache case.
+        """
+        groups: dict[tuple, list[tuple]] = {}
+        order: list[tuple] = []
+        for position, (program_key, program, query,
+                       resolved_depth) in enumerate(entries):
+            group_key = (program_key, resolved_depth)
+            if group_key not in groups:
+                groups[group_key] = []
+                order.append(group_key)
+            groups[group_key].append((position, program, query))
+        requests = []
+        for group_key in order:
+            program_key, resolved_depth = group_key
+            for chunk in chunked(groups[group_key], size):
+                program = next((candidate for _, candidate, _ in chunk
+                                if candidate is not None), None)
+                queries = tuple(query for _, _, query in chunk)
+                positions = tuple(position for position, _, _ in chunk)
+                requests.append(
+                    ("analyze_batch", program_key,
+                     (session_key, program_key, program, queries,
+                      resolved_depth), positions))
+        self._record_batch_traffic(len(requests), len(entries))
+        collected = self._locked_round(requests)
+        results: list = [None] * len(entries)
+        for _kind, _key, _args, positions in requests:
+            for position, value in zip(positions, collected[positions]):
+                results[position] = value
+        return results
 
     # ------------------------------------------------------------------ #
     # Thread-mode plumbing
@@ -907,7 +1153,8 @@ class WorkerPool:
         if root is None:
             return
         root.attributes.setdefault("worker", worker_index)
-        if task.position is not None and task.kind in ("solve", "decompose"):
+        if task.position is not None and task.kind in (
+                "solve", "decompose", "solve_batch", "probe_batch"):
             root.attributes.setdefault("shard", task.position)
 
     def _feed_backlogs(self, backlogs: dict, pending: dict) -> None:
@@ -934,7 +1181,7 @@ class WorkerPool:
         program attached; returns False (caller raises) when there is
         nothing to re-ship or the task keeps failing.
         """
-        if task.kind not in ("solve", "probe"):
+        if task.kind not in ("solve", "probe", "solve_batch", "probe_batch"):
             return False
         key, program = task.args[0], task.args[1]
         if program is None or task.attempts >= _MAX_TASK_ATTEMPTS:
@@ -950,7 +1197,7 @@ class WorkerPool:
         worker = self._workers[worker_index]
         if not worker.alive:
             worker = self._respawn(worker_index, pending)
-        if kind == "analyze":
+        if kind in ("analyze", "analyze_batch"):
             session_key = args[0]
             if session_key not in worker.sessions:
                 self._dispatch("register", (session_key,
@@ -996,9 +1243,22 @@ class WorkerPool:
             shipped = self._maybe_ship(worker, key, program)
             return ("probe", task_id, key, shipped, target, at_least,
                     with_floor)
-        if kind == "decompose":
+        if kind == "solve_batch":
+            key, program, batch_requests = args
+            shipped = self._maybe_ship(worker, key, program)
+            return ("solve_batch", task_id, key, shipped, batch_requests)
+        if kind == "probe_batch":
+            key, program, probe_tuple = args
+            shipped = self._maybe_ship(worker, key, program)
+            return ("probe_batch", task_id, key, shipped, probe_tuple)
+        if kind in ("decompose", "decompose_batch"):
             # Self-contained: no program shipping or warm bookkeeping.
-            return ("decompose", task_id) + args
+            return (kind, task_id) + args
+        if kind == "analyze_batch":
+            session_key, program_key, program, queries, resolved_depth = args
+            shipped = self._maybe_ship(worker, program_key, program)
+            return ("analyze_batch", task_id, session_key, program_key,
+                    shipped, queries, resolved_depth)
         assert kind == "analyze"
         session_key, program_key, program, query, resolved_depth = args
         shipped = self._maybe_ship(worker, program_key, program)

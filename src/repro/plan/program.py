@@ -30,12 +30,15 @@ from __future__ import annotations
 import math
 import threading
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
 from ..exceptions import SolverError
+from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..relational.aggregates import AggregateFunction
+from ..solvers.batching import batching_enabled, forced_batch_size
 from ..solvers.lp import LPSolution, Sense, SolutionStatus
 from ..solvers.milp import CompiledMILP, MILPModel, solve_milp
 from ..solvers.registry import resolve_backend
@@ -54,6 +57,10 @@ _INF = float("inf")
 _FULL = "full"
 _ACTIVE = "active"
 _ACTIVE_FLOOR = "active-floor"
+
+# Batch-size histogram buckets: row counts per kernel entry, not latencies.
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0,
+                       512.0)
 
 
 @dataclass(frozen=True)
@@ -175,6 +182,35 @@ class _Skeleton:
                      for name, value in zip(self._cell_names, cell_coefficients)}
         solution = self._dispatch(objective, sense)
         return solution.status, solution.objective
+
+    def solve_objectives(self, cell_matrix: np.ndarray, sense: Sense
+                         ) -> list[tuple[SolutionStatus, float | None]]:
+        """Optimise every row of ``cell_matrix`` against this skeleton.
+
+        The batched counterpart of :meth:`solve_objective`: one slack
+        padding, one kernel entry.  Backends without compiled arrays (the
+        branch-and-bound / relaxation dispatch path) still batch what they
+        can — the model structure is materialized once for the whole batch
+        and only the objective dict is swapped per row.
+        """
+        cell_matrix = np.asarray(cell_matrix, dtype=float)
+        if cell_matrix.ndim != 2:
+            cell_matrix = cell_matrix.reshape(len(cell_matrix), -1)
+        if self._compiled is not None:
+            if self._slack_items:
+                padding = np.zeros((cell_matrix.shape[0],
+                                    len(self._slack_items)))
+                cell_matrix = np.hstack([cell_matrix, padding])
+            return self._compiled.solve_objectives(cell_matrix, sense)
+        model = self._materialize({}, sense)
+        backend = "greedy" if self._pure_box else self._backend
+        results: list[tuple[SolutionStatus, float | None]] = []
+        for row in cell_matrix:
+            for name, value in zip(self._cell_names, row):
+                model.objective[name] = float(value)
+            solution = solve_milp(model, backend=backend)
+            results.append((solution.status, solution.objective))
+        return results
 
     def solve_solution(self, coefficients: dict[str, float],
                        sense: Sense) -> LPSolution:
@@ -440,6 +476,76 @@ class BoundProgram:
             raise SolverError(f"MILP solve failed with status {status.value}")
         return objective
 
+    def _solve_rows(self, variant: str, rows: list[np.ndarray], sense: Sense
+                    ) -> list[tuple[SolutionStatus, float | None]]:
+        """Batched analogue of :meth:`_solve_value`, minus the status policy.
+
+        One skeleton lookup and one lock acquisition cover the whole batch;
+        the kernel entry is chunked only when ``REPRO_SOLVE_BATCH_SIZE``
+        forces a fixed size (the degenerate size-1 case routes every row
+        through its own kernel entry, pinning batched == per-cell).  Returns
+        raw per-row ``(status, objective)`` pairs so callers can apply
+        either the bound policy (:meth:`_checked_value`) or the probe
+        policy (:meth:`_probe_value`).
+        """
+        count = len(rows)
+        if count == 0:
+            return []
+        get_tracer().add("solver_calls", count)
+        if not self._reuse:
+            profiles = self._profiles if variant == _FULL else self._active
+            return [self._rebuild_objective(
+                variant,
+                {profile.index: float(value)
+                 for profile, value in zip(profiles, row)},
+                sense) for row in rows]
+        skeleton = self._skeleton(variant)
+        if not batching_enabled():
+            return [skeleton.solve_objective(np.asarray(row, dtype=float),
+                                             sense) for row in rows]
+        matrix = np.array(rows, dtype=float)
+        if matrix.ndim != 2:
+            matrix = matrix.reshape(count, -1)
+        histogram = get_registry().histogram("solver.batch_size",
+                                             buckets=_BATCH_SIZE_BUCKETS)
+        limit = forced_batch_size()
+        if limit is None or limit >= count:
+            histogram.observe(count)
+            return skeleton.solve_objectives(matrix, sense)
+        results: list[tuple[SolutionStatus, float | None]] = []
+        for start in range(0, count, limit):
+            chunk = matrix[start:start + limit]
+            histogram.observe(len(chunk))
+            results.extend(skeleton.solve_objectives(chunk, sense))
+        return results
+
+    @staticmethod
+    def _checked_value(status: SolutionStatus, objective: float | None,
+                       sense: Sense) -> float:
+        """:meth:`_solve_value`'s status policy, applied to one batch row."""
+        if status is SolutionStatus.INFEASIBLE:
+            raise SolverError(
+                "the predicate-constraint set is unsatisfiable: no allocation of "
+                "missing rows meets every frequency constraint"
+            )
+        if status is SolutionStatus.UNBOUNDED:
+            return _INF if sense is Sense.MAXIMIZE else -_INF
+        if status is not SolutionStatus.OPTIMAL or objective is None:
+            raise SolverError(f"MILP solve failed with status {status.value}")
+        return objective
+
+    @staticmethod
+    def _probe_value(status: SolutionStatus, objective: float | None,
+                     sense: Sense) -> float | None:
+        """:meth:`avg_probe_optima`'s policy: infeasible/failed probes map
+        to None (the serial search's ``SolverError`` catch), unbounded to
+        the signed infinity :meth:`_solve_value` would return."""
+        if status is SolutionStatus.UNBOUNDED:
+            return _INF if sense is Sense.MAXIMIZE else -_INF
+        if status is not SolutionStatus.OPTIMAL or objective is None:
+            return None
+        return objective
+
     def solve_for_explanation(self, coefficients: dict[int, float]
                               ) -> LPSolution:
         """Maximise over the full skeleton, returning per-cell allocations."""
@@ -467,6 +573,105 @@ class BoundProgram:
         if aggregate is AggregateFunction.MIN:
             return self._bound_min()
         raise SolverError(f"unsupported aggregate {aggregate!r}")  # pragma: no cover
+
+    def bound_batch(self, requests: list[tuple]) -> list[ResultRange]:
+        """Answer ``(aggregate, known_sum, known_count)`` requests as a batch.
+
+        The COUNT/SUM one-shot solves across the whole request list are
+        grouped by (skeleton variant, sense) and solved through single
+        kernel entries — one :meth:`_skeleton` lookup and one lock
+        acquisition per group — instead of one solver invocation per
+        objective.  MIN/MAX read compiled extrema (no solver calls) and
+        AVG runs its serial binary search (its batching lever is the
+        cross-shard probe batch, :meth:`avg_probe_optima_batch`).  Results
+        are bit-identical to calling :meth:`bound` per request: the edge
+        cases, coefficient vectors and status policy are the serial
+        methods' own, only the solver entry count changes.
+        """
+        descriptors: list[tuple[str, np.ndarray, Sense]] = []
+
+        def enqueue(variant: str, coefficients: np.ndarray,
+                    sense: Sense) -> int:
+            descriptors.append((variant, coefficients, sense))
+            return len(descriptors) - 1
+
+        builders: list = []
+        for aggregate, known_sum, known_count in requests:
+            if aggregate is AggregateFunction.MAX:
+                builders.append(self._bound_max())
+            elif aggregate is AggregateFunction.MIN:
+                builders.append(self._bound_min())
+            elif aggregate is AggregateFunction.AVG:
+                builders.append(self._bound_avg(known_sum, known_count))
+            elif aggregate is AggregateFunction.COUNT:
+                if not self._profiles:
+                    builders.append(self._range(0.0, 0.0,
+                                                AggregateFunction.COUNT))
+                    continue
+                ones = np.ones(len(self._profiles))
+                upper_slot = enqueue(_FULL, ones, Sense.MAXIMIZE)
+                lower_slot = (enqueue(_FULL, ones, Sense.MINIMIZE)
+                              if self._pcset.has_mandatory_rows() else None)
+
+                def build_count(solved, upper_slot=upper_slot,
+                                lower_slot=lower_slot):
+                    lower = 0.0 if lower_slot is None else solved[lower_slot]
+                    return self._range(lower, solved[upper_slot],
+                                       AggregateFunction.COUNT)
+
+                builders.append(build_count)
+            elif aggregate is AggregateFunction.SUM:
+                if not self._profiles:
+                    builders.append(self._range(0.0, 0.0, AggregateFunction.SUM,
+                                                self._attribute))
+                    continue
+                # Mirrors _bound_sum/_sum_direction: the infinite-value fast
+                # paths replace a solve, everything else enqueues one row.
+                if any(math.isinf(p.value_upper) and p.value_upper > 0
+                       for p in self._active):
+                    upper_slot, upper_const = None, _INF
+                else:
+                    upper_slot = enqueue(_FULL, self._full_uppers,
+                                         Sense.MAXIMIZE)
+                    upper_const = None
+                mandatory = self._pcset.has_mandatory_rows()
+                non_negative = all(profile.value_lower >= 0
+                                   for profile in self._profiles)
+                if not mandatory and non_negative:
+                    lower_slot, lower_const = None, 0.0
+                elif any(math.isinf(p.value_lower) and p.value_lower < 0
+                         for p in self._active):
+                    lower_slot, lower_const = None, -_INF
+                else:
+                    lower_slot = enqueue(_FULL, self._full_lowers,
+                                         Sense.MINIMIZE)
+                    lower_const = None
+
+                def build_sum(solved, upper_slot=upper_slot,
+                              upper_const=upper_const, lower_slot=lower_slot,
+                              lower_const=lower_const):
+                    upper = (upper_const if upper_slot is None
+                             else solved[upper_slot])
+                    lower = (lower_const if lower_slot is None
+                             else solved[lower_slot])
+                    return self._range(lower, upper, AggregateFunction.SUM,
+                                       self._attribute)
+
+                builders.append(build_sum)
+            else:  # pragma: no cover - bound() rejects these first
+                raise SolverError(f"unsupported aggregate {aggregate!r}")
+
+        solved: dict[int, float] = {}
+        groups: dict[tuple[str, Sense], list[int]] = {}
+        for index, (variant, _coefficients, sense) in enumerate(descriptors):
+            groups.setdefault((variant, sense), []).append(index)
+        for (variant, sense), members in groups.items():
+            outcomes = self._solve_rows(
+                variant, [descriptors[index][1] for index in members], sense)
+            for member, (status, objective) in zip(members, outcomes):
+                solved[member] = self._checked_value(status, objective, sense)
+        return [builder if isinstance(builder, ResultRange)
+                else builder(solved) for builder in builders]
 
     def _range(self, lower: float | None, upper: float | None,
                aggregate: AggregateFunction,
@@ -649,6 +854,42 @@ class BoundProgram:
             except SolverError:
                 floor = None
         return free, floor
+
+    def avg_probe_optima_batch(self, probes: Sequence[tuple]
+                               ) -> list[tuple[float | None, float | None]]:
+        """Batched :meth:`avg_probe_optima`: all probes, few kernel entries.
+
+        ``probes`` is a sequence of ``(target, at_least, with_floor)``
+        triples — one cross-shard search iteration's parent midpoints plus
+        both speculative children travel together.  Rows are grouped by
+        (skeleton variant, sense), so the whole probe set costs at most
+        four kernel entries (one :meth:`_skeleton` lookup and one lock
+        acquisition each) instead of up to two solver invocations per
+        probe.  Per-probe results match :meth:`avg_probe_optima` exactly:
+        infeasible rows come back None, unbounded rows as signed infinity.
+        """
+        results: list[list[float | None]] = [[None, None] for _ in probes]
+        rows: dict[tuple[str, Sense], list[np.ndarray]] = {}
+        slots: dict[tuple[str, Sense], list[tuple[int, int]]] = {}
+        for position, (target, at_least, with_floor) in enumerate(probes):
+            values = self._active_uppers if at_least else self._active_lowers
+            coefficients = values - target
+            sense = Sense.MAXIMIZE if at_least else Sense.MINIMIZE
+            group = (_ACTIVE, sense)
+            rows.setdefault(group, []).append(coefficients)
+            slots.setdefault(group, []).append((position, 0))
+            if with_floor and self._active:
+                group = (_ACTIVE_FLOOR, sense)
+                rows.setdefault(group, []).append(coefficients)
+                slots.setdefault(group, []).append((position, 1))
+        for group, group_rows in rows.items():
+            variant, sense = group
+            outcomes = self._solve_rows(variant, group_rows, sense)
+            for (position, slot), (status, objective) in zip(slots[group],
+                                                             outcomes):
+                results[position][slot] = self._probe_value(status, objective,
+                                                            sense)
+        return [(free, floor) for free, floor in results]
 
     def _average_achievable(self, known_sum: float, known_count: float,
                             target: float, at_least: bool) -> bool:

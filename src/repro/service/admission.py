@@ -39,8 +39,9 @@ from ..obs.trace import get_tracer
 from ..plan.passes import ObservedCellStatistics, estimated_cell_count
 from ..relational.aggregates import AggregateFunction
 
-__all__ = ["QueryCost", "price_query", "AdmissionPolicy",
-           "AdmissionStatistics", "AdmissionTicket", "AdmissionController"]
+__all__ = ["QueryCost", "price_query", "admissible_cell_budget",
+           "AdmissionPolicy", "AdmissionStatistics", "AdmissionTicket",
+           "AdmissionController"]
 
 #: Registry counter names, precomputed so the mutation hot path never
 #: formats strings (mirrors the worker pool's ``_POOL_METRICS`` idiom).
@@ -155,6 +156,32 @@ def price_query(solver, query, *, pool_statistics=None,
                      strategy=strategy,
                      program_warm=warm,
                      pool_warm_hit_rate=warm_hit_rate)
+
+
+def admissible_cell_budget(cost: QueryCost, budget: float) -> int:
+    """The largest estimated-cell count that would clear ``budget``.
+
+    Inverts :func:`price_query` for a query with ``cost``'s shape (same
+    aggregate, constraint count, sharded layout and warmth): the price is
+    linear in the estimated cells, so solving ``price(cells) <= budget``
+    for ``cells`` gives rejected callers a concrete downscoping target —
+    "tighten your region below this many estimated cells and the query
+    fits" — instead of an opaque unit total.
+    """
+    shard_count = max(1, cost.shard_count)
+    cells = max(1, cost.estimated_cells)
+    discount = 0.0
+    if not cost.program_warm:
+        discount = (1.0 - 0.5 * cost.pool_warm_hit_rate) / shard_count
+    # Recover the probe multiplier from the priced total — the only term
+    # price_query derives from options rather than recording on the cost.
+    build = (cells + cost.constraint_count) * discount
+    probes = max((cost.units - build) * shard_count / cells, 1.0)
+    per_cell = probes / shard_count + discount
+    base = cost.constraint_count * discount
+    if budget <= base:
+        return 0
+    return max(0, int((budget - base) / per_cell))
 
 
 @dataclass
@@ -302,11 +329,14 @@ class AdmissionController:
             budget = policy.max_query_cost if enforce_budget else None
             if budget is not None and cost.units > budget:
                 self._bump("rejected_over_budget")
+                fitting = admissible_cell_budget(cost, budget)
                 raise QueryRejectedError(
                     f"query rejected before any solve was dispatched: "
                     f"{cost.describe()} exceeds the per-query budget of "
-                    f"{budget:.1f} unit(s)",
-                    cost=cost.units, limit=budget, reason="over-budget")
+                    f"{budget:.1f} unit(s); a same-shaped query of at most "
+                    f"~{fitting} estimated cell(s) would fit",
+                    cost=cost.units, limit=budget, reason="over-budget",
+                    cell_budget=fitting)
             capacity = policy.capacity
             if capacity is not None and not self._fits(cost.units, capacity):
                 if self._pending >= policy.max_pending:
@@ -354,11 +384,14 @@ class AdmissionController:
                     with self._condition:
                         self._bump("priced")
                         self._bump("rejected_over_budget")
+                    fitting = admissible_cell_budget(cost, budget)
                     raise QueryRejectedError(
                         f"batch rejected before any solve was dispatched: "
                         f"{cost.describe()} exceeds the per-query budget of "
-                        f"{budget:.1f} unit(s)",
-                        cost=cost.units, limit=budget, reason="over-budget")
+                        f"{budget:.1f} unit(s); a same-shaped query of at "
+                        f"most ~{fitting} estimated cell(s) would fit",
+                        cost=cost.units, limit=budget, reason="over-budget",
+                        cell_budget=fitting)
         total = sum(cost.units for cost in costs)
         combined = QueryCost(units=total, aggregate="batch",
                              constraint_count=max((c.constraint_count

@@ -325,6 +325,7 @@ class BatchExecutor:
         statistics.pool_statistics = {
             name: after.as_dict()[name] - before.as_dict()[name]
             for name in ("tasks_dispatched", "programs_shipped", "warm_hits",
-                         "sessions_shipped", "worker_restarts")
+                         "sessions_shipped", "worker_restarts",
+                         "tasks_shipped", "cells_solved")
         }
         return BatchResult(reports, statistics)

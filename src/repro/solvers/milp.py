@@ -431,6 +431,50 @@ class CompiledMILP:
         solution = self._solve_scipy(c, sense)
         return solution.status, solution.objective
 
+    def solve_objectives(self, C: np.ndarray, sense: Sense
+                         ) -> list[tuple[SolutionStatus, float | None]]:
+        """Optimise every row of ``C`` over the compiled feasible region.
+
+        The multi-solve kernel: one entry amortises the per-call floor of
+        :meth:`solve_objective` across a whole batch of objective rows.  The
+        constraint matrix, box bounds and integrality arrays are fixed at
+        compile time (multi-RHS style), so only the objective vector varies
+        per row.  Pure box problems vectorise the greedy endpoint selection
+        across the entire batch in one ``np.where``; coupled problems
+        re-enter HiGHS per row against the shared prebuilt arrays.
+
+        Results are bit-identical to calling :meth:`solve_objective` row by
+        row: the greedy path selects (never recomputes) endpoint values and
+        evaluates each row's objective with the same 1-D ``np.dot`` the
+        scalar path uses, and the scipy path is the same library call per
+        row by construction.
+        """
+        C = np.asarray(C, dtype=float)
+        if C.ndim != 2:
+            raise SolverError(
+                f"solve_objectives expects a 2-D coefficient matrix, "
+                f"got shape {C.shape}")
+        rows = C.shape[0]
+        if not self._names:
+            return [(SolutionStatus.OPTIMAL, 0.0)] * rows
+        if self.is_pure_box_problem:
+            take_upper = C > 0 if sense is Sense.MAXIMIZE else C < 0
+            chosen = np.where(take_upper, self._greedy_upper, self._greedy_lower)
+            unbounded = (np.isinf(chosen) & (C != 0)).any(axis=1)
+            results: list[tuple[SolutionStatus, float | None]] = []
+            for row in range(rows):
+                if unbounded[row]:
+                    results.append((SolutionStatus.UNBOUNDED, None))
+                else:
+                    results.append((SolutionStatus.OPTIMAL,
+                                    float(np.dot(C[row], chosen[row]))))
+            return results
+        batch: list[tuple[SolutionStatus, float | None]] = []
+        for row in range(rows):
+            solution = self._solve_scipy(C[row], sense)
+            batch.append((solution.status, solution.objective))
+        return batch
+
     def solve(self, c: np.ndarray, sense: Sense) -> LPSolution:
         """Optimise ``c . x`` and return the full per-variable solution."""
         if not self._names:

@@ -340,3 +340,139 @@ def test_sharded_verified_combination_is_sound():
                                     query.region)
         assert_same_range(serial_range, combined_range, query,
                           "sharded+verified vs serial")
+
+
+# --------------------------------------------------------------------- #
+# Batched multi-solve kernel equivalence (PR 7)
+# --------------------------------------------------------------------- #
+def _random_compiled_milp(rng, *, pure_box: bool):
+    """A random compiled skeleton shaped like the cell-allocation programs."""
+    from repro.solvers.milp import CompiledMILP, MILPModel
+
+    model = MILPModel()
+    count = int(rng.integers(2, 7))
+    for index in range(count):
+        model.add_variable(f"x{index}", 0, float(rng.integers(1, 9)),
+                           objective=0.0, is_integer=True)
+    if not pure_box:
+        for _ in range(int(rng.integers(1, 4))):
+            members = rng.choice(count, size=max(2, count // 2), replace=False)
+            model.add_constraint({f"x{int(m)}": 1.0 for m in members},
+                                 upper=float(rng.integers(2, 12)))
+    return CompiledMILP(model), count
+
+
+@pytest.mark.parametrize("seed", [31, 32])
+@pytest.mark.parametrize("pure_box", [True, False])
+def test_solve_objectives_matches_row_by_row(seed, pure_box):
+    """The kernel contract: one matrix call == the per-row scalar calls.
+
+    Bit-identical, not approximately equal: the batched path must use the
+    same endpoint selection and the same dot-product summation order as
+    ``solve_objective``, on both the vectorized-greedy (pure box) and the
+    prebuilt-scipy (constrained) paths.
+    """
+    from repro.solvers.lp import Sense
+
+    rng = np.random.default_rng(seed)
+    compiled, count = _random_compiled_milp(rng, pure_box=pure_box)
+    matrix = rng.normal(0.0, 5.0, size=(7, count))
+    matrix[0] = 0.0  # the all-zero objective row
+    for sense in (Sense.MAXIMIZE, Sense.MINIMIZE):
+        batch = compiled.solve_objectives(matrix, sense)
+        assert len(batch) == matrix.shape[0]
+        for row, (status, value) in enumerate(batch):
+            want_status, want_value = compiled.solve_objective(
+                matrix[row], sense)
+            assert status is want_status, (sense, row)
+            assert value == want_value, (sense, row, value, want_value)
+
+
+@pytest.mark.parametrize("backend", ["scipy", "branch-and-bound",
+                                     "relaxation"])
+def test_bound_batch_matches_per_request_across_backends(backend):
+    """``bound_batch`` == per-request ``bound`` on every backend's path.
+
+    scipy exercises the compiled multi-RHS kernel, branch-and-bound and
+    relaxation the materialize-once dispatch loop — all three must be
+    endpoint-identical to the per-cell path on all five aggregates.
+    """
+    _, _, _, pcset, _ = scenario(606, "mandatory")
+    solver = PCBoundSolver(pcset, BoundOptions(milp_backend=backend))
+    program = solver.program(None, "v")
+    requests = [(aggregate, 0.0, 0) for aggregate, _ in AGGREGATES]
+    requests.append((AggregateFunction.AVG, 42.0, 11))
+    batch = program.bound_batch(requests)
+    for (aggregate, known_sum, known_count), got in zip(requests, batch):
+        want = program.bound(aggregate, known_sum=known_sum,
+                             known_count=known_count)
+        assert (got.lower, got.upper, got.closed) == \
+            (want.lower, want.upper, want.closed), (backend, aggregate)
+
+
+@pytest.mark.parametrize("seed", [515, 616])
+@pytest.mark.parametrize("kind", ["disjoint", "overlapping", "mandatory"])
+def test_batched_solves_identical_to_unbatched(seed, kind, monkeypatch):
+    """REPRO_SOLVE_BATCH on vs off: endpoint-identical on serial + sharded.
+
+    The batched kernel's hard constraint — flipping the toggle (or forcing
+    the degenerate one-cell batches) must never move an endpoint, for all
+    five aggregates, on the serial and thread-sharded paths alike.
+    """
+    _, _, missing, pcset, queries = scenario(seed, kind)
+
+    def ranges(env):
+        for name, value in env.items():
+            if value is None:
+                monkeypatch.delenv(name, raising=False)
+            else:
+                monkeypatch.setenv(name, value)
+        results = []
+        for options in (BoundOptions(), BoundOptions(solve_workers=3)):
+            solver = PCBoundSolver(pcset, options)
+            for query in queries:
+                result = solver.bound(query.aggregate, query.attribute,
+                                      query.region)
+                results.append((result.lower, result.upper, result.closed))
+        return results
+
+    baseline = ranges({"REPRO_SOLVE_BATCH": "0", "REPRO_SOLVE_BATCH_SIZE": None})
+    batched = ranges({"REPRO_SOLVE_BATCH": "1", "REPRO_SOLVE_BATCH_SIZE": None})
+    degenerate = ranges({"REPRO_SOLVE_BATCH": "1",
+                         "REPRO_SOLVE_BATCH_SIZE": "1"})
+    assert batched == baseline
+    assert degenerate == baseline
+
+
+def test_batched_process_pool_matches_serial(monkeypatch):
+    """Batched task kinds through real process workers == serial ranges.
+
+    Covers solve_batch (sharded COUNT/SUM/MIN/MAX), probe_batch (the
+    cross-shard AVG search) and the batched region decomposition, against
+    the unbatched serial baseline on the same constraint set.
+    """
+    from repro.parallel.pool import WorkerPool
+
+    _, _, missing, pcset, queries = scenario(505, "mandatory")
+    monkeypatch.setenv("REPRO_SOLVE_BATCH", "0")
+    serial = PCBoundSolver(pcset, BoundOptions())
+    baseline = {}
+    for query in queries:
+        result = serial.bound(query.aggregate, query.attribute, query.region)
+        baseline[id(query)] = result
+        truth = query.ground_truth(missing)
+        assert_contains(result, truth, query, "serial baseline")
+    monkeypatch.setenv("REPRO_SOLVE_BATCH", "1")
+    with WorkerPool(max_workers=3, mode="process", name="batch-test") as pool:
+        sharded = PCBoundSolver(pcset, BoundOptions(solve_workers=3),
+                                worker_pool=pool)
+        for query in queries:
+            pooled = sharded.bound(query.aggregate, query.attribute,
+                                   query.region)
+            assert_same_range(baseline[id(query)], pooled, query,
+                              "batched process pool vs serial")
+        avg = ContingencyQuery.avg("v", None)
+        pooled = sharded.bound(AggregateFunction.AVG, "v", None)
+        assert_same_range(serial.bound(AggregateFunction.AVG, "v", None),
+                          pooled, avg, "batched process AVG vs serial")
+        assert pool.statistics.cells_solved >= pool.statistics.tasks_shipped
