@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import re
 import sys
 from pathlib import Path
@@ -228,6 +229,10 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
                             "adaptive from pool depth and observed cell "
                             "density; REPRO_SOLVE_BATCH_SIZE overrides, "
                             "REPRO_SOLVE_BATCH=0 disables batching)")
+    group.add_argument("--steal", default=None, choices=["on", "off"],
+                       help="work stealing in the worker pool: idle workers "
+                            "take queued tasks from loaded peers under skew "
+                            "(default: on; equivalent to REPRO_STEAL)")
 
 
 def _solver_options(args: argparse.Namespace):
@@ -256,6 +261,13 @@ def _solver_options(args: argparse.Namespace):
         if args.solve_batch_size < 1:
             raise ReproError("--solve-batch-size must be at least 1")
         options.solve_batch_size = args.solve_batch_size
+    if args.steal is not None:
+        # Stealing is a pool scheduling knob, not a solver option — the
+        # environment steers every pool this process creates, matching
+        # how REPRO_STEAL behaves for library callers.
+        from .parallel.stealing import STEAL_ENV
+
+        os.environ[STEAL_ENV] = "1" if args.steal == "on" else "0"
     return options
 
 

@@ -2,9 +2,10 @@
 
 A :class:`QueryProfile` is the user-facing form of one query's trace: the
 span tree with wall-times, attribute tallies (solver calls, cache verdicts,
-per-shard counts) and derived aggregates — total solver calls and the
-max/mean *shard-time skew ratio*, the signal ROADMAP item 2's skew-aware
-scheduling will consume.
+per-shard counts) and derived aggregates — total solver calls, the max/mean
+*shard-time* and *shard-cell* skew ratios the skew-aware scheduler flattens
+(``shard_cell_skew`` is the number feedback resharding optimizes), and the
+count of pool tasks work stealing re-routed (``stolen_tasks``).
 
 Profiles are plain data: ``render()`` gives the indented terminal tree
 (``bound --profile``), ``to_dict``/``export_json`` give the machine-readable
@@ -216,7 +217,13 @@ class QueryProfile:
 
     def shard_cell_skew(self) -> float | None:
         """max/mean per-shard cells-solved ratio (>= 1.0), the load-balance
-        twin of :meth:`shard_skew` in work units instead of wall time."""
+        twin of :meth:`shard_skew` in work units instead of wall time.
+
+        This is the number the skew-aware scheduler optimizes: feedback
+        resharding moves region cut points to flatten it across requests,
+        and the PR8 benchmark asserts it drops once observed loads feed
+        back into cut placement.
+        """
         cells = self.shard_cells()
         if not cells:
             return None
@@ -224,6 +231,22 @@ class QueryProfile:
         if mean <= 0:
             return 1.0
         return max(cells) / mean
+
+    def shard_cell_loads(self) -> dict[Any, float]:
+        """Cells solved per shard id — the raw per-shard load map behind
+        :meth:`shard_cell_skew`, for tooling that wants to see *which*
+        shard ran hot rather than just how unbalanced the run was."""
+        return {shard: entry[1]
+                for shard, entry in self._shard_totals().items()}
+
+    def stolen_tasks(self) -> int:
+        """How many pool task spans ran on a stolen (re-routed) worker.
+
+        The pool tags a task's root span with ``stolen=True`` when work
+        stealing moved it off its affinity worker; the count measures how
+        much elastic re-balancing one query needed."""
+        return sum(1 for node in self.root.walk()
+                   if node.attributes.get("stolen"))
 
     def batch_counts(self) -> dict[str, float]:
         """How much pool traffic ran batched: ``batched_tasks`` pool entries
@@ -274,6 +297,9 @@ class QueryProfile:
         if batches["batched_tasks"]:
             summary += (f", batched {batches['batched_cells']:.0f} cell(s) "
                         f"in {batches['batched_tasks']:.0f} task(s)")
+        stolen = self.stolen_tasks()
+        if stolen:
+            summary += f", stolen {stolen} task(s)"
         lines.append(summary)
         return "\n".join(lines)
 
@@ -293,6 +319,7 @@ class QueryProfile:
             "shard_cells": sum(self.shard_cells()),
             "batched_tasks": batches["batched_tasks"],
             "batched_cells": batches["batched_cells"],
+            "stolen_tasks": self.stolen_tasks(),
             "tree": self.root.to_dict(),
         }
 

@@ -60,6 +60,7 @@ from ..obs.trace import get_tracer
 from ..relational.aggregates import AggregateFunction
 from ..solvers.batching import adaptive_batch_size, batching_enabled, chunked
 from ..solvers.registry import backend_capabilities
+from .stealing import resolve_stealing
 
 __all__ = ["WorkerPool", "PoolStatistics", "shared_pool",
            "shutdown_shared_pools", "default_pool_mode", "default_pool_workers",
@@ -427,6 +428,8 @@ class PoolStatistics:
     worker_restarts: int = 0
     tasks_shipped: int = 0
     cells_solved: int = 0
+    tasks_stolen: int = 0
+    batches_split: int = 0
 
     @property
     def warm_hit_rate(self) -> float:
@@ -455,13 +458,16 @@ class PoolStatistics:
             "tasks_shipped": self.tasks_shipped,
             "cells_solved": self.cells_solved,
             "cells_per_task": self.cells_per_task,
+            "tasks_stolen": self.tasks_stolen,
+            "batches_split": self.batches_split,
         }
 
     def snapshot(self) -> "PoolStatistics":
         return PoolStatistics(self.rounds, self.tasks_dispatched,
                               self.programs_shipped, self.warm_hits,
                               self.sessions_shipped, self.worker_restarts,
-                              self.tasks_shipped, self.cells_solved)
+                              self.tasks_shipped, self.cells_solved,
+                              self.tasks_stolen, self.batches_split)
 
 
 #: Registry counter names, precomputed so publishing never formats strings.
@@ -469,7 +475,8 @@ _POOL_METRICS = {field: f"pool.{field}"
                  for field in ("rounds", "tasks_dispatched",
                                "programs_shipped", "warm_hits",
                                "sessions_shipped", "worker_restarts",
-                               "tasks_shipped", "cells_solved")}
+                               "tasks_shipped", "cells_solved",
+                               "tasks_stolen", "batches_split")}
 
 
 class _ProcessWorker:
@@ -506,11 +513,12 @@ class _ProcessWorker:
 class _PendingTask:
     """Everything needed to re-dispatch a task if its worker dies."""
 
-    position: int | None
+    position: int | tuple | None
     kind: str
     args: tuple
     worker_index: int
     attempts: int = 1
+    stolen: bool = False
 
 
 _MAX_TASK_ATTEMPTS = 3
@@ -520,6 +528,23 @@ _MAX_TASK_ATTEMPTS = 3
 #: socketpair buffer, which is what makes arbitrarily large rounds
 #: deadlock-free — see :meth:`WorkerPool._run_round`.
 _MAX_IN_FLIGHT_PER_WORKER = 16
+
+#: Cap on a worker's parent-side backlog deque.  Tasks beyond it land on the
+#: round's shared overflow queue, which feeds whichever worker drains first —
+#: so a round that concentrates on one affinity worker cannot park its whole
+#: tail behind that worker while the rest of the pool idles.
+_BACKLOG_LIMIT = 4 * _MAX_IN_FLIGHT_PER_WORKER
+
+#: Task kinds stealing may re-route.  The decompose kinds are fully
+#: self-contained (no program shipping), and the program-addressed kinds
+#: re-ship through the ordinary warm-key bookkeeping; the analyze kinds stay
+#: pinned because moving them drags a whole session registration along.
+_STEALABLE_KINDS = ("decompose", "decompose_batch", "solve", "probe",
+                    "solve_batch", "probe_batch")
+
+#: Of those, the kinds that carry no program at all — the cheapest steals,
+#: preferred by victim-side selection so warm caches stay warm.
+_SELF_CONTAINED_KINDS = ("decompose", "decompose_batch")
 
 
 class WorkerPool:
@@ -540,6 +565,11 @@ class WorkerPool:
         process-safety fallback.
     name:
         Label for diagnostics.
+    steal:
+        Whether idle workers steal queued tasks from loaded peers (see
+        :mod:`repro.parallel.stealing`).  ``None`` (default) follows the
+        ``REPRO_STEAL`` environment switch, which also overrides an
+        explicit setting so one variable steers a whole process.
 
     The pool starts lazily on first use, restarts lazily after
     :meth:`shutdown`, and is safe to share across threads (process-mode
@@ -547,7 +577,8 @@ class WorkerPool:
     """
 
     def __init__(self, max_workers: int | None = None, mode: str = "auto",
-                 backend: str | None = None, name: str = "worker-pool"):
+                 backend: str | None = None, name: str = "worker-pool",
+                 steal: bool | None = None):
         if mode not in _MODES:
             raise SolverError(
                 f"unknown pool mode {mode!r}; expected one of {_MODES}")
@@ -566,6 +597,8 @@ class WorkerPool:
         self._mode = mode
         self._backend = backend
         self._name = name
+        self._steal = steal
+        self._live_tasks = 0
         self._round_lock = threading.RLock()
         self._affinity_lock = threading.Lock()
         self._statistics_lock = threading.Lock()
@@ -600,6 +633,24 @@ class WorkerPool:
     @property
     def statistics(self) -> PoolStatistics:
         return self._statistics
+
+    @property
+    def stealing(self) -> bool:
+        """Whether this pool's rounds re-route queued tasks to idle workers
+        (the resolved switch: ``REPRO_STEAL`` over the constructor flag)."""
+        return resolve_stealing(self._steal)
+
+    @property
+    def live_tasks(self) -> int:
+        """Work items currently executing or dispatched across every entry
+        point (process rounds and thread fan-outs alike) — the live-load
+        signal :meth:`speculative_capacity` gates on."""
+        with self._statistics_lock:
+            return self._live_tasks
+
+    def _note_live(self, delta: int) -> None:
+        with self._statistics_lock:
+            self._live_tasks += delta
 
     def _bump(self, field: str, amount: int = 1) -> None:
         """Advance one pool counter: the dataclass view (the historical
@@ -651,6 +702,20 @@ class WorkerPool:
                 self._assigned[index] += 1
             return index
 
+    def retire_affinity(self, key) -> None:
+        """Forget ``key``'s sticky placement and return its load credit.
+
+        Callers that evict a program (or close a session) retire its key so
+        the balanced-on-first-sight counters keep tracking *live* keys —
+        without retirement the counters only ever grow, and a worker that
+        once hosted a burst of short-lived keys looks permanently loaded.
+        Unknown keys are ignored (retirement is advisory bookkeeping).
+        """
+        with self._affinity_lock:
+            index = self._affinity.pop(key, None)
+            if index is not None and self._assigned[index] > 0:
+                self._assigned[index] -= 1
+
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
@@ -672,8 +737,19 @@ class WorkerPool:
                 self._executor = None
 
     def restart(self) -> None:
-        """Bounce the pool: fresh workers, cold caches, same affinity map."""
+        """Bounce the pool: fresh workers, cold caches, same sticky map —
+        but *reset* load counters.
+
+        The sticky map survives so a key keeps landing on the same index
+        (re-warming is cheapest where the key always lived), but the
+        cumulative assignment counters describe the dead incarnation's
+        history, not the fresh workers' load: carrying them over would skew
+        balanced-on-first-sight placement for every key seen after the
+        bounce toward whichever workers happened to be idle *before* it.
+        """
         self.shutdown()
+        with self._affinity_lock:
+            self._assigned = [0] * self._max_workers
         self.start()
 
     def __enter__(self) -> "WorkerPool":
@@ -941,9 +1017,13 @@ class WorkerPool:
                                  positions))
         self._record_batch_traffic(len(requests), len(tasks))
         collected = self._locked_round(requests)
+        # Scatter through the *collected* position tuples, not the request
+        # list: work stealing may have split a queued batch mid-round, so
+        # results can come back under finer-grained position tuples than
+        # were dispatched.
         results: list = [None] * len(tasks)
-        for _kind, _key, _args, positions in requests:
-            for position, value in zip(positions, collected[positions]):
+        for positions, values in collected.items():
+            for position, value in zip(positions, values):
                 results[position] = value
         return results
 
@@ -951,10 +1031,16 @@ class WorkerPool:
         """Whether the pool can absorb work beyond ``base_tasks`` concurrent
         tasks — the gate for speculative AVG probing, which trades redundant
         solves for halved search round-trips only when workers would
-        otherwise idle."""
+        otherwise idle.
+
+        Gated on *live* idle capacity, not just pool width: tasks already in
+        flight from concurrent queries occupy workers, and speculating into
+        a busy pool adds redundant solves to the shared critical path
+        instead of filling idle slots.
+        """
         if self._mode == "serial" or in_worker() or in_pool_thread():
             return False
-        return self._max_workers > base_tasks
+        return self._max_workers - self.live_tasks > base_tasks
 
     def analyze(self, session_key, analyzer,
                 keyed_queries: Sequence[tuple]) -> list:
@@ -1027,8 +1113,8 @@ class WorkerPool:
         self._record_batch_traffic(len(requests), len(entries))
         collected = self._locked_round(requests)
         results: list = [None] * len(entries)
-        for _kind, _key, _args, positions in requests:
-            for position, value in zip(positions, collected[positions]):
+        for positions, values in collected.items():
+            for position, value in zip(positions, values):
                 results[position] = value
         return results
 
@@ -1071,7 +1157,11 @@ class WorkerPool:
             finally:
                 _POOL_THREAD.active = False
 
-        return list(executor.map(guarded, enumerate(items)))
+        self._note_live(len(items))
+        try:
+            return list(executor.map(guarded, enumerate(items)))
+        finally:
+            self._note_live(-len(items))
 
     # ------------------------------------------------------------------ #
     # Process-mode dispatch/collect with restart-on-death
@@ -1100,44 +1190,53 @@ class WorkerPool:
         buffer, and both sides are alive so no recovery ever fires.
         """
         self._bump("rounds")
+        steal = self.stealing
         pending: dict[int, _PendingTask] = {}
         backlogs: dict[int, deque] = {}
+        overflow: deque = deque()
         for kind, key, args, position in requests:
-            backlogs.setdefault(self.worker_for(key), deque()).append(
-                (kind, args, position))
-        collected: dict[int, object] = {}
-        while pending or any(backlogs.values()):
-            self._feed_backlogs(backlogs, pending)
-            if not pending:
-                continue
-            connections = {}
-            for task in pending.values():
-                worker = self._workers[task.worker_index]
-                connections[worker.connection] = task.worker_index
-            ready = multiprocessing.connection.wait(list(connections),
-                                                    timeout=0.25)
-            if not ready:
-                self._recover(pending)
-                continue
-            for connection in ready:
-                worker_index = connections[connection]
-                try:
-                    task_id, ok, payload, spans = connection.recv()
-                except (EOFError, OSError):
-                    self._respawn(worker_index, pending)
+            backlog = backlogs.setdefault(self.worker_for(key), deque())
+            if len(backlog) < _BACKLOG_LIMIT:
+                backlog.append((kind, args, position))
+            else:
+                overflow.append((kind, args, position))
+        collected: dict = {}
+        self._note_live(len(requests))
+        try:
+            while pending or overflow or any(backlogs.values()):
+                self._feed_backlogs(backlogs, overflow, pending, steal)
+                if not pending:
                     continue
-                task = pending.pop(task_id, None)
-                if task is None:
-                    continue  # stale result from an abandoned round
-                if not ok:
-                    if (isinstance(payload, WorkerCacheMiss)
-                            and self._retry_cache_miss(task, pending)):
+                connections = {}
+                for task in pending.values():
+                    worker = self._workers[task.worker_index]
+                    connections[worker.connection] = task.worker_index
+                ready = multiprocessing.connection.wait(list(connections),
+                                                        timeout=0.25)
+                if not ready:
+                    self._recover(pending)
+                    continue
+                for connection in ready:
+                    worker_index = connections[connection]
+                    try:
+                        task_id, ok, payload, spans = connection.recv()
+                    except (EOFError, OSError):
+                        self._respawn(worker_index, pending)
                         continue
-                    raise payload if isinstance(payload, BaseException) \
-                        else SolverError(str(payload))
-                self._adopt_spans(task, worker_index, spans)
-                if task.position is not None:
-                    collected[task.position] = payload
+                    task = pending.pop(task_id, None)
+                    if task is None:
+                        continue  # stale result from an abandoned round
+                    if not ok:
+                        if (isinstance(payload, WorkerCacheMiss)
+                                and self._retry_cache_miss(task, pending)):
+                            continue
+                        raise payload if isinstance(payload, BaseException) \
+                            else SolverError(str(payload))
+                    self._adopt_spans(task, worker_index, spans)
+                    if task.position is not None:
+                        collected[task.position] = payload
+        finally:
+            self._note_live(-len(requests))
         return collected
 
     def _adopt_spans(self, task: _PendingTask, worker_index: int,
@@ -1153,12 +1252,18 @@ class WorkerPool:
         if root is None:
             return
         root.attributes.setdefault("worker", worker_index)
+        if task.stolen:
+            root.attributes.setdefault("stolen", True)
         if task.position is not None and task.kind in (
                 "solve", "decompose", "solve_batch", "probe_batch"):
             root.attributes.setdefault("shard", task.position)
 
-    def _feed_backlogs(self, backlogs: dict, pending: dict) -> None:
-        """Top every worker up to the in-flight cap from its backlog."""
+    def _feed_backlogs(self, backlogs: dict, overflow: deque,
+                       pending: dict, steal: bool) -> None:
+        """Top workers up to the in-flight cap: own backlog first (affinity
+        order), then the shared overflow onto the least loaded workers,
+        then — with stealing on — queued tasks re-routed from loaded peers
+        to fully idle ones."""
         outstanding: dict[int, int] = {}
         for task in pending.values():
             outstanding[task.worker_index] = \
@@ -1171,6 +1276,120 @@ class WorkerPool:
                                worker_index=worker_index)
                 outstanding[worker_index] = \
                     outstanding.get(worker_index, 0) + 1
+        while overflow:
+            target = min(range(self._max_workers),
+                         key=lambda index: (outstanding.get(index, 0)
+                                            + len(backlogs.get(index) or ())))
+            if outstanding.get(target, 0) >= _MAX_IN_FLIGHT_PER_WORKER:
+                break  # every worker saturated; retry after some replies
+            kind, args, position = overflow.popleft()
+            self._dispatch(kind, args, position, pending, worker_index=target)
+            outstanding[target] = outstanding.get(target, 0) + 1
+        if steal:
+            self._steal_into_idle(backlogs, pending, outstanding)
+
+    def _steal_into_idle(self, backlogs: dict, pending: dict,
+                         outstanding: dict) -> None:
+        """Re-route queued tasks from loaded workers to fully idle ones.
+
+        A thief is a worker with nothing queued *and* nothing in flight —
+        topping up a merely-unsaturated worker would churn its cache for no
+        concurrency gain.  Victims are scanned deepest backlog first, and
+        each steal moves one whole task (:meth:`_pick_steal` chooses which).
+        When idle workers outnumber every queued task — the critical shard's
+        batch queue has out-lasted its siblings — the deepest backlog's last
+        splittable ``decompose_batch`` is halved instead: the thief takes
+        one half, the victim keeps the other, and the merged decomposition
+        stays bit-identical because entries carry their global positions.
+        """
+        while True:
+            thieves = [index for index in range(self._max_workers)
+                       if not backlogs.get(index)
+                       and outstanding.get(index, 0) == 0]
+            if not thieves:
+                return
+            victims = sorted((index for index, backlog in backlogs.items()
+                              if backlog),
+                             key=lambda index: -len(backlogs[index]))
+            if not victims:
+                return
+            queued = sum(len(backlogs[index]) for index in victims)
+            chosen = None
+            if len(thieves) > queued:
+                for victim in victims:
+                    chosen = self._split_queued_batch(backlogs[victim])
+                    if chosen is not None:
+                        break
+            if chosen is None:
+                for victim in victims:
+                    chosen = self._pick_steal(backlogs[victim], victim)
+                    if chosen is not None:
+                        break
+            if chosen is None:
+                return  # nothing queued is stealable (or splittable)
+            kind, args, position = chosen
+            thief = thieves[0]
+            self._bump("tasks_stolen")
+            self._dispatch(kind, args, position, pending, worker_index=thief,
+                           stolen=True)
+            outstanding[thief] = outstanding.get(thief, 0) + 1
+
+    def _pick_steal(self, backlog: deque, victim_index: int):
+        """Choose the queued task a thief takes, scanning from the tail.
+
+        The tail is the work the victim reaches last, so stealing there
+        overlaps the most wall time.  Affinity-aware preference: the
+        self-contained decompose kinds first (nothing to re-ship), then
+        program tasks whose key the victim does *not* hold warm (a cold-key
+        steal costs the victim's cache nothing), then any stealable kind.
+        The analyze kinds are never stolen — moving one drags a session
+        registration along.
+        """
+        warm_keys: frozenset | set = frozenset()
+        if self._workers is not None:
+            warm_keys = self._workers[victim_index].warm_keys
+        best: tuple[int, int] | None = None
+        for offset in range(len(backlog) - 1, -1, -1):
+            kind, args, _position = backlog[offset]
+            if kind not in _STEALABLE_KINDS:
+                continue
+            if kind in _SELF_CONTAINED_KINDS:
+                rank = 0
+            elif args[0] not in warm_keys:
+                rank = 1
+            else:
+                rank = 2
+            if best is None or rank < best[0]:
+                best = (rank, offset)
+            if rank == 0:
+                break
+        if best is None:
+            return None
+        task = backlog[best[1]]
+        del backlog[best[1]]
+        return task
+
+    def _split_queued_batch(self, backlog: deque):
+        """Halve the last queued ``decompose_batch`` carrying >= 2 entries.
+
+        Returns the stolen half as a complete task triple and re-queues the
+        kept half in place; None when nothing queued can split.  Entries
+        and their position tuple slice in lockstep, so both halves scatter
+        into the global shard order exactly as the unsplit batch would.
+        """
+        for offset in range(len(backlog) - 1, -1, -1):
+            kind, args, position = backlog[offset]
+            if kind != "decompose_batch":
+                continue
+            key, entries = args
+            if len(entries) < 2:
+                continue
+            half = len(entries) // 2
+            backlog[offset] = ("decompose_batch", (key, entries[:half]),
+                               position[:half])
+            self._bump("batches_split")
+            return ("decompose_batch", (key, entries[half:]), position[half:])
+        return None
 
     def _retry_cache_miss(self, task: _PendingTask, pending: dict) -> bool:
         """Re-dispatch a task whose worker evicted (or lost) its program.
@@ -1189,11 +1408,13 @@ class WorkerPool:
         self._workers[task.worker_index].warm_keys.discard(key)
         self._dispatch(task.kind, task.args, task.position, pending,
                        worker_index=task.worker_index,
-                       attempts=task.attempts + 1)
+                       attempts=task.attempts + 1, stolen=task.stolen)
         return True
 
-    def _dispatch(self, kind: str, args: tuple, position: int | None,
-                  pending: dict, worker_index: int, attempts: int = 1) -> None:
+    def _dispatch(self, kind: str, args: tuple,
+                  position: int | tuple | None, pending: dict,
+                  worker_index: int, attempts: int = 1,
+                  stolen: bool = False) -> None:
         worker = self._workers[worker_index]
         if not worker.alive:
             worker = self._respawn(worker_index, pending)
@@ -1211,7 +1432,7 @@ class WorkerPool:
         payload = (payload[0], payload[1], get_tracer().context()) + payload[2:]
         pending[task_id] = _PendingTask(position=position, kind=kind,
                                        args=args, worker_index=worker_index,
-                                       attempts=attempts)
+                                       attempts=attempts, stolen=stolen)
         try:
             worker.connection.send(payload)
         except (BrokenPipeError, OSError):
@@ -1308,7 +1529,7 @@ class WorkerPool:
                 continue  # re-registration happens on demand
             self._dispatch(task.kind, task.args, task.position, pending,
                            worker_index=worker_index,
-                           attempts=task.attempts + 1)
+                           attempts=task.attempts + 1, stolen=task.stolen)
         return self._workers[worker_index]
 
     def __repr__(self) -> str:

@@ -21,6 +21,15 @@ program is already warm in the cache, and the worker pool's warm-hit rate.
   units, and rejected only when the queue itself is full or the wait
   exceeds ``max_wait_seconds``.
 
+The deferred queue is **not** FIFO: released capacity goes to the
+*shortest-priced* waiter first (small queries never stall behind a giant
+one), tempered by two fairness rules.  A session never jumps its own work
+past another session's indefinitely — when the last admission went to the
+same session and somebody else is waiting, that somebody wins the tie —
+and a newcomer never bypasses the queue while anyone is waiting, so a
+large waiter always sees capacity drain toward it instead of being
+starved by a stream of small arrivals.
+
 Everything happens at the plan stage: a rejected query never touches the
 decomposition cache, never compiles a program, and never dispatches a pool
 task.  Report-cache hits bypass admission entirely — answering from cache
@@ -276,6 +285,23 @@ class AdmissionTicket:
         self.release()
 
 
+class _Waiter:
+    """One deferred query parked on the admission queue.
+
+    ``seq`` is the arrival order (the final tiebreaker, so equal-priced
+    waiters from one session still admit FIFO); ``units`` and ``session``
+    feed the head-selection ordering in
+    :meth:`AdmissionController._select_head`.
+    """
+
+    __slots__ = ("units", "session", "seq")
+
+    def __init__(self, units: float, session, seq: int):
+        self.units = units
+        self.session = session
+        self.seq = seq
+
+
 class AdmissionController:
     """Thread-safe enforcement of one :class:`AdmissionPolicy`.
 
@@ -284,6 +310,12 @@ class AdmissionController:
     :class:`~repro.exceptions.QueryRejectedError`.  The controller never
     runs queries itself — the service holds the ticket across the solve and
     releases it in a ``finally``.
+
+    Deferred queries admit in shortest-priced-first order with a
+    per-session fairness penalty, and only ever through the selected queue
+    head — a waiter that is not the head stays parked even when its units
+    would fit, which is what lets a large waiter accumulate the capacity
+    it needs instead of starving behind smaller arrivals.
     """
 
     def __init__(self, policy: AdmissionPolicy | None = None):
@@ -292,6 +324,9 @@ class AdmissionController:
         self._in_flight = 0.0
         self._pending = 0
         self._statistics = AdmissionStatistics()
+        self._waiters: list[_Waiter] = []
+        self._seq = 0
+        self._last_session = None
 
     def _bump(self, field: str, amount: float = 1) -> None:
         """Advance one decision counter in the dataclass snapshot *and* the
@@ -315,17 +350,23 @@ class AdmissionController:
     # ------------------------------------------------------------------ #
     # Admission
     # ------------------------------------------------------------------ #
-    def admit(self, cost: QueryCost,
-              enforce_budget: bool = True) -> AdmissionTicket:
+    def admit(self, cost: QueryCost, enforce_budget: bool = True,
+              session=None, *, already_priced: bool = False
+              ) -> AdmissionTicket:
         """Admit ``cost`` units, deferring on the bounded queue if needed.
 
-        ``enforce_budget`` is disabled by :meth:`admit_many`, which has
-        already applied the per-query ceiling to each member — the combined
-        reservation is only metered against capacity.
+        ``session`` is an opaque caller identity (the service passes the
+        session fingerprint); it only feeds the per-session fairness rule
+        in head selection, never pricing.  ``enforce_budget`` is disabled
+        by :meth:`admit_many`, which has already applied the per-query
+        ceiling to each member — the combined reservation is only metered
+        against capacity; ``already_priced`` likewise skips the priced
+        counter when the batch path has already counted every member.
         """
         policy = self._policy
         with self._condition:
-            self._bump("priced")
+            if not already_priced:
+                self._bump("priced")
             budget = policy.max_query_cost if enforce_budget else None
             if budget is not None and cost.units > budget:
                 self._bump("rejected_over_budget")
@@ -338,51 +379,84 @@ class AdmissionController:
                     cost=cost.units, limit=budget, reason="over-budget",
                     cell_budget=fitting)
             capacity = policy.capacity
-            if capacity is not None and not self._fits(cost.units, capacity):
-                if self._pending >= policy.max_pending:
-                    self._bump("rejected_queue_full")
-                    raise QueryRejectedError(
-                        f"query rejected: {cost.describe()} cannot run now "
-                        f"({self._in_flight:.1f}/{capacity:.1f} unit(s) in "
-                        f"flight) and the admission queue is full "
-                        f"({policy.max_pending} pending)",
-                        cost=cost.units, limit=capacity, reason="queue-full")
-                self._bump("deferred")
-                get_tracer().annotate(admission="deferred")
-                self._pending += 1
-                try:
-                    deadline = time.monotonic() + policy.max_wait_seconds
-                    while not self._fits(cost.units, capacity):
-                        remaining = deadline - time.monotonic()
-                        if remaining <= 0 or not self._condition.wait(remaining):
-                            self._bump("rejected_timeout")
-                            raise QueryRejectedError(
-                                f"query rejected: {cost.describe()} waited "
-                                f"{policy.max_wait_seconds:.1f}s for capacity",
-                                cost=cost.units, limit=capacity,
-                                reason="timeout")
-                finally:
-                    self._pending -= 1
+            if capacity is not None:
+                # A newcomer never bypasses parked waiters, even when its
+                # own units would fit — otherwise a stream of small
+                # arrivals starves whoever is queued.
+                must_wait = bool(self._waiters) or not self._fits(cost.units,
+                                                                  capacity)
+                if must_wait:
+                    if self._pending >= policy.max_pending:
+                        self._bump("rejected_queue_full")
+                        raise QueryRejectedError(
+                            f"query rejected: {cost.describe()} cannot run "
+                            f"now ({self._in_flight:.1f}/{capacity:.1f} "
+                            f"unit(s) in flight) and the admission queue is "
+                            f"full ({policy.max_pending} pending)",
+                            cost=cost.units, limit=capacity,
+                            reason="queue-full")
+                    waiter = _Waiter(cost.units, session, self._seq)
+                    self._seq += 1
+                    self._waiters.append(waiter)
+                    self._pending += 1
+                    deferred = False
+                    try:
+                        deadline = time.monotonic() + policy.max_wait_seconds
+                        # Head-only admission: a waiter admits only while it
+                        # is the selected head AND its units fit — a
+                        # non-head waiter stays parked even if it would fit,
+                        # so capacity drains toward the head.
+                        while not (self._select_head() is waiter
+                                   and self._fits(cost.units, capacity)):
+                            if not deferred:
+                                deferred = True
+                                self._bump("deferred")
+                                get_tracer().annotate(admission="deferred")
+                            remaining = deadline - time.monotonic()
+                            if remaining <= 0 or \
+                                    not self._condition.wait(remaining):
+                                self._bump("rejected_timeout")
+                                raise QueryRejectedError(
+                                    f"query rejected: {cost.describe()} "
+                                    f"waited "
+                                    f"{policy.max_wait_seconds:.1f}s for "
+                                    f"capacity",
+                                    cost=cost.units, limit=capacity,
+                                    reason="timeout")
+                    finally:
+                        self._waiters.remove(waiter)
+                        self._pending -= 1
+                        # Whether admitted or timed out, the head changed —
+                        # re-run head selection in the remaining waiters.
+                        self._condition.notify_all()
             self._in_flight += cost.units
+            self._last_session = session
             self._bump("admitted")
             self._bump("units_admitted", cost.units)
             return AdmissionTicket(self, cost.units)
 
-    def admit_many(self, costs: list[QueryCost]) -> AdmissionTicket:
+    def admit_many(self, costs: list[QueryCost],
+                   session=None) -> AdmissionTicket:
         """Admit a batch: per-query budget checks, one combined capacity ask.
 
         Each query must individually clear ``max_query_cost`` (a batch is
         not a loophole around the per-query ceiling); the batch then
         occupies the *sum* of its units until released, reflecting that its
         queries run concurrently.
+
+        Every member is counted as priced exactly once, up front — the
+        earlier scheme counted only the offending member on rejection and
+        only the combined reservation on success, so the ``priced`` counter
+        under-reported batch traffic on both paths.
         """
         policy = self._policy
+        with self._condition:
+            self._bump("priced", len(costs))
         budget = policy.max_query_cost
         if budget is not None:
             for cost in costs:
                 if cost.units > budget:
                     with self._condition:
-                        self._bump("priced")
                         self._bump("rejected_over_budget")
                     fitting = admissible_cell_budget(cost, budget)
                     raise QueryRejectedError(
@@ -405,11 +479,35 @@ class AdmissionController:
                              pool_warm_hit_rate=max((c.pool_warm_hit_rate
                                                      for c in costs),
                                                     default=0.0))
-        return self.admit(combined, enforce_budget=False)
+        return self.admit(combined, enforce_budget=False, session=session,
+                          already_priced=True)
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _select_head(self) -> _Waiter | None:
+        """The waiter next in line: shortest-priced first, fairness-aware.
+
+        Ordering key is ``(penalty, units, seq)``: the penalty is 1 only
+        when the waiter belongs to the session that got the *previous*
+        admission while some other session is also waiting — so one
+        session's flood of cheap queries alternates with everyone else
+        instead of monopolizing released capacity.  Must be called with
+        the condition lock held.
+        """
+        if not self._waiters:
+            return None
+
+        def key(waiter: _Waiter):
+            penalty = 0
+            if waiter.session == self._last_session and any(
+                    other.session != waiter.session
+                    for other in self._waiters):
+                penalty = 1
+            return (penalty, waiter.units, waiter.seq)
+
+        return min(self._waiters, key=key)
+
     def _fits(self, units: float, capacity: float) -> bool:
         # A query bigger than the whole capacity may still run alone —
         # otherwise it could never run at all; the per-query ceiling is

@@ -40,7 +40,7 @@ from ..obs.metrics import get_registry
 from ..obs.profile import QueryProfile
 from ..obs.trace import Trace, get_tracer
 from ..parallel.pool import WorkerPool, default_pool_mode
-from ..plan.passes import ObservedCellStatistics
+from ..plan.passes import ObservedCellStatistics, ShardLoadMemo
 from ..relational.relation import Relation
 from .admission import (
     AdmissionController,
@@ -193,11 +193,13 @@ class ContingencyService:
                                        mode=pool_mode or default_pool_mode(),
                                        name="service")
         self._cell_statistics = ObservedCellStatistics()
+        self._shard_loads = ShardLoadMemo()
         self._registry = SessionRegistry(
             decomposition_cache=self._decomposition_cache,
             program_cache=self._program_cache,
             worker_pool=self._worker_pool,
-            cell_statistics=self._cell_statistics)
+            cell_statistics=self._cell_statistics,
+            shard_loads=self._shard_loads)
         self._executor = BatchExecutor(max_workers, pool=self._worker_pool)
         self._default_options = default_options
         self._verify_backend = verify_backend if verify == "cross-backend" else None
@@ -223,6 +225,11 @@ class ContingencyService:
     def cell_statistics(self) -> ObservedCellStatistics:
         """The shared adaptive cell-count feed (one across all sessions)."""
         return self._cell_statistics
+
+    @property
+    def shard_loads(self) -> ShardLoadMemo:
+        """The shared shard-load feedback memo (one across all sessions)."""
+        return self._shard_loads
 
     @property
     def admission(self) -> AdmissionController | None:
@@ -344,7 +351,8 @@ class ContingencyService:
         with tracer.span("admission"):
             cost = self._price(session, query)
             tracer.annotate(units=cost.units)
-            ticket = self._admission.admit(cost)
+            ticket = self._admission.admit(cost,
+                                           session=session.fingerprint)
         with ticket:
             return self._report_cache.get_or_compute(
                 key, lambda: session.analyze(query))
@@ -397,7 +405,8 @@ class ContingencyService:
         if self._admission is not None and distinct_queries:
             costs = [self._price(session, query)
                      for query in distinct_queries]
-            ticket = self._admission.admit_many(costs)
+            ticket = self._admission.admit_many(
+                costs, session=session.fingerprint)
         try:
             result = self._executor.execute(session.analyzer, distinct_queries,
                                             session_key=session.fingerprint)

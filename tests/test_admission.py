@@ -294,3 +294,123 @@ class TestServiceAdmission:
             service.analyze("s", ContingencyQuery.count())
             assert service.admission is None
             assert service.statistics().admission is None
+
+
+# --------------------------------------------------------------------- #
+# Deferred-queue wakeup ordering
+# --------------------------------------------------------------------- #
+class TestWakeupOrdering:
+    """Released capacity goes to the shortest-priced waiter first, with a
+    per-session fairness penalty and no newcomer bypass — the elastic
+    scheduler's admission leg."""
+
+    def wait_for_pending(self, controller, count, timeout=5.0):
+        deadline = time.monotonic() + timeout
+        while controller.statistics.pending != count:
+            if time.monotonic() > deadline:
+                raise AssertionError(
+                    f"pending never reached {count} "
+                    f"(now {controller.statistics.pending})")
+            time.sleep(0.005)
+
+    def test_shortest_priced_waiter_admits_first(self):
+        # Capacity 4, fully held.  Waiters arrive largest-first (4, 3, 2);
+        # each fills the capacity alone, so admissions serialize and the
+        # recorded order is exactly the head-selection order: shortest
+        # first, not FIFO.
+        controller = AdmissionController(AdmissionPolicy(
+            capacity=4, max_pending=3, max_wait_seconds=10.0))
+        held = controller.admit(cost(4))
+        order: list[float] = []
+
+        def deferred(units):
+            with controller.admit(cost(units), session=f"s{units}"):
+                order.append(units)
+
+        threads = []
+        for units, pending in ((4, 1), (3, 2), (2, 3)):
+            thread = threading.Thread(target=deferred, args=(units,))
+            thread.start()
+            threads.append(thread)
+            self.wait_for_pending(controller, pending)
+        held.release()
+        for thread in threads:
+            thread.join(timeout=10.0)
+        assert order == [2, 3, 4]
+        stats = controller.statistics
+        assert stats.deferred == 3 and stats.admitted == 4
+        assert stats.pending == 0 and stats.units_in_flight == 0
+
+    def test_newcomer_never_bypasses_a_parked_large_waiter(self):
+        # Capacity 10 with 7 held: an 8-unit waiter parks, then a 2-unit
+        # newcomer arrives that *would* fit — it must queue anyway, or a
+        # stream of small arrivals starves the large waiter forever.
+        controller = AdmissionController(AdmissionPolicy(
+            capacity=10, max_pending=2, max_wait_seconds=10.0))
+        held = controller.admit(cost(7), session="a")
+        admissions: list[float] = []
+
+        def deferred(units, session):
+            with controller.admit(cost(units), session=session):
+                admissions.append(units)
+                time.sleep(0.02)  # hold briefly so both overlap
+
+        large = threading.Thread(target=deferred, args=(8, "b"))
+        large.start()
+        self.wait_for_pending(controller, 1)
+        small = threading.Thread(target=deferred, args=(2, "a"))
+        small.start()
+        self.wait_for_pending(controller, 2)
+        # The newcomer fits (7 + 2 <= 10) yet is parked behind the queue.
+        assert controller.statistics.admitted == 1
+        held.release()
+        large.join(timeout=10.0)
+        small.join(timeout=10.0)
+        assert sorted(admissions) == [2, 8]
+        assert controller.statistics.admitted == 3
+        assert controller.statistics.units_in_flight == 0
+
+    def test_session_flood_does_not_starve_other_sessions(self):
+        # Session "a" got the last admission and has another query parked;
+        # session "b"'s waiter is larger AND arrived later, but the
+        # fairness penalty on back-to-back same-session admissions makes
+        # "b" the head once capacity frees.
+        controller = AdmissionController(AdmissionPolicy(
+            capacity=2, max_pending=2, max_wait_seconds=10.0))
+        held = controller.admit(cost(2), session="a")
+        order: list[str] = []
+
+        def deferred(units, session):
+            with controller.admit(cost(units), session=session):
+                order.append(session)
+
+        first = threading.Thread(target=deferred, args=(1, "a"))
+        first.start()
+        self.wait_for_pending(controller, 1)
+        second = threading.Thread(target=deferred, args=(2, "b"))
+        second.start()
+        self.wait_for_pending(controller, 2)
+        held.release()
+        first.join(timeout=10.0)
+        second.join(timeout=10.0)
+        assert order == ["b", "a"]
+        assert controller.statistics.admitted == 3
+
+    def test_admit_many_prices_every_member_exactly_once(self):
+        # Success path: three members, three priced, one combined admit.
+        controller = AdmissionController(AdmissionPolicy(max_query_cost=5,
+                                                         capacity=100))
+        with controller.admit_many([cost(1), cost(2), cost(3)]):
+            pass
+        stats = controller.statistics
+        assert stats.priced == 3 and stats.admitted == 1
+        # Rejection path: both members were priced before the second one
+        # tripped the budget — the old accounting counted only the
+        # offending member.
+        rejecting = AdmissionController(AdmissionPolicy(max_query_cost=5))
+        with pytest.raises(QueryRejectedError):
+            rejecting.admit_many([cost(3), cost(6)])
+        stats = rejecting.statistics
+        assert stats.priced == 2
+        assert stats.rejected_over_budget == 1
+        assert stats.admitted == 0
