@@ -233,6 +233,17 @@ def _add_solver_arguments(parser: argparse.ArgumentParser) -> None:
                        help="work stealing in the worker pool: idle workers "
                             "take queued tasks from loaded peers under skew "
                             "(default: on; equivalent to REPRO_STEAL)")
+    group.add_argument("--deadline", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-clock budget per query; an expired query "
+                            "raises QueryDeadlineError instead of running "
+                            "to completion (default: no deadline)")
+    group.add_argument("--degrade", default=None, choices=["worst-case"],
+                       help="on shard timeout or repeated shard failure, "
+                            "fall back to the shard's precomputed "
+                            "worst-case range (sound superset) instead of "
+                            "failing the query; degraded shards are stamped "
+                            "on the result statistics")
 
 
 def _solver_options(args: argparse.Namespace):
@@ -261,6 +272,12 @@ def _solver_options(args: argparse.Namespace):
         if args.solve_batch_size < 1:
             raise ReproError("--solve-batch-size must be at least 1")
         options.solve_batch_size = args.solve_batch_size
+    if args.deadline is not None:
+        if args.deadline <= 0:
+            raise ReproError("--deadline must be positive")
+        options.deadline_seconds = args.deadline
+    if args.degrade is not None:
+        options.degrade = args.degrade
     if args.steal is not None:
         # Stealing is a pool scheduling knob, not a solver option — the
         # environment steers every pool this process creates, matching

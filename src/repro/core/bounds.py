@@ -30,7 +30,9 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, field, replace
 
-from ..exceptions import SolverError
+from ..exceptions import QueryDeadlineError, SolverError
+from ..faults import Deadline, current_deadline, deadline_scope
+from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..plan.ir import BoundPlan, BoundQuery, build_plan
 from ..plan.passes import (ObservedCellStatistics, ShardLoadMemo,
@@ -108,6 +110,27 @@ class BoundOptions:
         worker processes alike.  Like ``parallel_mode``, this knob is
         excluded from option fingerprints: batched solves are bit-identical
         to per-cell solves, so it can never change a range.
+
+    The fourth block configures fault tolerance (see :mod:`repro.faults`):
+
+    ``deadline_seconds``
+        Wall-clock budget per :meth:`PCBoundSolver.bound` call
+        (``--deadline`` on the CLI).  On expiry the fan-out stops
+        dispatching, abandons in-flight work, and raises
+        :class:`~repro.exceptions.QueryDeadlineError` carrying partial
+        progress.  Under the service the scope opens at admission, so time
+        spent queued *shrinks* the execution budget.  Excluded from option
+        fingerprints like ``parallel_mode``: it changes failure behaviour,
+        never a returned range.
+    ``degrade``
+        ``"worst-case"`` opts the component-sharded aggregates into
+        graceful degradation: a shard whose solve dies repeatedly or runs
+        past the deadline contributes its solver-free worst-case range
+        (:meth:`~repro.plan.program.BoundProgram.worst_case_range`) instead
+        of failing the query.  The merged range is still sound — a superset
+        of the exact range — and the result's statistics are stamped with
+        ``degraded_shards``.  *Included* in option fingerprints: it can
+        change returned ranges.
     """
 
     strategy: DecompositionStrategy = DecompositionStrategy.DFS_REWRITE
@@ -124,6 +147,8 @@ class BoundOptions:
     verify_backend: str | None = None
     shard_strategy: str = field(default_factory=default_shard_strategy)
     solve_batch_size: int | None = None
+    deadline_seconds: float | None = None
+    degrade: str | None = None
 
 
 @dataclass(frozen=True)
@@ -423,18 +448,37 @@ class PCBoundSolver:
         if aggregate.needs_attribute and attribute is None:
             raise SolverError(f"{aggregate.value} bounds require an attribute")
         tracer = get_tracer()
-        with tracer.span("bound"):
-            tracer.annotate(aggregate=aggregate.value)
-            closed = self._is_closed(region)
-            result = self._bound_missing(aggregate, attribute, region,
-                                         known_sum, known_count)
-            if self._options.verify_backend is not None:
-                with tracer.span("bound.verify"):
-                    result = self._cross_check(result, aggregate, attribute,
-                                               region, known_sum, known_count)
-            if not closed:
-                result = self._widen_for_open_world(result, aggregate)
-            return result
+        try:
+            with self._deadline_scope(), tracer.span("bound"):
+                tracer.annotate(aggregate=aggregate.value)
+                closed = self._is_closed(region)
+                result = self._bound_missing(aggregate, attribute, region,
+                                             known_sum, known_count)
+                if self._options.verify_backend is not None:
+                    with tracer.span("bound.verify"):
+                        result = self._cross_check(result, aggregate,
+                                                   attribute, region,
+                                                   known_sum, known_count)
+                if not closed:
+                    result = self._widen_for_open_world(result, aggregate)
+                return result
+        except QueryDeadlineError:
+            get_registry().counter("queries.deadline_exceeded").inc()
+            raise
+
+    def _deadline_scope(self):
+        """The deadline scope one bound call runs under.
+
+        Creates a fresh :class:`~repro.faults.Deadline` from
+        ``options.deadline_seconds`` only when no ambient deadline is
+        already installed — the service opens its scope at admission time,
+        and restarting the clock here would hand a queued query its full
+        budget back.
+        """
+        seconds = self._options.deadline_seconds
+        if seconds is None or current_deadline() is not None:
+            return deadline_scope(None)
+        return deadline_scope(Deadline(seconds))
 
     def _bound_missing(self, aggregate: AggregateFunction,
                        attribute: str | None, region: Predicate | None,
@@ -521,14 +565,42 @@ class PCBoundSolver:
     def _bound_sharded(self, sharded, aggregate: AggregateFunction,
                        attribute: str | None, region: Predicate | None,
                        workers: int) -> ResultRange:
-        """Fan the per-shard programs out over the pool and merge the ranges."""
+        """Fan the per-shard programs out over the pool and merge the ranges.
+
+        With ``degrade="worst-case"`` the fan-out is failure-tolerant: each
+        shard that times out, dies repeatedly, or errors substitutes its
+        solver-free worst-case range — sound, just looser — and the merged
+        statistics are stamped with the degraded shard positions.
+        """
         from ..plan.sharding import (
             merge_shard_ranges,
             merge_shard_statistics,
         )
 
+        degrade = self._options.degrade
+        if degrade is not None and degrade != "worst-case":
+            raise SolverError(
+                f"unknown degrade policy {degrade!r}; expected 'worst-case'")
         keyed = self._keyed_shard_programs(sharded, region, attribute)
-        endpoints = self.borrow_pool(workers).solve_programs(keyed, aggregate)
+        pool = self.borrow_pool(workers)
+        degraded: list[int] = []
+        if degrade == "worst-case":
+            collected, failures = pool.solve_programs_resilient(keyed,
+                                                                aggregate)
+            endpoints = []
+            for position, (_key, program) in enumerate(keyed):
+                triple = collected.get(position)
+                if triple is None:
+                    fallback = program.worst_case_range(aggregate)
+                    triple = (fallback.lower, fallback.upper, fallback.closed)
+                    degraded.append(position)
+                endpoints.append(triple)
+            if degraded:
+                tracer = get_tracer()
+                tracer.annotate(degraded_shards=tuple(degraded))
+                get_registry().counter("queries.degraded").inc()
+        else:
+            endpoints = pool.solve_programs(keyed, aggregate)
         ranges = [ResultRange(lower, upper, aggregate, attribute, closed=closed)
                   for lower, upper, closed in endpoints]
         # Statistics come from the parent's shard programs, not the worker
@@ -536,6 +608,7 @@ class PCBoundSolver:
         # (or cache-loaded) every shard program anyway.
         statistics = merge_shard_statistics(
             program.decomposition.statistics for _, program in keyed)
+        statistics.degraded_shards = tuple(degraded)
         return merge_shard_ranges(aggregate, ranges, attribute,
                                   statistics=statistics)
 

@@ -120,9 +120,14 @@ class DecompositionStatistics:
     subtrees_pruned: int = 0
     satisfiable_cells: int = 0
     assumed_satisfiable: int = 0
+    #: Shard positions whose exact solve was replaced by the precomputed
+    #: worst-case range under ``degrade="worst-case"`` (empty outside
+    #: degraded executions) — the result-side stamp that a range is sound
+    #: but looser than the exact answer.
+    degraded_shards: tuple = ()
 
     def as_dict(self) -> dict[str, int]:
-        return {
+        result = {
             "num_constraints": self.num_constraints,
             "cells_evaluated": self.cells_evaluated,
             "solver_calls": self.solver_calls,
@@ -131,6 +136,9 @@ class DecompositionStatistics:
             "satisfiable_cells": self.satisfiable_cells,
             "assumed_satisfiable": self.assumed_satisfiable,
         }
+        if self.degraded_shards:
+            result["degraded_shards"] = list(self.degraded_shards)
+        return result
 
 
 @dataclass

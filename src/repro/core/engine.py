@@ -118,12 +118,30 @@ class ContingencyReport:
     def upper(self) -> float | None:
         return self.result_range.upper
 
+    @property
+    def degraded_shards(self) -> tuple:
+        """Shard positions answered from worst-case fallback ranges.
+
+        Non-empty only under ``BoundOptions(degrade="worst-case")`` when a
+        shard timed out or kept failing: its contribution is the
+        precomputed worst-case range (a sound superset), and this tuple
+        names exactly which shards were degraded.  Empty means every shard
+        was solved exactly.
+        """
+        statistics = self.result_range.statistics
+        if statistics is None:
+            return ()
+        return tuple(getattr(statistics, "degraded_shards", ()) or ())
+
     def summary(self) -> str:
         """A one-line human-readable summary."""
-        return (f"{self.query.describe()}: range [{self.lower}, {self.upper}] "
+        text = (f"{self.query.describe()}: range [{self.lower}, {self.upper}] "
                 f"(observed={self.observed_value}, "
                 f"missing ∈ [{self.missing_range.lower}, {self.missing_range.upper}], "
                 f"{self.elapsed_seconds * 1000:.1f} ms)")
+        if self.degraded_shards:
+            text += f" [degraded shards: {list(self.degraded_shards)}]"
+        return text
 
 
 class PCAnalyzer:

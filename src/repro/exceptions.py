@@ -23,6 +23,8 @@ __all__ = [
     "SolverError",
     "DisjointRangeError",
     "QueryRejectedError",
+    "QueryDeadlineError",
+    "PoisonTaskError",
     "JoinBoundError",
     "DatasetError",
     "WorkloadError",
@@ -117,6 +119,51 @@ class QueryRejectedError(ReproError):
         self.limit = limit
         self.reason = reason
         self.cell_budget = cell_budget
+
+
+class QueryDeadlineError(ReproError):
+    """Raised when a query's wall-clock deadline fires mid-execution.
+
+    Admission timeouts are :class:`QueryRejectedError` (the query never
+    ran); this error means the query *was* running and was cancelled: the
+    coordinator stopped dispatching new tasks, abandoned whatever was still
+    in flight, and unwound.  ``deadline`` is the configured budget in
+    seconds, ``elapsed`` the wall time actually spent, and
+    ``completed``/``pending`` count the tasks that finished versus those
+    abandoned, so callers can see how close the query came and decide
+    whether a retry with a bigger budget (or ``degrade="worst-case"``) is
+    worthwhile.
+    """
+
+    def __init__(self, message: str, deadline: float | None = None,
+                 elapsed: float | None = None, completed: int = 0,
+                 pending: int = 0):
+        super().__init__(message)
+        self.deadline = deadline
+        self.elapsed = elapsed
+        self.completed = completed
+        self.pending = pending
+
+
+class PoisonTaskError(SolverError):
+    """Raised when one task repeatedly kills the worker that runs it.
+
+    A crashing *worker* is recoverable (the pool respawns it and re-issues
+    its tasks), but a task that takes down every worker it lands on would
+    crash-loop the pool forever.  After the retry budget is exhausted the
+    task is quarantined: sibling tasks of the same round are allowed to
+    finish before this error is raised, so one poison payload fails only
+    its own query.  ``kind`` names the task kind, ``fingerprint`` is a
+    stable hash of the payload (also embedded in the message, for log
+    correlation), and ``attempts`` counts the dispatches that died.
+    """
+
+    def __init__(self, message: str, kind: str | None = None,
+                 fingerprint: str | None = None, attempts: int = 0):
+        super().__init__(message)
+        self.kind = kind
+        self.fingerprint = fingerprint
+        self.attempts = attempts
 
 
 class InfeasibleProblemError(SolverError):

@@ -22,6 +22,16 @@ context manager (usable as a decorator) that records elapsed seconds into a
 registry histogram and exposes ``.seconds`` for callers that also keep the
 number locally (the batch executor's per-phase statistics do).
 
+The fault-tolerance machinery publishes through the same registry:
+``pool.tasks_retried`` (re-dispatches after a worker crash),
+``pool.tasks_quarantined`` (poison tasks that exhausted their retry
+budget), ``pool.clean_restarts`` (deliberate ``restart()`` calls, as
+opposed to ``pool.worker_restarts`` which counts crash respawns),
+``pool.breaker_trips`` (circuit-breaker trips to the serial path),
+``queries.deadline_exceeded`` and ``queries.degraded``.  All appear in
+``repro stats`` once the corresponding event has happened — counters are
+created on first increment, so an incident leaves a visible trail.
+
 Importing this module — and snapshotting an empty registry — never starts
 pools or touches solver state; ``repro stats`` on a fresh process prints an
 empty snapshot rather than raising.

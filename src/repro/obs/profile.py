@@ -4,8 +4,11 @@ A :class:`QueryProfile` is the user-facing form of one query's trace: the
 span tree with wall-times, attribute tallies (solver calls, cache verdicts,
 per-shard counts) and derived aggregates — total solver calls, the max/mean
 *shard-time* and *shard-cell* skew ratios the skew-aware scheduler flattens
-(``shard_cell_skew`` is the number feedback resharding optimizes), and the
-count of pool tasks work stealing re-routed (``stolen_tasks``).
+(``shard_cell_skew`` is the number feedback resharding optimizes), the
+count of pool tasks work stealing re-routed (``stolen_tasks``), and the
+fault-tolerance trail — tasks that survived a worker crash
+(``retried_tasks``) and shards answered from their worst-case fallback
+(``degraded_shards``).
 
 Profiles are plain data: ``render()`` gives the indented terminal tree
 (``bound --profile``), ``to_dict``/``export_json`` give the machine-readable
@@ -248,6 +251,30 @@ class QueryProfile:
         return sum(1 for node in self.root.walk()
                    if node.attributes.get("stolen"))
 
+    def retried_tasks(self) -> int:
+        """How many pool task spans came from a re-dispatched task.
+
+        The pool tags a task's root span with ``attempts=N`` (N > 1) when
+        the span that finally returned was not the first dispatch — the
+        crash-recovery trail EXPLAIN ANALYZE surfaces after a worker died
+        mid-round and its work was retried elsewhere."""
+        return sum(1 for node in self.root.walk()
+                   if isinstance(node.attributes.get("attempts"), int)
+                   and node.attributes["attempts"] > 1)
+
+    def degraded_shards(self) -> list[Any]:
+        """Shard positions answered from their worst-case fallback range.
+
+        The sharded bound path annotates its span with
+        ``degraded_shards=(...)`` under ``degrade="worst-case"``; an empty
+        list means every shard was solved exactly."""
+        degraded: list[Any] = []
+        for node in self.root.walk():
+            value = node.attributes.get("degraded_shards")
+            if isinstance(value, (list, tuple)):
+                degraded.extend(value)
+        return degraded
+
     def batch_counts(self) -> dict[str, float]:
         """How much pool traffic ran batched: ``batched_tasks`` pool entries
         carrying ``batched_cells`` solves — the amortization EXPLAIN
@@ -300,6 +327,12 @@ class QueryProfile:
         stolen = self.stolen_tasks()
         if stolen:
             summary += f", stolen {stolen} task(s)"
+        retried = self.retried_tasks()
+        if retried:
+            summary += f", retried {retried} task(s)"
+        degraded = self.degraded_shards()
+        if degraded:
+            summary += f", degraded {len(degraded)} shard(s)"
         lines.append(summary)
         return "\n".join(lines)
 
@@ -320,6 +353,8 @@ class QueryProfile:
             "batched_tasks": batches["batched_tasks"],
             "batched_cells": batches["batched_cells"],
             "stolen_tasks": self.stolen_tasks(),
+            "retried_tasks": self.retried_tasks(),
+            "degraded_shards": len(self.degraded_shards()),
             "tree": self.root.to_dict(),
         }
 

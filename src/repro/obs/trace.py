@@ -30,6 +30,13 @@ Design constraints, in priority order:
 State is thread-local: each coordinator thread owns its active trace, and
 worker threads in thread-mode pools join the coordinator's trace via
 :meth:`Tracer.attach`.
+
+Fault-tolerance events leave span tags rather than new span kinds: a task
+span whose result came from a re-dispatch after a worker crash carries
+``attempts=N`` (N > 1), a round abandoned by an expired query deadline
+annotates ``deadline_abandoned=N``, and a sharded bound that fell back to
+worst-case ranges annotates ``degraded_shards=(...)`` — all of which the
+profile layer folds into its EXPLAIN ANALYZE summary.
 """
 
 from __future__ import annotations

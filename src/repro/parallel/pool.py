@@ -43,18 +43,22 @@ serially.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import itertools
 import multiprocessing
 import multiprocessing.connection
 import os
+import random
 import threading
+import time
 import weakref
 from collections import deque
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Mapping, Sequence
 
-from ..exceptions import SolverError
+from ..exceptions import PoisonTaskError, QueryDeadlineError, SolverError
+from ..faults import apply_worker_fault, current_deadline, resolve_faults
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..relational.aggregates import AggregateFunction
@@ -373,14 +377,21 @@ def _worker_main(index: int, connection) -> None:
     mid-``put``, deadlocking every sibling, whereas a pipe has exactly one
     reader and one writer per direction and dies with its worker.
 
-    Task payloads are ``(kind, task_id, trace_context, *args)`` and replies
-    ``(task_id, ok, payload, spans)``: the third payload slot carries the
-    coordinator's (trace_id, parent_span_id) — or None when it is not
-    tracing — and the handler runs under a tracer capture whose finished
-    spans travel back in the reply for re-parenting into the coordinator's
-    trace.  A killed worker simply never replies, so its spans are lost but
-    the coordinator's trace stays structurally intact (the re-dispatched
-    task reports from the replacement worker).
+    Task payloads are ``(kind, task_id, trace_context, control, *args)``
+    and replies ``(task_id, ok, payload, spans)``: the third payload slot
+    carries the coordinator's (trace_id, parent_span_id) — or None when it
+    is not tracing — and the handler runs under a tracer capture whose
+    finished spans travel back in the reply for re-parenting into the
+    coordinator's trace.  A killed worker simply never replies, so its
+    spans are lost but the coordinator's trace stays structurally intact
+    (the re-dispatched task reports from the replacement worker).
+
+    The fourth slot is the fault-injection control directive (see
+    :mod:`repro.faults`) — None outside chaos runs.  The *coordinator*
+    decides which dispatch a fault fires on (it owns the deterministic
+    dispatch ordinal); the worker only executes the shipped directive:
+    ``kill`` hard-exits before the handler runs, ``delay`` sleeps,
+    ``fail`` raises, ``drop_reply`` computes but never answers.
     """
     global _IN_WORKER
     _IN_WORKER = True
@@ -394,12 +405,16 @@ def _worker_main(index: int, connection) -> None:
             return
         if task is None:
             return
-        kind, task_id, trace_context = task[0], task[1], task[2]
-        task = (kind, task_id) + task[3:]
+        kind, task_id, trace_context, control = (task[0], task[1], task[2],
+                                                 task[3])
+        task = (kind, task_id) + task[4:]
         capture = tracer.capture(_TASK_SPANS[kind], trace_context)
         try:
+            drop_reply = apply_worker_fault(control)
             with capture:
                 payload = _HANDLERS[kind](programs, sessions, task)
+            if drop_reply:
+                continue
             connection.send((task_id, True, payload, capture.export()))
         except BaseException as error:  # noqa: BLE001 - forwarded to parent
             try:
@@ -425,11 +440,18 @@ class PoolStatistics:
     programs_shipped: int = 0
     warm_hits: int = 0
     sessions_shipped: int = 0
+    #: Crash respawns only — a worker found dead mid-round.  Clean bounces
+    #: via :meth:`WorkerPool.restart` count in :attr:`clean_restarts`, so a
+    #: monitoring alert on crash loops never fires on deliberate restarts.
     worker_restarts: int = 0
     tasks_shipped: int = 0
     cells_solved: int = 0
     tasks_stolen: int = 0
     batches_split: int = 0
+    tasks_retried: int = 0
+    tasks_quarantined: int = 0
+    clean_restarts: int = 0
+    breaker_trips: int = 0
 
     @property
     def warm_hit_rate(self) -> float:
@@ -460,6 +482,10 @@ class PoolStatistics:
             "cells_per_task": self.cells_per_task,
             "tasks_stolen": self.tasks_stolen,
             "batches_split": self.batches_split,
+            "tasks_retried": self.tasks_retried,
+            "tasks_quarantined": self.tasks_quarantined,
+            "clean_restarts": self.clean_restarts,
+            "breaker_trips": self.breaker_trips,
         }
 
     def snapshot(self) -> "PoolStatistics":
@@ -467,7 +493,9 @@ class PoolStatistics:
                               self.programs_shipped, self.warm_hits,
                               self.sessions_shipped, self.worker_restarts,
                               self.tasks_shipped, self.cells_solved,
-                              self.tasks_stolen, self.batches_split)
+                              self.tasks_stolen, self.batches_split,
+                              self.tasks_retried, self.tasks_quarantined,
+                              self.clean_restarts, self.breaker_trips)
 
 
 #: Registry counter names, precomputed so publishing never formats strings.
@@ -476,7 +504,9 @@ _POOL_METRICS = {field: f"pool.{field}"
                                "programs_shipped", "warm_hits",
                                "sessions_shipped", "worker_restarts",
                                "tasks_shipped", "cells_solved",
-                               "tasks_stolen", "batches_split")}
+                               "tasks_stolen", "batches_split",
+                               "tasks_retried", "tasks_quarantined",
+                               "clean_restarts", "breaker_trips")}
 
 
 class _ProcessWorker:
@@ -522,6 +552,24 @@ class _PendingTask:
 
 
 _MAX_TASK_ATTEMPTS = 3
+
+#: Crash-retry budget: how many times a task may *kill its worker* before it
+#: is quarantined as poison instead of re-dispatched.  Distinct from
+#: :data:`_MAX_TASK_ATTEMPTS` (the cache-miss re-ship cap): a cache miss is
+#: the worker saying "send that again", a dead worker is evidence the
+#: payload itself may be lethal.
+_DEFAULT_TASK_RETRIES = 2
+
+#: Respawn-storm controls.  More than ``_STORM_THRESHOLD`` respawns inside
+#: ``_STORM_WINDOW`` seconds starts jittered backoff before each further
+#: respawn (forking into a crash loop at full speed just burns CPU the
+#: sibling workers need); more than the breaker threshold trips the pool's
+#: circuit breaker, which routes new entry points inline (serial, in the
+#: caller's process — always sound) for the cool-down period.
+_STORM_WINDOW = 5.0
+_STORM_THRESHOLD = 3
+_BREAKER_THRESHOLD = 6
+_BREAKER_COOLDOWN = 30.0
 
 #: Cap on tasks in flight to one worker.  Bounds the bytes buffered in each
 #: pipe direction (tasks inbound, results outbound) well below the kernel's
@@ -570,6 +618,22 @@ class WorkerPool:
         :mod:`repro.parallel.stealing`).  ``None`` (default) follows the
         ``REPRO_STEAL`` environment switch, which also overrides an
         explicit setting so one variable steers a whole process.
+    task_retry_limit:
+        How many times a task may kill its worker before it is quarantined
+        as poison and failed with
+        :class:`~repro.exceptions.PoisonTaskError` (default 2).  Sibling
+        tasks of a quarantined task still complete before the error is
+        raised, so one poison payload fails only its own query.
+    breaker_threshold / breaker_cooldown:
+        The circuit breaker: more than ``breaker_threshold`` crash
+        respawns within a 5-second window routes new entry points inline
+        (serial, in-process — slower but crash-immune) for
+        ``breaker_cooldown`` seconds.
+
+    The pool also consults :func:`repro.faults.resolve_faults` at
+    construction: a non-empty ``REPRO_FAULTS`` plan makes the coordinator
+    ship fault directives with deterministically selected dispatches (the
+    chaos-testing hook — see :mod:`repro.faults`).
 
     The pool starts lazily on first use, restarts lazily after
     :meth:`shutdown`, and is safe to share across threads (process-mode
@@ -578,7 +642,10 @@ class WorkerPool:
 
     def __init__(self, max_workers: int | None = None, mode: str = "auto",
                  backend: str | None = None, name: str = "worker-pool",
-                 steal: bool | None = None):
+                 steal: bool | None = None,
+                 task_retry_limit: int | None = None,
+                 breaker_threshold: int | None = None,
+                 breaker_cooldown: float | None = None):
         if mode not in _MODES:
             raise SolverError(
                 f"unknown pool mode {mode!r}; expected one of {_MODES}")
@@ -598,8 +665,22 @@ class WorkerPool:
         self._backend = backend
         self._name = name
         self._steal = steal
+        if task_retry_limit is not None and task_retry_limit < 1:
+            raise SolverError(
+                f"task_retry_limit must be >= 1, got {task_retry_limit}")
+        self._retry_limit = (task_retry_limit if task_retry_limit is not None
+                             else _DEFAULT_TASK_RETRIES)
+        self._breaker_threshold = breaker_threshold or _BREAKER_THRESHOLD
+        self._breaker_cooldown = (breaker_cooldown if breaker_cooldown
+                                  is not None else _BREAKER_COOLDOWN)
+        self._breaker_until = 0.0
+        self._restart_times: deque = deque(maxlen=32)
+        self._faults = resolve_faults()
+        self._quarantined: list = []
+        self._closing = False
         self._live_tasks = 0
         self._round_lock = threading.RLock()
+        self._lifecycle_lock = threading.Lock()
         self._affinity_lock = threading.Lock()
         self._statistics_lock = threading.Lock()
         self._affinity: dict = {}
@@ -639,6 +720,22 @@ class WorkerPool:
         """Whether this pool's rounds re-route queued tasks to idle workers
         (the resolved switch: ``REPRO_STEAL`` over the constructor flag)."""
         return resolve_stealing(self._steal)
+
+    @property
+    def breaker_tripped(self) -> bool:
+        """Whether the crash-loop circuit breaker is currently open (new
+        entry points run inline until the cool-down expires)."""
+        return time.monotonic() < self._breaker_until
+
+    @property
+    def fault_plan(self):
+        """The active :class:`~repro.faults.FaultPlan`, or None (chaos
+        tests assert against its firing state)."""
+        return self._faults
+
+    @property
+    def task_retry_limit(self) -> int:
+        return self._retry_limit
 
     @property
     def live_tasks(self) -> int:
@@ -726,15 +823,33 @@ class WorkerPool:
 
     def shutdown(self) -> None:
         """Stop every worker; idempotent, and the pool restarts lazily on
-        next use (so a service can bounce its pool without re-creating it)."""
-        with self._round_lock:
-            if self._workers is not None:
-                for worker in self._workers:
-                    worker.stop()
-                self._workers = None
-            if self._executor is not None:
-                self._executor.shutdown()
-                self._executor = None
+        next use (so a service can bounce its pool without re-creating it).
+
+        Safe against an in-flight round and against concurrent callers
+        (double ``shutdown()``, the atexit reaper overlapping an explicit
+        one): the ``_closing`` flag asks any running round to unwind at its
+        next poll tick (≤ 0.25 s) rather than blocking on ``_round_lock``
+        forever, and the worker/executor handles are detached atomically
+        under a separate lifecycle lock so exactly one caller tears each
+        worker down.  If the round does not release the lock in time the
+        teardown proceeds anyway — :meth:`_ProcessWorker.stop` joins with a
+        timeout and then terminates, so a wedged worker cannot leak.
+        """
+        self._closing = True
+        locked = self._round_lock.acquire(timeout=2.0)
+        try:
+            with self._lifecycle_lock:
+                workers, self._workers = self._workers, None
+                executor, self._executor = self._executor, None
+        finally:
+            if locked:
+                self._round_lock.release()
+            self._closing = False
+        if workers is not None:
+            for worker in workers:
+                worker.stop()
+        if executor is not None:
+            executor.shutdown()
 
     def restart(self) -> None:
         """Bounce the pool: fresh workers, cold caches, same sticky map —
@@ -746,7 +861,12 @@ class WorkerPool:
         history, not the fresh workers' load: carrying them over would skew
         balanced-on-first-sight placement for every key seen after the
         bounce toward whichever workers happened to be idle *before* it.
+
+        Counts in :attr:`PoolStatistics.clean_restarts`, not
+        ``worker_restarts`` — crash monitoring must never page on a
+        deliberate bounce.
         """
+        self._bump("clean_restarts")
         self.shutdown()
         with self._affinity_lock:
             self._assigned = [0] * self._max_workers
@@ -846,6 +966,7 @@ class WorkerPool:
             tracer = get_tracer()
             results = []
             for position, pair in enumerate(keyed_programs):
+                self._check_deadline(position, len(keyed_programs))
                 with tracer.span("pool.solve"):
                     if len(keyed_programs) > 1:
                         tracer.annotate(shard=position)
@@ -867,6 +988,100 @@ class WorkerPool:
             for position, (key, program) in enumerate(keyed_programs)]
         results = self._locked_round(requests)
         return [results[position] for position in range(len(keyed_programs))]
+
+    def solve_programs_resilient(self, keyed_programs: Sequence[tuple],
+                                 aggregate: AggregateFunction,
+                                 known_sum: float = 0.0,
+                                 known_count: float = 0.0
+                                 ) -> tuple[dict, dict]:
+        """:meth:`solve_programs`, but failure-tolerant per shard.
+
+        Returns ``(endpoints, failures)``: ``endpoints`` maps shard
+        positions to ``(lower, upper, closed)`` triples for every shard
+        that solved, and ``failures`` maps each shard that did not to a
+        reason string (``"deadline"``, ``"poison:<fingerprint>"``, or the
+        worker's error).  Nothing is raised for per-shard failures — this
+        is the entry point for ``degrade="worst-case"``, where the caller
+        substitutes each failed shard's precomputed worst-case range and
+        the merged result stays sound.
+        """
+        batched = batching_enabled()
+        request = (aggregate, known_sum, known_count)
+
+        def run_one(pair):
+            key, program = pair
+            if batched:
+                result = program.bound_batch([request])[0]
+            else:
+                result = program.bound(aggregate, known_sum=known_sum,
+                                       known_count=known_count)
+            return (result.lower, result.upper, result.closed)
+
+        self._record_batch_traffic(len(keyed_programs), len(keyed_programs))
+        pairs = list(keyed_programs)
+        if not (self._inline() or len(pairs) <= 1) and self._mode == "thread":
+            deadline = current_deadline()
+
+            def tolerant(pair):
+                if deadline is not None and deadline.expired():
+                    return (False, "deadline")
+                try:
+                    return (True, run_one(pair))
+                except SolverError as error:
+                    return (False, f"{type(error).__name__}: {error}")
+
+            outcomes = self._thread_map(tolerant, pairs, label="pool.solve",
+                                        shard_attr=True, deadline_check=False)
+            endpoints = {position: value
+                         for position, (ok, value) in enumerate(outcomes)
+                         if ok}
+            failures = {position: value
+                        for position, (ok, value) in enumerate(outcomes)
+                        if not ok}
+            return endpoints, failures
+        if self._inline() or len(pairs) <= 1:
+            deadline = current_deadline()
+            tracer = get_tracer()
+            endpoints: dict = {}
+            failures: dict = {}
+            for position, pair in enumerate(pairs):
+                if deadline is not None and deadline.expired():
+                    failures[position] = "deadline"
+                    continue
+                try:
+                    with tracer.span("pool.solve"):
+                        if len(pairs) > 1:
+                            tracer.annotate(shard=position)
+                        endpoints[position] = run_one(pair)
+                except SolverError as error:
+                    failures[position] = f"{type(error).__name__}: {error}"
+            return endpoints, failures
+        if batched:
+            requests = [
+                ("solve_batch", key, (key, program, (request,)), position)
+                for position, (key, program) in enumerate(pairs)]
+            collected, failures = self._locked_round(requests, tolerate=True)
+            return ({position: values[0]
+                     for position, values in collected.items()}, failures)
+        requests = [
+            ("solve", key, (key, program, aggregate, known_sum, known_count),
+             position)
+            for position, (key, program) in enumerate(pairs)]
+        return self._locked_round(requests, tolerate=True)
+
+    def _check_deadline(self, completed: int, total: int) -> None:
+        """Raise :class:`~repro.exceptions.QueryDeadlineError` when the
+        ambient query deadline has expired (inline execution paths check
+        between items, so serial fan-outs cancel with the same granularity
+        as pooled rounds)."""
+        deadline = current_deadline()
+        if deadline is not None and deadline.expired():
+            raise QueryDeadlineError(
+                f"query deadline of {deadline.seconds:.3f}s expired after "
+                f"{deadline.elapsed():.3f}s with {completed} of {total} "
+                f"inline tasks complete",
+                deadline=deadline.seconds, elapsed=deadline.elapsed(),
+                completed=completed, pending=total - completed)
 
     def avg_probes(self, keyed_programs: Sequence[tuple],
                    probes: Sequence[tuple]) -> list[list[tuple]]:
@@ -974,6 +1189,7 @@ class WorkerPool:
             tracer = get_tracer()
             results = []
             for position, task in enumerate(tasks):
+                self._check_deadline(position, len(tasks))
                 with tracer.span("pool.decompose"):
                     if len(tasks) > 1:
                         tracer.annotate(shard=position)
@@ -1122,10 +1338,16 @@ class WorkerPool:
     # Thread-mode plumbing
     # ------------------------------------------------------------------ #
     def _inline(self) -> bool:
-        return self._mode == "serial" or in_worker() or in_pool_thread()
+        if self._mode == "serial" or in_worker() or in_pool_thread():
+            return True
+        # A tripped circuit breaker routes new entry points inline: the
+        # caller's process computes the same results serially, immune to
+        # whatever is crash-looping the workers.
+        return time.monotonic() < self._breaker_until
 
     def _thread_map(self, fn, items: list, label: str = "pool.task",
-                    shard_attr: bool = False) -> list:
+                    shard_attr: bool = False,
+                    deadline_check: bool = True) -> list:
         with self._round_lock:
             executor = self._ensure_started()
         # Thread-mode rounds run concurrently (no round lock), so the
@@ -1139,12 +1361,20 @@ class WorkerPool:
         trace = tracer.current_trace
         parent = tracer.current_span
         parent_id = parent.span_id if parent is not None else None
+        # The ambient deadline is thread-local to the *caller*; capture it
+        # here so the executor threads can honour it.
+        deadline = current_deadline() if deadline_check else None
 
         def guarded(indexed):
             # Nested pool use from inside a pool thread runs inline —
             # waiting on our own executor from one of its threads would
             # deadlock once every thread blocks.
             index, item = indexed
+            if deadline is not None and deadline.expired():
+                raise QueryDeadlineError(
+                    f"query deadline of {deadline.seconds:.3f}s expired "
+                    f"during a pooled {label} fan-out",
+                    deadline=deadline.seconds, elapsed=deadline.elapsed())
             _POOL_THREAD.active = True
             try:
                 if trace is None:
@@ -1166,12 +1396,12 @@ class WorkerPool:
     # ------------------------------------------------------------------ #
     # Process-mode dispatch/collect with restart-on-death
     # ------------------------------------------------------------------ #
-    def _locked_round(self, requests: list) -> dict:
+    def _locked_round(self, requests: list, tolerate: bool = False):
         with self._round_lock:
             self._ensure_started()
-            return self._run_round(requests)
+            return self._run_round(requests, tolerate=tolerate)
 
-    def _run_round(self, requests: list) -> dict:
+    def _run_round(self, requests: list, tolerate: bool = False):
         """Dispatch one round of tasks and collect every result.
 
         Must run under ``_round_lock``: one dispatcher/collector at a time.
@@ -1188,9 +1418,24 @@ class WorkerPool:
         sending results into a full outbound buffer and stops receiving,
         then the parent blocks sending into the worker's full inbound
         buffer, and both sides are alive so no recovery ever fires.
+
+        Failure semantics.  The ambient query deadline is checked every
+        loop tick: on expiry the round stops dispatching and abandons
+        whatever is in flight (late replies land in a later round's recv
+        and are dropped as stale).  A task whose crash-retry budget is
+        exhausted is *quarantined* — not re-dispatched — and its siblings
+        drain before :class:`~repro.exceptions.PoisonTaskError` is raised,
+        so one poison payload fails exactly one round.  With
+        ``tolerate=True`` neither condition raises; the round returns
+        ``(collected, failures)`` where ``failures`` maps positions to
+        reason strings — the degraded-execution entry points substitute
+        sound worst-case ranges for those positions.
         """
         self._bump("rounds")
         steal = self.stealing
+        deadline = current_deadline()
+        self._quarantined = []
+        failures: dict = {}
         pending: dict[int, _PendingTask] = {}
         backlogs: dict[int, deque] = {}
         overflow: deque = deque()
@@ -1204,6 +1449,37 @@ class WorkerPool:
         self._note_live(len(requests))
         try:
             while pending or overflow or any(backlogs.values()):
+                if self._closing:
+                    raise SolverError(
+                        "worker pool shut down while a round was in flight")
+                if deadline is not None and deadline.expired():
+                    queued = (len(overflow)
+                              + sum(len(b) for b in backlogs.values()))
+                    abandoned = len(pending) + queued
+                    get_tracer().annotate(deadline_abandoned=abandoned)
+                    if tolerate:
+                        for task in pending.values():
+                            if task.position is not None:
+                                failures.setdefault(task.position, "deadline")
+                        for backlog in backlogs.values():
+                            for _kind, _args, position in backlog:
+                                if position is not None:
+                                    failures.setdefault(position, "deadline")
+                        for _kind, _args, position in overflow:
+                            if position is not None:
+                                failures.setdefault(position, "deadline")
+                        pending.clear()
+                        backlogs.clear()
+                        overflow.clear()
+                        break
+                    raise QueryDeadlineError(
+                        f"query deadline of {deadline.seconds:.3f}s expired "
+                        f"after {deadline.elapsed():.3f}s with "
+                        f"{len(collected)} of {len(requests)} tasks complete "
+                        f"({abandoned} abandoned)",
+                        deadline=deadline.seconds,
+                        elapsed=deadline.elapsed(),
+                        completed=len(collected), pending=abandoned)
                 self._feed_backlogs(backlogs, overflow, pending, steal)
                 if not pending:
                     continue
@@ -1230,6 +1506,10 @@ class WorkerPool:
                         if (isinstance(payload, WorkerCacheMiss)
                                 and self._retry_cache_miss(task, pending)):
                             continue
+                        if tolerate and task.position is not None:
+                            failures[task.position] = (
+                                f"{type(payload).__name__}: {payload}")
+                            continue
                         raise payload if isinstance(payload, BaseException) \
                             else SolverError(str(payload))
                     self._adopt_spans(task, worker_index, spans)
@@ -1237,6 +1517,22 @@ class WorkerPool:
                         collected[task.position] = payload
         finally:
             self._note_live(-len(requests))
+        quarantined, self._quarantined = self._quarantined, []
+        if quarantined:
+            for task, fingerprint in quarantined:
+                self._bump("tasks_quarantined")
+                if task.position is not None:
+                    failures[task.position] = f"poison:{fingerprint}"
+            if not tolerate:
+                task, fingerprint = quarantined[0]
+                raise PoisonTaskError(
+                    f"{task.kind!r} task (payload fingerprint {fingerprint}) "
+                    f"killed its worker {task.attempts} times and was "
+                    f"quarantined; {len(collected)} sibling tasks completed",
+                    kind=task.kind, fingerprint=fingerprint,
+                    attempts=task.attempts)
+        if tolerate:
+            return collected, failures
         return collected
 
     def _adopt_spans(self, task: _PendingTask, worker_index: int,
@@ -1254,6 +1550,10 @@ class WorkerPool:
         root.attributes.setdefault("worker", worker_index)
         if task.stolen:
             root.attributes.setdefault("stolen", True)
+        if task.attempts > 1:
+            # Crash-retried (or re-shipped) work is visible per task in
+            # EXPLAIN ANALYZE, not just in the aggregate counters.
+            root.attributes.setdefault("attempts", task.attempts)
         if task.position is not None and task.kind in (
                 "solve", "decompose", "solve_batch", "probe_batch"):
             root.attributes.setdefault("shard", task.position)
@@ -1411,10 +1711,28 @@ class WorkerPool:
                        attempts=task.attempts + 1, stolen=task.stolen)
         return True
 
+    def _fault_directive(self, worker_index: int, kind: str,
+                         position) -> tuple | None:
+        """Consult the fault plan for one dispatch (None without a plan).
+
+        Batch positions are tuples; the plan's ``shard`` selector matches
+        their first (global) position so a plan written against unbatched
+        shard numbering keeps firing when batching groups tasks.
+        """
+        if self._faults is None:
+            return None
+        if isinstance(position, tuple):
+            position = position[0] if position else -1
+        elif position is None:
+            position = -1
+        return self._faults.on_dispatch(worker_index, kind, position)
+
     def _dispatch(self, kind: str, args: tuple,
                   position: int | tuple | None, pending: dict,
                   worker_index: int, attempts: int = 1,
                   stolen: bool = False) -> None:
+        if self._workers is None:
+            raise SolverError("worker pool is shut down")
         worker = self._workers[worker_index]
         if not worker.alive:
             worker = self._respawn(worker_index, pending)
@@ -1427,9 +1745,12 @@ class WorkerPool:
                 worker = self._workers[worker_index]
         task_id = next(self._task_ids)
         payload = self._build_payload(kind, task_id, worker, args)
-        # Trace context rides in slot 2 of every payload; None (the common
-        # untraced case) tells the worker to skip recording entirely.
-        payload = (payload[0], payload[1], get_tracer().context()) + payload[2:]
+        # Trace context rides in slot 2 of every payload, the fault
+        # directive in slot 3; None (the common untraced / unfaulted case)
+        # tells the worker to skip the respective machinery entirely.
+        payload = (payload[0], payload[1], get_tracer().context(),
+                   self._fault_directive(worker_index, kind,
+                                         position)) + payload[2:]
         pending[task_id] = _PendingTask(position=position, kind=kind,
                                        args=args, worker_index=worker_index,
                                        attempts=attempts, stolen=stolen)
@@ -1502,8 +1823,43 @@ class WorkerPool:
         for worker_index in dead:
             self._respawn(worker_index, pending)
 
+    @staticmethod
+    def _task_fingerprint(task: _PendingTask) -> str:
+        """A stable short hash of a task's identity (kind, routing key,
+        position) — what the quarantine message carries so a recurring
+        poison payload is recognisable across incidents without shipping
+        the payload itself into logs."""
+        key = task.args[0] if task.args else None
+        token = f"{task.kind}:{key!r}:{task.position!r}"
+        return hashlib.blake2b(token.encode(), digest_size=6).hexdigest()
+
+    def _note_respawn_storm(self) -> None:
+        """Storm accounting before a respawn: jittered backoff once
+        respawns come faster than ``_STORM_THRESHOLD`` per window (forking
+        into a crash loop at full speed starves the surviving workers),
+        and the circuit breaker past ``breaker_threshold`` (subsequent
+        entry points run inline until the cool-down expires).  The jitter
+        is seeded from the restart counter, so chaos runs stay
+        reproducible.
+        """
+        now = time.monotonic()
+        recent = sum(1 for stamp in self._restart_times
+                     if now - stamp < _STORM_WINDOW) + 1
+        self._restart_times.append(now)
+        if (recent >= self._breaker_threshold
+                and now >= self._breaker_until):
+            self._breaker_until = now + self._breaker_cooldown
+            self._bump("breaker_trips")
+        if recent >= _STORM_THRESHOLD:
+            rng = random.Random(self._statistics.worker_restarts)
+            delay = min(0.4, 0.05 * (2 ** (recent - _STORM_THRESHOLD)))
+            time.sleep(delay * (0.75 + 0.5 * rng.random()))
+
     def _respawn(self, worker_index: int, pending: dict) -> _ProcessWorker:
+        if self._workers is None:
+            raise SolverError("worker pool is shut down")
         self._bump("worker_restarts")
+        self._note_respawn_storm()
         old = self._workers[worker_index]
         try:
             old.process.join(timeout=0.5)
@@ -1521,12 +1877,18 @@ class WorkerPool:
         for task_id, task in stale:
             pending.pop(task_id, None)
         for _, task in stale:
-            if task.attempts >= _MAX_TASK_ATTEMPTS:
-                raise SolverError(
-                    f"pool worker {worker_index} died {task.attempts} times "
-                    f"while running a {task.kind!r} task; giving up")
             if task.kind == "register":
                 continue  # re-registration happens on demand
+            if task.attempts >= self._retry_limit:
+                # Poison: this payload has now killed a worker on every
+                # dispatch in its budget.  Quarantine it (no re-dispatch)
+                # and let the round drain its siblings before raising —
+                # raising here would abandon every other stale task
+                # mid-loop, failing work that would have succeeded.
+                self._quarantined.append((task,
+                                          self._task_fingerprint(task)))
+                continue
+            self._bump("tasks_retried")
             self._dispatch(task.kind, task.args, task.position, pending,
                            worker_index=worker_index,
                            attempts=task.attempts + 1, stolen=task.stolen)

@@ -20,6 +20,12 @@ default, exactly like the batching knobs in
     ``false`` / ``no`` disables it (the control arm of the skew benchmarks;
     the CI matrix pins both states).  The environment wins over any
     per-pool configuration so one variable steers a whole process.
+
+Stealing composes with fault injection (``REPRO_FAULTS``, see
+:mod:`repro.faults`): a stolen task keeps its original task id and shard
+position, so a fault plan keyed on ``shard=`` fires on the same work unit
+whether or not stealing re-routed it, and the chaos CI leg runs the
+fault-injection suite under both stealing states.
 """
 
 from __future__ import annotations

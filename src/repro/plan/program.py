@@ -574,6 +574,77 @@ class BoundProgram:
             return self._bound_min()
         raise SolverError(f"unsupported aggregate {aggregate!r}")  # pragma: no cover
 
+    def worst_case_range(self, aggregate: AggregateFunction,
+                         known_sum: float = 0.0,
+                         known_count: float = 0.0) -> ResultRange:
+        """A solver-free sound superset of :meth:`bound`'s range.
+
+        Computed directly from the compiled cell profiles — every cell at
+        its capacity, every value at its clipped extreme, no coupling
+        constraints — so it costs one pass over the profiles and cannot
+        fail or time out.  This is the ``degrade="worst-case"`` fallback: a
+        shard whose exact solve died or ran past the deadline substitutes
+        this range, and the merged result is still sound (the true answer
+        lies inside a superset of a superset).  It is deliberately *loose*:
+        mandatory-row floors, cross-cell frequency coupling and the AVG
+        search are all relaxed.
+        """
+        if aggregate is AggregateFunction.COUNT:
+            # Ignore mandatory-row floors (exact lower >= 0 = this lower)
+            # and every coupling row (exact upper <= capacity sum).
+            upper = float(sum(p.capacity for p in self._active))
+            return self._range(0.0, upper, AggregateFunction.COUNT)
+        if aggregate is AggregateFunction.SUM:
+            if any(math.isinf(p.value_upper) and p.value_upper > 0
+                   for p in self._active):
+                upper = _INF
+            else:
+                upper = float(sum(max(0.0, p.capacity * p.value_upper)
+                                  for p in self._active))
+            if any(math.isinf(p.value_lower) and p.value_lower < 0
+                   for p in self._active):
+                lower = -_INF
+            else:
+                lower = float(sum(min(0.0, p.capacity * p.value_lower)
+                                  for p in self._active))
+            return self._range(lower, upper, AggregateFunction.SUM,
+                               self._attribute)
+        if aggregate is AggregateFunction.MAX:
+            if not self._active:
+                return self._range(None, None, AggregateFunction.MAX,
+                                   self._attribute)
+            # No forced-extremum lower guarantee: None (undefined) is the
+            # sound relaxation of "some row must exist with value >= x".
+            upper = max(p.value_upper for p in self._active)
+            return self._range(None, upper, AggregateFunction.MAX,
+                               self._attribute)
+        if aggregate is AggregateFunction.MIN:
+            if not self._active:
+                return self._range(None, None, AggregateFunction.MIN,
+                                   self._attribute)
+            lower = min(p.value_lower for p in self._active)
+            return self._range(lower, None, AggregateFunction.MIN,
+                               self._attribute)
+        if aggregate is AggregateFunction.AVG:
+            if not self._active:
+                if known_count > 0:
+                    average = known_sum / known_count
+                    return self._range(average, average,
+                                       AggregateFunction.AVG,
+                                       self._attribute)
+                return self._range(None, None, AggregateFunction.AVG,
+                                   self._attribute)
+            uppers = [p.value_upper for p in self._active]
+            lowers = [p.value_lower for p in self._active]
+            if (any(math.isinf(u) for u in uppers)
+                    or any(math.isinf(l) for l in lowers)):
+                return self._range(-_INF, _INF, AggregateFunction.AVG,
+                                   self._attribute)
+            known = [known_sum / known_count] if known_count else []
+            return self._range(min(lowers + known), max(uppers + known),
+                               AggregateFunction.AVG, self._attribute)
+        raise SolverError(f"unsupported aggregate {aggregate!r}")  # pragma: no cover
+
     def bound_batch(self, requests: list[tuple]) -> list[ResultRange]:
         """Answer ``(aggregate, known_sum, known_count)`` requests as a batch.
 

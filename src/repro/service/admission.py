@@ -42,7 +42,8 @@ import threading
 import time
 from dataclasses import dataclass
 
-from ..exceptions import QueryRejectedError
+from ..exceptions import QueryDeadlineError, QueryRejectedError
+from ..faults import current_deadline
 from ..obs.metrics import get_registry
 from ..obs.trace import get_tracer
 from ..plan.passes import ObservedCellStatistics, estimated_cell_count
@@ -401,6 +402,15 @@ class AdmissionController:
                     self._pending += 1
                     deferred = False
                     try:
+                        # The query's ambient deadline keeps ticking while
+                        # the query is parked: the effective wait is the
+                        # smaller of the policy's patience and whatever
+                        # budget the deadline has left, and an expiry caused
+                        # by the *query deadline* surfaces as
+                        # QueryDeadlineError rather than an admission
+                        # rejection — the query ran out of time, the
+                        # service did not shed it.
+                        query_deadline = current_deadline()
                         deadline = time.monotonic() + policy.max_wait_seconds
                         # Head-only admission: a waiter admits only while it
                         # is the selected head AND its units fit — a
@@ -413,8 +423,22 @@ class AdmissionController:
                                 self._bump("deferred")
                                 get_tracer().annotate(admission="deferred")
                             remaining = deadline - time.monotonic()
+                            if query_deadline is not None:
+                                remaining = min(remaining,
+                                                query_deadline.remaining())
                             if remaining <= 0 or \
                                     not self._condition.wait(remaining):
+                                if query_deadline is not None and \
+                                        query_deadline.expired():
+                                    raise QueryDeadlineError(
+                                        f"query deadline of "
+                                        f"{query_deadline.seconds:.3f}s "
+                                        f"expired after "
+                                        f"{query_deadline.elapsed():.3f}s "
+                                        f"while deferred in the admission "
+                                        f"queue ({cost.describe()})",
+                                        deadline=query_deadline.seconds,
+                                        elapsed=query_deadline.elapsed())
                                 self._bump("rejected_timeout")
                                 raise QueryRejectedError(
                                     f"query rejected: {cost.describe()} "

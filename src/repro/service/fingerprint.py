@@ -139,10 +139,13 @@ def fingerprint_bound_options(options: BoundOptions) -> str:
 
     ``solve_workers`` and ``shard_strategy`` participate because sharded and
     serial execution may legitimately differ under approximate
-    (early-stopped) enumeration, and ``verify_backend`` because a verified
-    session fails differently from an unverified one.  ``parallel_mode`` is
+    (early-stopped) enumeration, ``verify_backend`` because a verified
+    session fails differently from an unverified one, and ``degrade``
+    because a degraded answer is a (sound) superset of the exact one — the
+    two must never share a report-cache entry.  ``parallel_mode`` is
     excluded: thread vs process pools can never change a range, only its
-    wall-clock cost.
+    wall-clock cost; ``deadline_seconds`` likewise — a deadline changes
+    whether a query *finishes*, never the range it finishes with.
     """
     tokens = [
         "options",
@@ -158,6 +161,7 @@ def fingerprint_bound_options(options: BoundOptions) -> str:
         "" if options.solve_workers is None else str(options.solve_workers),
         "" if options.verify_backend is None else str(options.verify_backend),
         options.shard_strategy,
+        "" if options.degrade is None else str(options.degrade),
     ]
     return _digest(tokens)
 

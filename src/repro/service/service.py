@@ -35,7 +35,8 @@ from dataclasses import dataclass, replace
 from ..core.bounds import BoundOptions
 from ..core.engine import ContingencyQuery, ContingencyReport
 from ..core.pcset import PredicateConstraintSet
-from ..exceptions import ReproError
+from ..exceptions import QueryDeadlineError, ReproError
+from ..faults import Deadline, current_deadline, deadline_scope
 from ..obs.metrics import get_registry
 from ..obs.profile import QueryProfile
 from ..obs.trace import Trace, get_tracer
@@ -70,6 +71,10 @@ class ServiceStatistics:
     decompositions_computed: int
     decomposition_solver_calls: int
     programs_compiled: int
+    #: Queries that raised QueryDeadlineError (in admission or mid-solve).
+    deadline_exceeded: int = 0
+    #: Queries answered with at least one worst-case-degraded shard.
+    degraded: int = 0
     worker_pool: dict[str, float] | None = None
     admission: dict[str, float] | None = None
 
@@ -84,6 +89,8 @@ class ServiceStatistics:
             "decompositions_computed": self.decompositions_computed,
             "decomposition_solver_calls": self.decomposition_solver_calls,
             "programs_compiled": self.programs_compiled,
+            "deadline_exceeded": self.deadline_exceeded,
+            "degraded": self.degraded,
             "worker_pool": (None if self.worker_pool is None
                             else dict(self.worker_pool)),
             "admission": (None if self.admission is None
@@ -111,7 +118,18 @@ class ServiceStatistics:
             f"decompositions computed: {self.decompositions_computed} "
             f"({self.decomposition_solver_calls} satisfiability call(s), "
             f"{self.programs_compiled} program(s) compiled)",
+            f"fault tolerance        : {self.deadline_exceeded} deadline(s) "
+            f"exceeded / {self.degraded} degraded "
+            f"answer(s)",
         ]
+        if self.worker_pool is not None:
+            pool = self.worker_pool
+            lines.append(
+                f"worker pool            : "
+                f"{int(pool.get('tasks_retried', 0))} task(s) retried / "
+                f"{int(pool.get('tasks_quarantined', 0))} quarantined / "
+                f"{int(pool.get('worker_restarts', 0))} crash restart(s) / "
+                f"{int(pool.get('breaker_trips', 0))} breaker trip(s)")
         if self.admission is not None:
             lines.append(
                 f"admission control      : "
@@ -207,6 +225,8 @@ class ContingencyService:
                            else AdmissionController(admission))
         self._queries_answered = 0
         self._batches_executed = 0
+        self._deadline_exceeded = 0
+        self._degraded = 0
         self._counter_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
@@ -334,6 +354,40 @@ class ContingencyService:
             tracer.annotate(report_cache=(
                 "hit" if self._report_cache.peek(key) is not None
                 else "miss"))
+        # Report-cache hits bypass both admission *and* the deadline: a
+        # cached answer is effectively instantaneous, so metering it against
+        # the budget could only produce spurious expiries.  Everything
+        # colder runs under the session's deadline scope, which covers the
+        # admission wait (a deferred query's solve budget shrinks while it
+        # is parked) as well as the solve itself.
+        try:
+            with self._deadline(session):
+                report = self._analyze_admitted(session, query, key, tracer)
+        except QueryDeadlineError:
+            with self._counter_lock:
+                self._deadline_exceeded += 1
+            raise
+        if report.degraded_shards:
+            with self._counter_lock:
+                self._degraded += 1
+        return report
+
+    def _deadline(self, session: RegisteredSession):
+        """The deadline scope for one query against ``session``.
+
+        An ambient deadline installed by the caller (e.g. a batch-level
+        budget) wins over the session's configured ``deadline_seconds`` —
+        the scope is a no-op then, mirroring the solver's own guard.
+        """
+        options = session.options
+        seconds = None if options is None else options.deadline_seconds
+        if seconds is None or current_deadline() is not None:
+            return deadline_scope(None)
+        return deadline_scope(Deadline(seconds))
+
+    def _analyze_admitted(self, session: RegisteredSession,
+                          query: ContingencyQuery, key, tracer
+                          ) -> ContingencyReport:
         if self._admission is None:
             return self._report_cache.get_or_compute(
                 key, lambda: session.analyze(query))
@@ -415,6 +469,9 @@ class ContingencyService:
                 ticket.release()
         for (query_fingerprint, positions), report in zip(
                 missing_by_query.items(), result.reports):
+            if report.degraded_shards:
+                with self._counter_lock:
+                    self._degraded += 1
             self._report_cache.put(
                 ("report", session.fingerprint, query_fingerprint), report)
             for position in positions:
@@ -447,6 +504,8 @@ class ContingencyService:
             decompositions_computed=decompositions,
             decomposition_solver_calls=solver_calls,
             programs_compiled=programs,
+            deadline_exceeded=self._deadline_exceeded,
+            degraded=self._degraded,
             worker_pool=self._worker_pool.statistics.as_dict(),
             admission=(None if self._admission is None
                        else self._admission.statistics.as_dict()),
