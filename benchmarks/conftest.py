@@ -10,7 +10,7 @@ paper's exact sizes.
 Benchmarks that measure *this repository's* performance (rather than
 regenerate paper artifacts) additionally record their wall times and
 speedups through the ``bench_record`` fixture; the session writes them to
-``benchmarks/BENCH_PR8.json`` so the perf trajectory is machine-readable
+``benchmarks/BENCH_PR10.json`` so the perf trajectory is machine-readable
 from PR 4 on — merge the per-PR files with ``repro bench-report`` (or
 ``python benchmarks/trajectory.py``) instead of scraping pytest logs.
 
@@ -39,14 +39,15 @@ def pytest_configure(config):
 
 
 _BENCH_DIR = Path(__file__).parent
-_TRAJECTORY_FILE = _BENCH_DIR / "BENCH_PR8.json"
+_TRAJECTORY_FILE = _BENCH_DIR / "BENCH_PR10.json"
 _RECORDS: list[dict] = []
 
 #: Environment toggles that change what the benchmarks measure; their
 #: values ride along on every record so cross-PR diffs can rule out
 #: configuration drift.
 _ENV_TOGGLES = ("REPRO_POOL", "REPRO_SHARD_STRATEGY", "REPRO_TRACE",
-                "REPRO_SOLVE_BATCH", "REPRO_SOLVE_BATCH_SIZE", "REPRO_STEAL")
+                "REPRO_SOLVE_BATCH", "REPRO_SOLVE_BATCH_SIZE", "REPRO_STEAL",
+                "REPRO_CACHE_DIR")
 
 
 def _git_sha() -> str | None:
@@ -88,7 +89,7 @@ def report_artifact(capsys):
 
 @pytest.fixture
 def bench_record(request):
-    """Record one benchmark's timings into ``BENCH_PR8.json``.
+    """Record one benchmark's timings into ``BENCH_PR10.json``.
 
     Call with keyword fields; ``seconds``-suffixed fields are wall times,
     ``speedup`` fields are ratios.  The benchmark name defaults to the

@@ -1,0 +1,208 @@
+"""Benchmark: incremental, versioned result reuse.
+
+Three timings, one per reuse layer:
+
+* **Shifted region** — a region-sharded query whose WHERE window moved by a
+  couple of units recomputes only the uncovered edge slices; the interior
+  slices come from the shared decomposition cache.
+* **Append delta** — appending rows to a registered session migrates every
+  cached report the delta provably cannot change, so the post-append batch
+  pays only for the queries whose regions the new rows actually touch.
+* **Warm restart** — a second service process pointed at the same
+  ``cache_dir`` answers the first service's workload from the persistent
+  tier without recomputing a single decomposition.
+
+Every layer's answers are asserted bit-identical to cold computation
+*unconditionally* — the timing claims are only meaningful if reuse never
+changes a bound.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.core.bounds import BoundOptions
+from repro.core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from repro.core.engine import ContingencyQuery, PCAnalyzer
+from repro.core.pcset import PredicateConstraintSet
+from repro.core.predicates import Predicate
+from repro.obs.metrics import get_registry
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+from repro.service import ContingencyService, LRUCache
+
+
+def chained_pcset(size: int = 10) -> PredicateConstraintSet:
+    """One overlap component of ``size`` chained windows (forces region cuts)."""
+    constraints = []
+    for index in range(size):
+        low = 20.0 + 6 * index
+        constraints.append(PredicateConstraint(
+            Predicate.range("utc", low, low + 10),
+            ValueConstraint({"price": (1.0, 50.0 + index)}),
+            FrequencyConstraint(0, 10 + index), name=f"c{index}"))
+    return PredicateConstraintSet(constraints)
+
+
+def observed_relation() -> Relation:
+    schema = Schema.from_pairs([("utc", ColumnType.FLOAT),
+                                ("price", ColumnType.FLOAT)])
+    rows = [(20.0 + 0.7 * index, 5.0 + index % 11) for index in range(40)]
+    return Relation.from_rows(schema, rows, name="observed")
+
+
+def all_aggregates(region: Predicate) -> list[ContingencyQuery]:
+    return [ContingencyQuery.count(region),
+            ContingencyQuery.sum("price", region),
+            ContingencyQuery.avg("price", region),
+            ContingencyQuery.min("price", region),
+            ContingencyQuery.max("price", region)]
+
+
+def assert_identical(actual, expected):
+    assert actual.result_range.lower == expected.result_range.lower
+    assert actual.result_range.upper == expected.result_range.upper
+    assert actual.missing_range.lower == expected.missing_range.lower
+    assert actual.missing_range.upper == expected.missing_range.upper
+    assert actual.observed_value == expected.observed_value
+
+
+@pytest.mark.paper_artifact("incremental-cache")
+def test_bench_shifted_region_slice_reuse(report_artifact, bench_record):
+    """A shifted WHERE region recomputes only the uncovered edge slices."""
+    options = BoundOptions(check_closure=False, solve_workers=4,
+                           shard_strategy="region")
+    registry = get_registry()
+    cache = LRUCache(max_entries=256, name="decomposition")
+    analyzer = PCAnalyzer(chained_pcset(), options=options,
+                          decomposition_cache=cache)
+
+    started = time.perf_counter()
+    analyzer.analyze(ContingencyQuery.count(Predicate.range("utc", 10, 90)))
+    cold_seconds = time.perf_counter() - started
+
+    hits_before = registry.counter("cache.slice_hits").value
+    recomputed_before = registry.counter("cache.slice_recomputed").value
+    shifted = Predicate.range("utc", 12, 92)
+    started = time.perf_counter()
+    report = analyzer.analyze(ContingencyQuery.count(shifted))
+    shifted_seconds = time.perf_counter() - started
+    slice_hits = registry.counter("cache.slice_hits").value - hits_before
+    recomputed = (registry.counter("cache.slice_recomputed").value
+                  - recomputed_before)
+
+    # Bit-identical to a cold analyzer, always.
+    cold = PCAnalyzer(chained_pcset(), options=options)
+    assert_identical(report, cold.analyze(ContingencyQuery.count(shifted)))
+    assert slice_hits > 0 and recomputed < slice_hits + recomputed
+
+    ratio = cold_seconds / max(shifted_seconds, 1e-9)
+    report_artifact(
+        "Shifted-region slice reuse\n"
+        f"  cold region [10, 90]   : {cold_seconds * 1000:.1f} ms\n"
+        f"  shifted region [12, 92]: {shifted_seconds * 1000:.1f} ms "
+        f"({slice_hits} slice(s) reused, {recomputed} recomputed)\n"
+        f"  shifted/cold speedup   : {ratio:.1f}x")
+    bench_record(cold_seconds=cold_seconds, shifted_seconds=shifted_seconds,
+                 speedup=ratio, slice_hits=int(slice_hits),
+                 slice_recomputed=int(recomputed))
+
+
+@pytest.mark.paper_artifact("incremental-cache")
+def test_bench_append_delta_migration(report_artifact, bench_record):
+    """Appending rows keeps every report the delta cannot touch."""
+    options = BoundOptions(check_closure=False)
+    # Five aggregates over eight regions; the delta rows land in [50, 56],
+    # so five of the eight regions keep their cached reports.
+    regions = [Predicate.range("utc", 20.0 + 5 * index, 30.0 + 5 * index)
+               for index in range(8)]
+    queries = [query for region in regions for query in all_aggregates(region)]
+    delta = [(51.0, 7.0), (55.5, 9.0)]
+
+    service = ContingencyService(max_workers=2)
+    service.register("bench", chained_pcset(), observed=observed_relation(),
+                     options=options)
+    started = time.perf_counter()
+    service.execute_batch("bench", queries)
+    cold_seconds = time.perf_counter() - started
+
+    service.append_rows("bench", delta)
+    started = time.perf_counter()
+    warm = service.execute_batch("bench", queries)
+    append_seconds = time.perf_counter() - started
+    statistics = service.statistics()
+
+    # Bit-identical to a cold analyzer over the full appended data, always.
+    cold = PCAnalyzer(chained_pcset(),
+                      observed=observed_relation().append(delta),
+                      options=options)
+    for query, report in zip(queries, warm.reports):
+        assert_identical(report, cold.analyze(query))
+    assert statistics.delta_migrations > 0
+    assert statistics.delta_invalidations > 0
+
+    ratio = cold_seconds / max(append_seconds, 1e-9)
+    report_artifact(
+        "Append-delta report migration\n"
+        f"  batch size           : {len(queries)} queries over "
+        f"{len(regions)} regions\n"
+        f"  cold batch           : {cold_seconds * 1000:.1f} ms\n"
+        f"  post-append batch    : {append_seconds * 1000:.1f} ms "
+        f"({statistics.delta_migrations} migrated, "
+        f"{statistics.delta_invalidations} invalidated)\n"
+        f"  post-append speedup  : {ratio:.1f}x")
+    bench_record(cold_seconds=cold_seconds, append_seconds=append_seconds,
+                 speedup=ratio, migrated=statistics.delta_migrations,
+                 invalidated=statistics.delta_invalidations)
+
+
+@pytest.mark.paper_artifact("incremental-cache")
+def test_bench_warm_restart(tmp_path, report_artifact, bench_record):
+    """Acceptance: a restart against the same cache_dir is >= 2x faster."""
+    options = BoundOptions(check_closure=False)
+    regions = [Predicate.range("utc", 20.0 + 5 * index, 30.0 + 5 * index)
+               for index in range(8)]
+    queries = [query for region in regions for query in all_aggregates(region)]
+
+    with ContingencyService(max_workers=2,
+                            cache_dir=str(tmp_path)) as first:
+        first.register("bench", chained_pcset(),
+                       observed=observed_relation(), options=options)
+        started = time.perf_counter()
+        cold = first.execute_batch("bench", queries)
+        cold_seconds = time.perf_counter() - started
+
+    with ContingencyService(max_workers=2,
+                            cache_dir=str(tmp_path)) as second:
+        second.register("bench", chained_pcset(),
+                        observed=observed_relation(), options=options)
+        started = time.perf_counter()
+        warm = second.execute_batch("bench", queries)
+        warm_seconds = time.perf_counter() - started
+        statistics = second.statistics()
+
+    # Bit-identical across the restart, always.
+    for before, after in zip(cold.reports, warm.reports):
+        assert_identical(after, before)
+    assert statistics.decompositions_computed == 0
+    assert statistics.store is not None and statistics.store["hits"] > 0
+
+    ratio = cold_seconds / max(warm_seconds, 1e-9)
+    report_artifact(
+        "Warm restart from the persistent tier\n"
+        f"  batch size            : {len(queries)} queries\n"
+        f"  cold process          : {cold_seconds * 1000:.1f} ms\n"
+        f"  restarted process     : {warm_seconds * 1000:.1f} ms "
+        f"({int(statistics.store['hits'])} store hit(s), "
+        f"0 decompositions)\n"
+        f"  restart speedup       : {ratio:.1f}x")
+    bench_record(cold_seconds=cold_seconds, warm_seconds=warm_seconds,
+                 speedup=ratio, store_hits=int(statistics.store["hits"]))
+    # The acceptance threshold, with margin below observed ratios.
+    assert ratio >= 2.0

@@ -114,6 +114,14 @@ def build_parser() -> argparse.ArgumentParser:
                               help="worker-pool flavour for --workers "
                                    "(default: thread; process needs a "
                                    "process-safe backend)")
+    bound_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="persistent cache directory: route the "
+                                   "query through a service whose "
+                                   "decomposition/report caches write "
+                                   "through to a sqlite store in DIR, so a "
+                                   "repeated invocation is served warm "
+                                   "(default: the REPRO_CACHE_DIR "
+                                   "environment toggle)")
     _add_profile_arguments(bound_parser)
     _add_solver_arguments(bound_parser)
     bound_parser.set_defaults(handler=_command_bound)
@@ -142,6 +150,11 @@ def build_parser() -> argparse.ArgumentParser:
                                    "before any solve is dispatched")
     serve_parser.add_argument("--no-closure-check", action="store_true",
                               help="skip the closed-world check (assume closure)")
+    serve_parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                              help="persistent cache directory (sqlite "
+                                   "write-through tier for decompositions "
+                                   "and reports; default: the "
+                                   "REPRO_CACHE_DIR environment toggle)")
     _add_profile_arguments(serve_parser)
     _add_solver_arguments(serve_parser)
     serve_parser.set_defaults(handler=_command_serve_batch)
@@ -363,9 +376,24 @@ def _command_bound(args: argparse.Namespace) -> int:
         options.solve_workers = args.workers
     if args.parallel_mode is not None:
         options.parallel_mode = args.parallel_mode
-    analyzer = PCAnalyzer(pcset, observed=observed, options=options)
-    report, profile = _maybe_profiled(args, "query",
-                                      lambda: analyzer.analyze(query))
+    service = None
+    if args.cache_dir:
+        # Route through a service so the persistent tier backs the caches:
+        # a repeated invocation with the same --cache-dir answers from the
+        # store without recomputing (warm restart).
+        from .service import ContingencyService
+
+        service = ContingencyService(cache_dir=args.cache_dir)
+        session_name = Path(args.constraints).stem
+        service.register(session_name, pcset, observed=observed,
+                         options=options)
+        analyzer = service.session(session_name).analyzer
+        report, profile = _maybe_profiled(
+            args, "query", lambda: service.analyze(session_name, query))
+    else:
+        analyzer = PCAnalyzer(pcset, observed=observed, options=options)
+        report, profile = _maybe_profiled(args, "query",
+                                          lambda: analyzer.analyze(query))
     # The program was compiled (and cached) by analyze(); reading its plan
     # back avoids running the optimizer pipeline a second time.
     plan = analyzer.solver.program(query.region, query.attribute).plan
@@ -410,6 +438,12 @@ def _command_bound(args: argparse.Namespace) -> int:
           f"{report.missing_range.upper}]")
     print(f"closed world    : {report.missing_range.closed}")
     print(f"solve time      : {report.elapsed_seconds * 1000:.1f} ms")
+    if service is not None:
+        store = service.statistics().store or {}
+        print(f"persistent store: {int(store.get('reads', 0))} read(s) / "
+              f"{int(store.get('hits', 0))} hit(s) / "
+              f"{int(store.get('writes', 0))} write(s) in {args.cache_dir}")
+        service.shutdown()
     _print_profile(args, profile)
     return 0
 
@@ -462,7 +496,8 @@ def _command_serve_batch(args: argparse.Namespace) -> int:
     admission = (None if args.max_cost is None
                  else AdmissionPolicy(max_query_cost=args.max_cost))
     service = ContingencyService(max_workers=args.workers,
-                                 admission=admission)
+                                 admission=admission,
+                                 cache_dir=args.cache_dir)
     session_name = Path(args.constraints).stem
     session = service.register(session_name, pcset, observed=observed,
                                options=options)

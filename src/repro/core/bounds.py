@@ -1094,33 +1094,74 @@ class PCBoundSolver:
         early-stop depth, which is what makes the merged cell set equal the
         serial enumeration under every knob combination.
 
+        **Slice-level reuse.**  Before dispatching, each shard consults the
+        shared decomposition cache under its *slice key* (see
+        :func:`repro.plan.sharding.slice_cache_keys`): a shard's
+        decomposition is exactly the decomposition of its sub-region, so
+        slices are keyed like ordinary (namespace, region) entries and a
+        query whose region overlaps a previous one recomputes only the
+        uncovered slices — the cached ones rejoin via the same
+        :func:`merge_shard_decompositions` union, which keeps the merged
+        artifact bit-identical to a cold serial enumeration.  Fresh slice
+        decompositions are written back so future overlapping regions (and,
+        with a persistent tier attached, future processes) reuse them.
+
         Batch size for the pool's batched shipping comes from the
         observed-density feed: dense constraint sets (heavy per-shard
         enumeration) keep batches small so one task cannot become the
         critical-path straggler, sparse ones batch aggressively.
         """
+        from ..obs.metrics import get_registry
         from ..plan.passes import estimated_cell_count
-        from ..plan.sharding import merge_shard_decompositions
+        from ..plan.sharding import merge_shard_decompositions, slice_cache_keys
         from ..solvers.batching import adaptive_batch_size
 
         region = plan.query.region
         attribute = plan.query.attribute
-        keyed = [(self.shard_program_key(shard, region, attribute),
-                  shard.plan.pcset, shard.plan.query.region,
-                  shard.plan.strategy, shard.plan.early_stop_depth)
-                 for shard in sharded]
-        pool = self.borrow_pool(workers)
-        estimate, _source = estimated_cell_count(plan, self._cell_statistics)
-        batch_size = adaptive_batch_size(
-            len(keyed), pool.max_workers, estimated_cells=estimate,
-            configured=self._options.solve_batch_size)
-        decompositions = pool.decompose_shards(keyed, batch_size=batch_size)
+        shards = list(sharded)
+        slice_keys = None
+        decompositions: list = [None] * len(shards)
+        pending = list(enumerate(shards))
+        if self._shared_cache is not None:
+            slice_keys = slice_cache_keys(sharded, self._plan_namespace(plan))
+            pending = []
+            for index, shard in enumerate(shards):
+                cached = self._shared_cache.get(slice_keys[index])
+                if cached is not None:
+                    decompositions[index] = cached
+                else:
+                    pending.append((index, shard))
+            slice_hits = len(shards) - len(pending)
+            registry = get_registry()
+            if slice_hits:
+                registry.counter("cache.slice_hits").inc(slice_hits)
+            if pending:
+                registry.counter("cache.slice_recomputed").inc(len(pending))
+            get_tracer().annotate(slice_hits=slice_hits,
+                                  slice_recomputed=len(pending))
+        if pending:
+            keyed = [(self.shard_program_key(shard, region, attribute),
+                      shard.plan.pcset, shard.plan.query.region,
+                      shard.plan.strategy, shard.plan.early_stop_depth)
+                     for _index, shard in pending]
+            pool = self.borrow_pool(workers)
+            estimate, _source = estimated_cell_count(plan, self._cell_statistics)
+            batch_size = adaptive_batch_size(
+                len(keyed), pool.max_workers, estimated_cells=estimate,
+                configured=self._options.solve_batch_size)
+            fresh = pool.decompose_shards(keyed, batch_size=batch_size)
+            for (index, _shard), decomposition in zip(pending, fresh):
+                decompositions[index] = decomposition
+                if slice_keys is not None:
+                    self._shared_cache.put(slice_keys[index], decomposition)
         # Close the feedback loop: record each shard's observed cell load
         # under the *partition* attribute the cuts were placed on (not the
         # aggregate attribute) so the next sharded_plan() for this pair
-        # re-cuts with real loads instead of midpoint counts.
+        # re-cuts with real loads instead of midpoint counts.  Cached slices
+        # report their (identical) cell counts too — reuse must not starve
+        # the load feed.
         loads = [(shard.bounds, len(decomposition.cells))
-                 for shard, decomposition in zip(sharded, decompositions)
+                 for shard, decomposition in zip(shards, decompositions)
                  if shard.bounds is not None]
         if loads:
             self._shard_loads.observe(
@@ -1134,22 +1175,35 @@ class PCBoundSolver:
             tracer.annotate(cells=len(decomposition.cells))
         return decomposition
 
+    def _plan_namespace(self, plan: BoundPlan) -> object:
+        """The decomposition-cache namespace for ``plan``'s entries.
+
+        The caller's namespace covers the original constraint set and
+        enumeration knobs; the pipeline toggles complete it because they
+        decide what actually gets decomposed.  The plan's resolved
+        early-stop depth joins explicitly: under adaptive budgeting it
+        depends on the observed-density feed, not just on
+        (namespace, region), and two plans that enumerate to different
+        depths must never share cells.  Whole-region entries and per-slice
+        entries share this namespace — a region shard's decomposition *is*
+        the decomposition of its sub-region (shard plans inherit the
+        parent's constraint set, strategy and depth), so the two entry
+        populations may soundly serve each other.
+        """
+        if self._cache_namespace is not None:
+            return ("plan", self._cache_namespace,
+                    self._options.optimize, self._options.cell_budget,
+                    plan.early_stop_depth)
+        from .cells import _structural_namespace
+
+        return _structural_namespace(plan.pcset, plan.strategy,
+                                     plan.early_stop_depth)
+
     def _decompose_plan_inner(self, plan: BoundPlan) -> CellDecomposition:
         region = plan.query.region
         compute_override = self._region_decomposition_factory(plan)
         if self._shared_cache is not None:
-            namespace = None
-            if self._cache_namespace is not None:
-                # The caller's namespace covers the original constraint set
-                # and enumeration knobs; the pipeline toggles complete it
-                # because they decide what actually gets decomposed.  The
-                # plan's resolved early-stop depth joins explicitly: under
-                # adaptive budgeting it depends on the observed-density
-                # feed, not just on (namespace, region), and two plans that
-                # enumerate to different depths must never share cells.
-                namespace = ("plan", self._cache_namespace,
-                             self._options.optimize, self._options.cell_budget,
-                             plan.early_stop_depth)
+            namespace = self._plan_namespace(plan)
             return decompose_cached(
                 plan.pcset, region,
                 strategy=plan.strategy,

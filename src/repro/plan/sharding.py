@@ -67,6 +67,7 @@ from dataclasses import dataclass
 from ..core.cells import (
     CellDecomposition,
     DecompositionStatistics,
+    decomposition_cache_key,
 )
 from ..core.pcset import PredicateConstraintSet
 from ..core.predicates import Predicate
@@ -80,7 +81,8 @@ __all__ = ["SHARDABLE_AGGREGATES", "SHARD_STRATEGIES", "PlanShard",
            "ShardedBoundPlan", "ShardingStrategy", "ConstraintComponentSharding",
            "RegionSharding", "default_shard_strategy", "select_sharding",
            "partition_constraint_indices", "shard_plan", "merge_shard_ranges",
-           "merge_shard_statistics", "merge_shard_decompositions"]
+           "merge_shard_statistics", "merge_shard_decompositions",
+           "slice_cache_keys"]
 
 _INF = float("inf")
 
@@ -664,6 +666,34 @@ def merge_shard_ranges(aggregate: AggregateFunction,
     return ResultRange(lower, upper, aggregate, attribute,
                        closed=all(result.closed for result in ranges),
                        statistics=statistics)
+
+
+def slice_cache_keys(sharded: ShardedBoundPlan, namespace: object) -> list[tuple]:
+    """Per-shard decomposition-cache keys for a region-sharded plan.
+
+    A region shard's decomposition is *exactly* the decomposition of its
+    sub-region predicate: shard plans carry the parent's full constraint
+    set, strategy and early-stop depth, and differ only in the conjoined
+    slice window.  Each slice is therefore keyed like an ordinary
+    whole-region entry — ``(namespace, sub_region)`` via
+    :func:`repro.core.cells.decomposition_cache_key` — which is what makes
+    slice-level reuse sound by construction:
+
+    * Two overlapping query regions that share interior cut points produce
+      *identical* sub-region predicates for the shared slices (predicates
+      hash by content, and ``conjoin`` normalises range intersection), so
+      the second query hits the first query's slice entries and recomputes
+      only its uncovered slices.
+    * Moved cut points (e.g. after :class:`~repro.plan.passes.ShardLoadMemo`
+      feedback re-cuts a region) change the sub-region predicates, which is
+      simply a cache miss — never a wrong hit.
+
+    The key embeds the partition attribute and slice interval through the
+    sub-region predicate itself, and the relation/options identity through
+    ``namespace`` (see ``PCBoundSolver._plan_namespace``).
+    """
+    return [decomposition_cache_key(namespace, shard.plan.query.region)
+            for shard in sharded]
 
 
 def merge_shard_decompositions(plan: BoundPlan,

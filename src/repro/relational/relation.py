@@ -218,6 +218,66 @@ class Relation:
         }
         return Relation(self._schema, columns, name=self._name)
 
+    def append(self, rows: "Relation | Iterable[Sequence] | Iterable[Mapping[str, object]]") -> "Relation":
+        """Union-all that records its lineage for incremental reuse.
+
+        Unlike :meth:`concat`, the result remembers the base relation and the
+        ordered deltas appended to it (see :attr:`append_lineage`).  The
+        service layer uses that lineage for two things: fingerprinting the
+        result incrementally (hash only the delta bytes instead of the whole
+        table) and deciding which cached reports an append can provably keep.
+        Any other mutation (``filter``, ``with_column``, ...) produces a
+        relation without lineage, which callers must treat as a full rebuild.
+
+        ``rows`` may be another relation with an identical schema, an
+        iterable of row tuples in schema order, or an iterable of
+        ``{column: value}`` mappings.
+        """
+        if isinstance(rows, Relation):
+            delta = rows
+            if delta._schema != self._schema:
+                raise SchemaError(
+                    "cannot append a relation with a different schema: "
+                    f"{self._schema!r} vs {delta._schema!r}"
+                )
+        else:
+            materialised = list(rows)
+            if materialised and isinstance(materialised[0], Mapping):
+                delta = Relation.from_dicts(self._schema, materialised, name=self._name)
+            else:
+                delta = Relation.from_rows(self._schema, materialised, name=self._name)
+        result = self.concat(delta)
+        base, deltas = self.append_lineage or (self, ())
+        result._append_base = base
+        result._append_deltas = (*deltas, delta)
+        return result
+
+    @property
+    def append_lineage(self) -> "tuple[Relation, tuple[Relation, ...]] | None":
+        """``(base, deltas)`` when this relation was built via :meth:`append`.
+
+        ``base`` is the original (pre-append) relation and ``deltas`` the
+        ordered appended batches; concatenating ``base`` with every delta
+        reproduces this relation exactly.  ``None`` for relations built any
+        other way.
+        """
+        base = getattr(self, "_append_base", None)
+        if base is None:
+            return None
+        return base, self._append_deltas
+
+    def __getstate__(self) -> dict:
+        """Drop unpicklable fingerprint hasher states before pickling.
+
+        The service layer memoizes running ``hashlib`` hashers on relation
+        objects (see :mod:`repro.service.fingerprint`); hasher objects do
+        not pickle, and a worker process never needs them — the memoized
+        digest string travels, and hashers rebuild lazily if asked for.
+        """
+        state = self.__dict__.copy()
+        state.pop("_fingerprint_hashers", None)
+        return state
+
     def sample(
         self, count: int, rng: np.random.Generator | None = None, replace: bool = False
     ) -> "Relation":

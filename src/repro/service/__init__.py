@@ -21,6 +21,7 @@ from .admission import (
 from .batch import BatchExecutor, BatchResult, BatchStatistics
 from .cache import CacheStatistics, LRUCache
 from .fingerprint import (
+    RelationVersion,
     combine_fingerprints,
     decomposition_namespace,
     fingerprint_bound_options,
@@ -29,9 +30,11 @@ from .fingerprint import (
     fingerprint_predicate,
     fingerprint_query,
     fingerprint_relation,
+    relation_version,
 )
 from .registry import RegisteredSession, SessionRegistry
 from .service import ContingencyService, ServiceStatistics
+from .store import PersistentStore, StoreStatistics, default_cache_dir
 
 __all__ = [
     "AdmissionController",
@@ -44,6 +47,11 @@ __all__ = [
     "BatchStatistics",
     "CacheStatistics",
     "LRUCache",
+    "PersistentStore",
+    "StoreStatistics",
+    "default_cache_dir",
+    "RelationVersion",
+    "relation_version",
     "combine_fingerprints",
     "decomposition_namespace",
     "fingerprint_bound_options",

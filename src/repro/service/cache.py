@@ -30,12 +30,19 @@ Value = TypeVar("Value")
 
 @dataclass
 class CacheStatistics:
-    """Counters describing one cache's traffic."""
+    """Counters describing one cache's traffic.
+
+    ``evictions`` counts capacity-driven removals only; ``invalidations``
+    counts removals requested via :meth:`LRUCache.invalidate_where` — the
+    two removal paths have very different meanings (memory pressure vs.
+    "this entry is no longer valid") and must not be conflated in stats.
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     puts: int = 0
+    invalidations: int = 0
 
     @property
     def lookups(self) -> int:
@@ -54,11 +61,13 @@ class CacheStatistics:
             "misses": self.misses,
             "evictions": self.evictions,
             "puts": self.puts,
+            "invalidations": self.invalidations,
             "hit_rate": self.hit_rate,
         }
 
     def snapshot(self) -> "CacheStatistics":
-        return CacheStatistics(self.hits, self.misses, self.evictions, self.puts)
+        return CacheStatistics(self.hits, self.misses, self.evictions,
+                               self.puts, self.invalidations)
 
 
 class LRUCache:
@@ -72,6 +81,12 @@ class LRUCache:
         pass a cache.
     name:
         Label used in statistics summaries.
+
+    A persistent tier may be attached via :meth:`attach_store` (see
+    :mod:`repro.service.store`): writes then go through to the store, and a
+    memory miss falls back to a store read before reporting a true miss, so
+    warm entries survive process restarts.  The store never affects
+    correctness — a store failure or absent row is simply a miss.
     """
 
     def __init__(self, max_entries: int = 256, name: str = "cache"):
@@ -83,6 +98,25 @@ class LRUCache:
         self._statistics = CacheStatistics()
         self._lock = threading.RLock()
         self._key_locks: dict[Hashable, threading.Lock] = {}
+        self._store = None
+        self._store_kind = name
+
+    def attach_store(self, store: object, kind: str | None = None) -> None:
+        """Back this cache with a persistent tier.
+
+        ``store`` is duck-typed: it must expose ``read(kind, key)`` (returning
+        ``None`` on miss/failure), ``write(kind, key, value)`` and
+        ``invalidate_where(kind, predicate)``.  ``kind`` namespaces this
+        cache's rows inside the shared store file (defaults to the cache
+        name).  Entries loaded from the store are promoted into memory
+        without being written back.
+        """
+        self._store = store
+        self._store_kind = kind if kind is not None else self._name
+
+    @property
+    def store(self) -> object | None:
+        return self._store
 
     @property
     def name(self) -> str:
@@ -113,15 +147,34 @@ class LRUCache:
     # Core operations
     # ------------------------------------------------------------------ #
     def get(self, key: Hashable, default: object = None) -> object:
-        """Look up ``key``, counting a hit or a miss and refreshing recency."""
+        """Look up ``key``, counting a hit or a miss and refreshing recency.
+
+        With a persistent tier attached, a memory miss falls back to a store
+        read; a store hit promotes the value into memory (without writing it
+        back to the store).  The memory counters still record the miss — the
+        store keeps its own hit/read counters — so in-memory statistics stay
+        comparable with and without a persistent tier.
+        """
         with self._lock:
             value = self._entries.get(key, _MISSING)
-            if value is _MISSING:
-                self._statistics.misses += 1
-                return default
+            if value is not _MISSING:
+                self._entries.move_to_end(key)
+                self._statistics.hits += 1
+                return value
+            self._statistics.misses += 1
+        store = self._store
+        if store is None:
+            return default
+        loaded = store.read(self._store_kind, key)
+        if loaded is None:
+            return default
+        with self._lock:
+            self._entries[key] = loaded
             self._entries.move_to_end(key)
-            self._statistics.hits += 1
-            return value
+            while len(self._entries) > self._max_entries:
+                self._entries.popitem(last=False)
+                self._statistics.evictions += 1
+        return loaded
 
     def peek(self, key: Hashable, default: object = None) -> object:
         """Look up ``key`` without touching recency or the counters."""
@@ -130,7 +183,12 @@ class LRUCache:
             return default if value is _MISSING else value
 
     def put(self, key: Hashable, value: object) -> None:
-        """Insert or overwrite ``key``, evicting the LRU entry on overflow."""
+        """Insert or overwrite ``key``, evicting the LRU entry on overflow.
+
+        Write-through: with a persistent tier attached the value is also
+        written to the store (capacity eviction never touches the store —
+        evicted entries remain readable from disk).
+        """
         with self._lock:
             self._entries[key] = value
             self._entries.move_to_end(key)
@@ -138,6 +196,28 @@ class LRUCache:
             while len(self._entries) > self._max_entries:
                 self._entries.popitem(last=False)
                 self._statistics.evictions += 1
+        store = self._store
+        if store is not None:
+            store.write(self._store_kind, key, value)
+
+    def invalidate_where(self, predicate: Callable[[Hashable], bool]) -> int:
+        """Remove every entry whose *key* satisfies ``predicate``.
+
+        Returns the number of in-memory entries removed; removals are counted
+        under ``invalidations``, never ``evictions`` (capacity pressure and
+        validity are different removal reasons).  With a persistent tier
+        attached the matching store rows are deleted too, so an invalidated
+        entry cannot resurrect on the next restart.
+        """
+        with self._lock:
+            doomed = [key for key in self._entries if predicate(key)]
+            for key in doomed:
+                del self._entries[key]
+            self._statistics.invalidations += len(doomed)
+        store = self._store
+        if store is not None:
+            store.invalidate_where(self._store_kind, predicate)
+        return len(doomed)
 
     def get_or_compute(self, key: Hashable,
                        factory: Callable[[], Value]) -> Value:
@@ -165,7 +245,12 @@ class LRUCache:
         return value  # type: ignore[return-value]
 
     def clear(self) -> None:
-        """Drop every entry (statistics are preserved)."""
+        """Drop every in-memory entry (statistics and the store persist).
+
+        An attached persistent tier is deliberately untouched: ``clear`` is a
+        memory-pressure valve, not an invalidation — use
+        :meth:`invalidate_where` to remove entries from both tiers.
+        """
         with self._lock:
             self._entries.clear()
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import hashlib
 import math
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
@@ -43,6 +44,8 @@ __all__ = [
     "fingerprint_query",
     "fingerprint_bound_options",
     "fingerprint_relation",
+    "relation_version",
+    "RelationVersion",
     "decomposition_namespace",
     "combine_fingerprints",
 ]
@@ -166,6 +169,57 @@ def fingerprint_bound_options(options: BoundOptions) -> str:
     return _digest(tokens)
 
 
+def _update_column_hasher(hasher: "hashlib._Hash", is_numeric: bool,
+                          values: np.ndarray) -> None:
+    """Feed one column's values into ``hasher`` in the canonical encoding.
+
+    The encoding is chosen so that streaming a base column followed by delta
+    columns produces *exactly* the digest a cold pass over the concatenated
+    column would: numeric arrays hash their raw contiguous bytes (and
+    ``concat`` preserves dtype, so bytes concatenate), string columns hash
+    per-value renderings with unit separators.
+    """
+    if is_numeric:
+        hasher.update(np.ascontiguousarray(values).tobytes())
+    else:
+        for value in values:
+            hasher.update(_literal(value).encode("utf-8"))
+            hasher.update(b"\x1f")
+
+
+def _column_hashers(relation: Relation) -> dict[str, "hashlib._Hash"]:
+    """Per-column running hashers for ``relation``, memoized on the object.
+
+    For a relation with append lineage the hashers are built incrementally:
+    copy the base relation's (memoized) hasher states via ``hashlib``'s
+    ``.copy()`` and stream only the delta bytes — O(delta) work that yields
+    digests byte-identical to a cold full-content pass, preserving the
+    "fingerprints equal iff content equal" contract.  Callers must ``copy()``
+    a hasher before finalising if they intend to extend it further.
+    """
+    cached = getattr(relation, "_fingerprint_hashers", None)
+    if cached is not None:
+        return cached
+    lineage = relation.append_lineage
+    if lineage is not None:
+        base, deltas = lineage
+        hashers = {name: hasher.copy()
+                   for name, hasher in _column_hashers(base).items()}
+        for delta in deltas:
+            for column in relation.schema:
+                _update_column_hasher(hashers[column.name], column.is_numeric,
+                                      delta.column(column.name))
+    else:
+        hashers = {}
+        for column in relation.schema:
+            hasher = hashlib.sha256()
+            _update_column_hasher(hasher, column.is_numeric,
+                                  relation.column(column.name))
+            hashers[column.name] = hasher
+    relation._fingerprint_hashers = hashers
+    return hashers
+
+
 def fingerprint_relation(relation: Relation) -> str:
     """Exact content hash of an observed relation.
 
@@ -176,17 +230,65 @@ def fingerprint_relation(relation: Relation) -> str:
     digested from their raw array bytes (one C-speed pass per column);
     string columns fall back to per-value rendering.  The relation's display
     name is excluded — renaming does not change any query answer.
+
+    The digest is memoized on the relation object (relations are immutable),
+    and relations built via :meth:`Relation.append` are hashed incrementally
+    from their lineage — only the delta bytes are streamed, yet the digest
+    equals the one a cold full-content pass would produce.
     """
+    memo = getattr(relation, "_fingerprint_memo", None)
+    if memo is not None:
+        return memo
+    hashers = _column_hashers(relation)
     tokens = ["relation", str(relation.num_rows)]
     for column in relation.schema:
         tokens.append(f"column:{column.name}:{column.ctype.value}")
-        values = relation.column(column.name)
-        if column.is_numeric:
-            data = np.ascontiguousarray(values).tobytes()
-            tokens.append(hashlib.sha256(data).hexdigest())
-        else:
-            tokens.append(_digest(_literal(value) for value in values))
-    return _digest(tokens)
+        tokens.append(hashers[column.name].copy().hexdigest())
+    digest = _digest(tokens)
+    relation._fingerprint_memo = digest
+    return digest
+
+
+@dataclass(frozen=True)
+class RelationVersion:
+    """A versioned identity for an observed relation.
+
+    ``base`` is the content fingerprint of the original relation and
+    ``deltas`` the ordered content fingerprints of each appended batch.  Two
+    relations with the same version are byte-identical *and* share an append
+    history, so caches keyed by the base fingerprint can migrate entries
+    delta-by-delta instead of rebuilding.  A relation without append lineage
+    has an empty delta chain.
+    """
+
+    base: str
+    deltas: tuple[str, ...] = ()
+
+    @property
+    def fingerprint(self) -> str:
+        """Combined digest of the whole version chain."""
+        return combine_fingerprints("relation-version", self.base, *self.deltas)
+
+    @property
+    def delta_count(self) -> int:
+        return len(self.deltas)
+
+    def describe(self) -> str:
+        if not self.deltas:
+            return f"base {self.base[:12]}"
+        return f"base {self.base[:12]} +{len(self.deltas)} delta(s)"
+
+
+def relation_version(relation: Relation) -> RelationVersion:
+    """The :class:`RelationVersion` of ``relation`` (lineage-aware)."""
+    lineage = relation.append_lineage
+    if lineage is None:
+        return RelationVersion(fingerprint_relation(relation))
+    base, deltas = lineage
+    return RelationVersion(
+        fingerprint_relation(base),
+        tuple(fingerprint_relation(delta) for delta in deltas),
+    )
 
 
 def decomposition_namespace(pcset: PredicateConstraintSet,

@@ -27,11 +27,13 @@ from ..core.pcset import PredicateConstraintSet
 from ..exceptions import ReproError
 from ..relational.relation import Relation
 from .fingerprint import (
+    RelationVersion,
     combine_fingerprints,
     decomposition_namespace,
     fingerprint_bound_options,
     fingerprint_pcset,
     fingerprint_relation,
+    relation_version,
 )
 
 __all__ = ["RegisteredSession", "SessionRegistry"]
@@ -87,7 +89,21 @@ class RegisteredSession:
                     solver.decomposition_solver_calls,
                     solver.programs_compiled)
 
+    @property
+    def relation_version(self) -> RelationVersion | None:
+        """The observed relation's versioned identity (None when data-less).
+
+        Lineage-aware: a session registered from an appended relation
+        reports its base fingerprint plus the ordered delta digests, which
+        is what lets the service tell "version N+1 is version N plus these
+        rows" apart from "version N+1 is different data".
+        """
+        if self.observed is None:
+            return None
+        return relation_version(self.observed)
+
     def describe(self) -> dict[str, object]:
+        version = self.relation_version
         return {
             "name": self.name,
             "version": self.version,
@@ -95,6 +111,7 @@ class RegisteredSession:
             "constraints": len(self.pcset),
             "total_max_rows": self.pcset.total_max_rows(),
             "observed_rows": 0 if self.observed is None else self.observed.num_rows,
+            "relation_version": None if version is None else version.describe(),
             "shard_strategy": self.options.shard_strategy,
             "deadline_seconds": self.options.deadline_seconds,
             "degrade": self.options.degrade,

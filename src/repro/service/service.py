@@ -32,6 +32,8 @@ from __future__ import annotations
 import threading
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 from ..core.bounds import BoundOptions
 from ..core.engine import ContingencyQuery, ContingencyReport
 from ..core.pcset import PredicateConstraintSet
@@ -54,6 +56,7 @@ from .batch import BatchExecutor, BatchResult
 from .cache import CacheStatistics, LRUCache
 from .fingerprint import fingerprint_query
 from .registry import RegisteredSession, SessionRegistry
+from .store import PersistentStore, default_cache_dir
 
 __all__ = ["ServiceStatistics", "ContingencyService"]
 
@@ -77,6 +80,12 @@ class ServiceStatistics:
     degraded: int = 0
     worker_pool: dict[str, float] | None = None
     admission: dict[str, float] | None = None
+    #: Persistent-store traffic (None when no cache_dir is configured).
+    store: dict[str, int] | None = None
+    #: Report-cache entries kept live across appends (delta did not touch
+    #: their query region) vs. dropped (delta rows matched the region).
+    delta_migrations: int = 0
+    delta_invalidations: int = 0
 
     def as_dict(self) -> dict[str, object]:
         return {
@@ -95,6 +104,9 @@ class ServiceStatistics:
                             else dict(self.worker_pool)),
             "admission": (None if self.admission is None
                           else dict(self.admission)),
+            "store": (None if self.store is None else dict(self.store)),
+            "delta_migrations": self.delta_migrations,
+            "delta_invalidations": self.delta_invalidations,
         }
 
     def summary(self) -> str:
@@ -137,6 +149,18 @@ class ServiceStatistics:
                 f"{int(self.admission['deferred'])} deferred / "
                 f"{int(self.admission['rejected'])} rejected "
                 f"({self.admission['units_admitted']:.1f} unit(s) admitted)")
+        if self.store is not None:
+            lines.append(
+                f"persistent store       : "
+                f"{int(self.store['reads'])} read(s) / "
+                f"{int(self.store['hits'])} hit(s) / "
+                f"{int(self.store['writes'])} write(s) / "
+                f"{int(self.store['errors'])} error(s)")
+        if self.delta_migrations or self.delta_invalidations:
+            lines.append(
+                f"append deltas          : "
+                f"{self.delta_migrations} report(s) migrated / "
+                f"{self.delta_invalidations} invalidated")
         return "\n".join(lines)
 
 
@@ -186,6 +210,17 @@ class ContingencyService:
         and the bounded admission queue are both exhausted — are shed with
         :class:`~repro.exceptions.QueryRejectedError`.  Report-cache hits
         bypass admission (answering from cache costs nothing to meter).
+    cache_dir:
+        Optional directory for the persistent cache tier (see
+        :mod:`repro.service.store`).  When set — explicitly or via the
+        ``REPRO_CACHE_DIR`` environment toggle — the decomposition and
+        report caches write through to a sqlite store in that directory and
+        read from it on memory misses, so warm work survives restarts and
+        can be shared between replicas.  The store is strictly
+        best-effort: any store failure is a cache miss, never an error.
+        Compiled programs are deliberately not persisted — they recompile
+        in milliseconds from a cached decomposition and may hold
+        backend-specific state.
     """
 
     _VERIFY_MODES = (None, "cross-backend")
@@ -198,7 +233,8 @@ class ContingencyService:
                  verify: str | None = None,
                  verify_backend: str = "branch-and-bound",
                  pool_mode: str | None = None,
-                 admission: AdmissionPolicy | None = None):
+                 admission: AdmissionPolicy | None = None,
+                 cache_dir: str | None = None):
         if verify not in self._VERIFY_MODES:
             raise ReproError(
                 f"unknown verify mode {verify!r}; expected one of "
@@ -207,6 +243,13 @@ class ContingencyService:
                                              name="decomposition")
         self._program_cache = LRUCache(program_cache_entries, name="program")
         self._report_cache = LRUCache(report_cache_entries, name="report")
+        cache_dir = cache_dir if cache_dir is not None else default_cache_dir()
+        self._store: PersistentStore | None = None
+        if cache_dir:
+            self._store = PersistentStore(cache_dir)
+            self._decomposition_cache.attach_store(self._store,
+                                                   "decomposition")
+            self._report_cache.attach_store(self._store, "report")
         self._worker_pool = WorkerPool(max_workers=max_workers,
                                        mode=pool_mode or default_pool_mode(),
                                        name="service")
@@ -227,7 +270,14 @@ class ContingencyService:
         self._batches_executed = 0
         self._deadline_exceeded = 0
         self._degraded = 0
+        self._delta_migrations = 0
+        self._delta_invalidations = 0
         self._counter_lock = threading.Lock()
+        # Side index from report-cache key parts to the query object, so an
+        # append can re-evaluate cached queries' WHERE regions against the
+        # delta.  Entries missing here (e.g. reports loaded from a previous
+        # process's store) simply are not migrated — a miss, never unsound.
+        self._report_queries: dict[tuple[str, str], ContingencyQuery] = {}
 
     # ------------------------------------------------------------------ #
     # Registry facade
@@ -265,6 +315,8 @@ class ContingencyService:
         never shut down explicitly."""
         self._executor.close()
         self._worker_pool.shutdown()
+        if self._store is not None:
+            self._store.close()
 
     def __enter__(self) -> "ContingencyService":
         return self
@@ -283,6 +335,11 @@ class ContingencyService:
     @property
     def report_cache(self) -> LRUCache:
         return self._report_cache
+
+    @property
+    def store(self) -> PersistentStore | None:
+        """The persistent cache tier (None without a cache_dir)."""
+        return self._store
 
     def register(self, name: str, pcset: PredicateConstraintSet,
                  observed: Relation | None = None,
@@ -346,7 +403,9 @@ class ContingencyService:
         with self._counter_lock:
             self._queries_answered += 1
         get_registry().counter("service.queries_answered").inc()
-        key = ("report", session.fingerprint, fingerprint_query(query))
+        query_fingerprint = fingerprint_query(query)
+        key = ("report", session.fingerprint, query_fingerprint)
+        self._remember_query(session.fingerprint, query_fingerprint, query)
         tracer = get_tracer()
         if tracer.active:
             # peek() perturbs neither LRU recency nor the cache counters,
@@ -441,6 +500,7 @@ class ContingencyService:
         for position, query in enumerate(queries):
             query_fingerprint = fingerprint_query(query)
             key = ("report", session.fingerprint, query_fingerprint)
+            self._remember_query(session.fingerprint, query_fingerprint, query)
             report = self._report_cache.get(key)
             if report is None:
                 missing_by_query.setdefault(query_fingerprint, []).append(position)
@@ -482,6 +542,103 @@ class ContingencyService:
         return BatchResult(reports, result.statistics)
 
     # ------------------------------------------------------------------ #
+    # Data deltas
+    # ------------------------------------------------------------------ #
+    def _remember_query(self, session_fingerprint: str,
+                        query_fingerprint: str,
+                        query: ContingencyQuery) -> None:
+        """Record the report-key → query mapping used for delta migration."""
+        with self._counter_lock:
+            self._report_queries[(session_fingerprint, query_fingerprint)] = query
+            # Bound the index: prune entries whose report is long gone once
+            # the map outgrows the report cache by a wide margin.
+            if len(self._report_queries) > 4 * self._report_cache.max_entries:
+                keep = {
+                    parts: stored_query
+                    for parts, stored_query in self._report_queries.items()
+                    if ("report", *parts) in self._report_cache
+                }
+                self._report_queries = keep
+
+    def append_rows(self, name: str,
+                    rows: "Relation | list", *,
+                    version: int | None = None) -> RegisteredSession:
+        """Append rows to a session's observed relation, keeping warm work.
+
+        Registers a new session version whose observed relation is
+        ``session.observed.append(rows)`` and *migrates* every cached report
+        the delta provably cannot change: a report depends on observed data
+        only through the rows matching its query's WHERE region (the
+        missing-partition bound is data-independent — see
+        :meth:`~repro.core.engine.PCAnalyzer.analyze`), so a cached report
+        whose region matches **zero** delta rows is bit-identical under the
+        new version and is re-keyed to it.  Reports whose region intersects
+        the delta are left behind under the old fingerprint (the old
+        version stays queryable and they remain correct *for it*) and are
+        counted as ``cache.delta_invalidations`` — the new version
+        recomputes them cold.
+
+        Decomposition and program caches are keyed by constraint-set
+        content, not data, so they stay warm across appends by
+        construction; only report-level reuse needs this migration.
+
+        ``rows`` may be a relation with the session's schema, row tuples in
+        schema order, or ``{column: value}`` mappings.  Non-append mutations
+        have no such incremental path — re-register the session, which is a
+        full invalidation of report-level reuse.
+        """
+        session = self._registry.get(name, version)
+        if session.observed is None:
+            raise ReproError(
+                f"session {name!r} has no observed relation to append to")
+        if isinstance(rows, Relation):
+            delta = rows
+        else:
+            materialised = list(rows)
+            delta = (Relation.from_dicts(session.observed.schema, materialised)
+                     if materialised and isinstance(materialised[0], dict)
+                     else Relation.from_rows(session.observed.schema,
+                                             materialised))
+        appended = session.observed.append(delta)
+        new_session = self._registry.register(name, session.pcset,
+                                              observed=appended,
+                                              options=session.options)
+        if new_session.fingerprint == session.fingerprint:
+            return new_session  # empty delta — nothing to migrate
+        migrated = 0
+        invalidated = 0
+        with self._counter_lock:
+            candidates = [
+                (query_fingerprint, query)
+                for (session_fingerprint, query_fingerprint), query
+                in self._report_queries.items()
+                if session_fingerprint == session.fingerprint
+            ]
+        for query_fingerprint, query in candidates:
+            report = self._report_cache.peek(
+                ("report", session.fingerprint, query_fingerprint))
+            if report is None:
+                continue
+            where = query.to_aggregate_query().where
+            if bool(np.asarray(where.evaluate(delta)).any()):
+                invalidated += 1
+                continue
+            self._report_cache.put(
+                ("report", new_session.fingerprint, query_fingerprint), report)
+            self._remember_query(new_session.fingerprint, query_fingerprint,
+                                 query)
+            migrated += 1
+        with self._counter_lock:
+            self._delta_migrations += migrated
+            self._delta_invalidations += invalidated
+        registry = get_registry()
+        if migrated:
+            registry.counter("cache.delta_migrations").inc(migrated)
+        if invalidated:
+            registry.counter("cache.delta_invalidations").inc(invalidated)
+        return new_session
+
+    # ------------------------------------------------------------------ #
     # Observability
     # ------------------------------------------------------------------ #
     def statistics(self) -> ServiceStatistics:
@@ -509,6 +666,10 @@ class ContingencyService:
             worker_pool=self._worker_pool.statistics.as_dict(),
             admission=(None if self._admission is None
                        else self._admission.statistics.as_dict()),
+            store=(None if self._store is None
+                   else self._store.statistics.as_dict()),
+            delta_migrations=self._delta_migrations,
+            delta_invalidations=self._delta_invalidations,
         )
 
     def clear_caches(self) -> None:

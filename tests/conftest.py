@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
 
@@ -15,6 +17,22 @@ from repro.core.predicates import Predicate
 from repro.relational.relation import Relation
 from repro.relational.schema import ColumnType, Schema
 from repro.solvers.sat import AttributeDomain
+
+
+@pytest.fixture(autouse=True)
+def _isolated_cache_dir(tmp_path_factory, monkeypatch):
+    """Give each test a private persistent-store directory under the CI leg.
+
+    The CI matrix runs the whole functional suite with ``REPRO_CACHE_DIR``
+    set, which makes every :class:`~repro.service.ContingencyService` attach
+    a persistent tier.  Several tests assert exact cache hit/miss counts, so
+    a store warmed by an earlier test must never leak into a later one: when
+    the toggle is on, repoint it at a fresh per-test directory.
+    """
+    if os.environ.get("REPRO_CACHE_DIR"):
+        monkeypatch.setenv(
+            "REPRO_CACHE_DIR", str(tmp_path_factory.mktemp("repro-cache")))
+    yield
 
 
 @pytest.fixture

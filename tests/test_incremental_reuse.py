@@ -1,0 +1,368 @@
+"""Tests for incremental, versioned result reuse.
+
+Three layers, each checked for the same invariant — reuse is *provably
+bit-identical* to cold computation:
+
+* slice-level decomposition caching: a shifted query region over a
+  region-sharded plan recomputes only the uncovered slices and still
+  produces exactly the serial answer, on all five aggregates;
+* lineage-aware fingerprints: :meth:`Relation.append` remembers its deltas,
+  ``fingerprint_relation`` hashes only the delta bytes, and the digest
+  equals a cold full-content pass;
+* delta-aware invalidation: :meth:`ContingencyService.append_rows` migrates
+  cached reports whose query region the delta provably cannot touch and
+  drops (only) the intersecting ones.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.bounds import BoundOptions
+from repro.core.constraints import (
+    FrequencyConstraint,
+    PredicateConstraint,
+    ValueConstraint,
+)
+from repro.core.engine import ContingencyQuery, PCAnalyzer
+from repro.core.pcset import PredicateConstraintSet
+from repro.core.predicates import Predicate
+from repro.exceptions import ReproError
+from repro.obs.metrics import get_registry
+from repro.relational.relation import Relation
+from repro.relational.schema import ColumnType, Schema
+from repro.service import ContingencyService, LRUCache
+from repro.service.fingerprint import (
+    RelationVersion,
+    fingerprint_relation,
+    relation_version,
+)
+
+from test_service import build_observed, build_pcset
+
+FAST = BoundOptions(check_closure=False, avg_tolerance=1e-4,
+                    avg_max_iterations=16)
+
+ALL_AGGREGATES = [
+    lambda region: ContingencyQuery.count(region),
+    lambda region: ContingencyQuery.sum("price", region),
+    lambda region: ContingencyQuery.avg("price", region),
+    lambda region: ContingencyQuery.min("price", region),
+    lambda region: ContingencyQuery.max("price", region),
+]
+
+
+def observed_schema() -> Schema:
+    return Schema.from_pairs([("utc", ColumnType.FLOAT),
+                              ("price", ColumnType.FLOAT)])
+
+
+def assert_reports_identical(actual, expected):
+    assert actual.result_range.lower == expected.result_range.lower
+    assert actual.result_range.upper == expected.result_range.upper
+    assert actual.missing_range.lower == expected.missing_range.lower
+    assert actual.missing_range.upper == expected.missing_range.upper
+    assert actual.observed_value == expected.observed_value
+
+
+# --------------------------------------------------------------------- #
+# Layer 1: slice-level decomposition caching
+# --------------------------------------------------------------------- #
+def chained_pcset() -> PredicateConstraintSet:
+    """One overlap component spanning utc in [20, 78] (forces region cuts)."""
+    constraints = []
+    for index in range(8):
+        low = 20.0 + 6 * index
+        constraints.append(PredicateConstraint(
+            Predicate.range("utc", low, low + 10),
+            ValueConstraint({"price": (1.0, 50.0 + index)}),
+            FrequencyConstraint(0, 10 + index), name=f"c{index}"))
+    return PredicateConstraintSet(constraints)
+
+
+SLICED = BoundOptions(check_closure=False, avg_tolerance=1e-4,
+                      avg_max_iterations=16, solve_workers=4,
+                      shard_strategy="region")
+
+
+class TestSliceReuse:
+    def test_shifted_region_reuses_interior_slices(self):
+        """Acceptance: slice hits > 0, recomputed < total, bit-identical."""
+        registry = get_registry()
+        cache = LRUCache(max_entries=256, name="decomposition")
+        warm = PCAnalyzer(chained_pcset(), options=SLICED,
+                          decomposition_cache=cache)
+        warm.analyze(ContingencyQuery.count(Predicate.range("utc", 10, 90)))
+
+        hits_before = registry.counter("cache.slice_hits").value
+        recomputed_before = registry.counter("cache.slice_recomputed").value
+        shifted = Predicate.range("utc", 12, 92)
+        reports = [warm.analyze(maker(shifted)) for maker in ALL_AGGREGATES]
+
+        hits = registry.counter("cache.slice_hits").value - hits_before
+        recomputed = (registry.counter("cache.slice_recomputed").value
+                      - recomputed_before)
+        assert hits > 0  # interior slices came from the first region
+        assert recomputed > 0  # the moved edges were genuinely recomputed
+        assert recomputed < hits + recomputed  # partial, not full, recompute
+
+        cold = PCAnalyzer(chained_pcset(), options=SLICED)
+        for maker, report in zip(ALL_AGGREGATES, reports):
+            assert_reports_identical(report, cold.analyze(maker(shifted)))
+
+    def test_identical_region_is_a_whole_region_hit(self):
+        """Equal regions skip the pooled slice path entirely (plain hit)."""
+        registry = get_registry()
+        cache = LRUCache(max_entries=256, name="decomposition")
+        analyzer = PCAnalyzer(chained_pcset(), options=SLICED,
+                              decomposition_cache=cache)
+        region = Predicate.range("utc", 10, 90)
+        analyzer.analyze(ContingencyQuery.count(region))
+        hits_before = registry.counter("cache.slice_hits").value
+        analyzer.analyze(ContingencyQuery.sum(
+            "price", Predicate.range("utc", 10, 90)))
+        # Served from the whole-region decomposition entry: no slice events.
+        assert registry.counter("cache.slice_hits").value == hits_before
+
+    def test_sliced_answers_match_serial_solver(self):
+        """The slice-cached sharded path equals the serial single-program
+        path on both the warm and the cold region."""
+        serial_options = BoundOptions(check_closure=False, avg_tolerance=1e-4,
+                                      avg_max_iterations=16)
+        cache = LRUCache(max_entries=256, name="decomposition")
+        sharded = PCAnalyzer(chained_pcset(), options=SLICED,
+                             decomposition_cache=cache)
+        serial = PCAnalyzer(chained_pcset(), options=serial_options)
+        for region in (Predicate.range("utc", 10, 90),
+                       Predicate.range("utc", 12, 92),
+                       Predicate.range("utc", 30, 70)):
+            for maker in ALL_AGGREGATES:
+                assert_reports_identical(sharded.analyze(maker(region)),
+                                         serial.analyze(maker(region)))
+
+
+# --------------------------------------------------------------------- #
+# Layer 2: append lineage + incremental fingerprints
+# --------------------------------------------------------------------- #
+class TestAppendLineage:
+    def test_append_records_lineage(self):
+        base = build_observed()
+        appended = base.append([(13.5, 45.0)])
+        assert appended.num_rows == base.num_rows + 1
+        lineage_base, deltas = appended.append_lineage
+        assert lineage_base is base
+        assert len(deltas) == 1 and deltas[0].num_rows == 1
+        assert base.append_lineage is None  # the base is untouched
+
+    def test_chained_appends_share_one_base(self):
+        base = build_observed()
+        twice = base.append([(13.5, 45.0)]).append([{"utc": 14.0,
+                                                     "price": 50.0}])
+        lineage_base, deltas = twice.append_lineage
+        assert lineage_base is base
+        assert [delta.num_rows for delta in deltas] == [1, 1]
+        assert twice.num_rows == base.num_rows + 2
+
+    def test_append_accepts_relation_dicts_and_tuples(self):
+        base = build_observed()
+        as_relation = base.append(
+            Relation.from_rows(observed_schema(), [(14.0, 50.0)]))
+        as_dicts = base.append([{"utc": 14.0, "price": 50.0}])
+        as_tuples = base.append([(14.0, 50.0)])
+        fingerprints = {fingerprint_relation(r)
+                        for r in (as_relation, as_dicts, as_tuples)}
+        assert len(fingerprints) == 1  # same content, same identity
+
+    def test_incremental_fingerprint_equals_cold_pass(self):
+        rows = [(10.0, 5.0), (10.5, 15.0), (11.2, 25.0), (12.5, 35.0)]
+        delta = [(13.5, 45.0), (14.0, 55.0)]
+        appended = Relation.from_rows(observed_schema(), rows).append(delta)
+        cold = Relation.from_rows(observed_schema(), rows + delta)
+        assert fingerprint_relation(appended) == fingerprint_relation(cold)
+
+    def test_incremental_fingerprint_with_string_columns(self):
+        schema = Schema.from_pairs([("branch", ColumnType.STRING),
+                                    ("price", ColumnType.FLOAT)])
+        rows = [("New York", 3.0), ("Chicago", 6.7)]
+        delta = [("Trenton", 19.0)]
+        appended = Relation.from_rows(schema, rows).append(delta)
+        cold = Relation.from_rows(schema, rows + delta)
+        assert fingerprint_relation(appended) == fingerprint_relation(cold)
+
+    def test_fingerprint_memoized_and_base_isolated(self):
+        base = build_observed()
+        base_fingerprint = fingerprint_relation(base)
+        assert fingerprint_relation(base) is base_fingerprint  # memo hit
+        appended = base.append([(13.5, 45.0)])
+        assert fingerprint_relation(appended) != base_fingerprint
+        # Hashing the appended relation must not corrupt the base's state.
+        assert fingerprint_relation(base) == base_fingerprint
+
+    def test_relation_version_tracks_delta_chain(self):
+        base = build_observed()
+        version = relation_version(base)
+        assert version.delta_count == 0
+        assert version.base == fingerprint_relation(base)
+        assert version.describe() == f"base {version.base[:12]}"
+
+        appended = base.append([(13.5, 45.0)]).append([(14.0, 50.0)])
+        appended_version = relation_version(appended)
+        assert appended_version.base == version.base
+        assert appended_version.delta_count == 2
+        assert appended_version.describe().endswith("+2 delta(s)")
+        # The combined chain digest distinguishes versions.
+        assert appended_version.fingerprint != version.fingerprint
+        assert RelationVersion(version.base).fingerprint == version.fingerprint
+
+    def test_session_describe_reports_relation_version(self):
+        service = ContingencyService(max_workers=1)
+        service.register("outage", build_pcset(), observed=build_observed(),
+                         options=FAST)
+        service.append_rows("outage", [(13.5, 45.0)])
+        description = service.session("outage").describe()
+        assert "+1 delta(s)" in description["relation_version"]
+        service.shutdown()
+
+
+# --------------------------------------------------------------------- #
+# Layer 3: delta-aware report migration
+# --------------------------------------------------------------------- #
+class TestDeltaInvalidation:
+    def test_only_intersecting_reports_invalidated(self):
+        service = ContingencyService(max_workers=2)
+        service.register("outage", build_pcset(), observed=build_observed(),
+                         options=FAST)
+        q_far = ContingencyQuery.sum("price", Predicate.range("utc", 11, 12))
+        q_near = ContingencyQuery.count(Predicate.range("utc", 12, 13))
+        far_before = service.analyze("outage", q_far)
+        service.analyze("outage", q_near)
+
+        session = service.append_rows("outage", [(12.6, 9.0)])
+        assert session.version == 2
+        statistics = service.statistics()
+        assert statistics.delta_migrations == 1  # q_far: region untouched
+        assert statistics.delta_invalidations == 1  # q_near: row lands inside
+        assert "1 report(s) migrated / 1 invalidated" in statistics.summary()
+
+        # The migrated report answers from cache — no new solve.
+        hits = service.report_cache.statistics.hits
+        misses = service.report_cache.statistics.misses
+        far_after = service.analyze("outage", ContingencyQuery.sum(
+            "price", Predicate.range("utc", 11, 12)))
+        assert service.report_cache.statistics.hits == hits + 1
+        assert_reports_identical(far_after, far_before)
+
+        # The invalidated one is a genuine miss and recomputes cold.
+        near_after = service.analyze("outage", ContingencyQuery.count(
+            Predicate.range("utc", 12, 13)))
+        assert service.report_cache.statistics.misses == misses + 1
+        assert near_after.observed_value == 2.0  # 12.5 and the new 12.6
+        service.shutdown()
+
+    def test_append_matches_cold_registration(self):
+        """The appended session fingerprints identically to registering the
+        concatenated relation from scratch — so migrated entries are exactly
+        the entries a cold service would cache."""
+        rows = [(10.0, 5.0), (10.5, 15.0), (11.2, 25.0), (12.5, 35.0)]
+        delta = [(13.5, 45.0)]
+        service = ContingencyService(max_workers=1)
+        service.register(
+            "outage", build_pcset(),
+            observed=Relation.from_rows(observed_schema(), rows),
+            options=FAST)
+        appended = service.append_rows("outage", delta)
+
+        cold = ContingencyService(max_workers=1)
+        cold_session = cold.register(
+            "outage", build_pcset(),
+            observed=Relation.from_rows(observed_schema(), rows + delta),
+            options=FAST)
+        assert appended.fingerprint == cold_session.fingerprint
+        service.shutdown()
+        cold.shutdown()
+
+    def test_empty_delta_is_a_no_op(self):
+        service = ContingencyService(max_workers=1)
+        service.register("outage", build_pcset(), observed=build_observed(),
+                         options=FAST)
+        session = service.append_rows("outage", [])
+        assert session.version == 1  # same fingerprint, no version fork
+        assert service.statistics().delta_migrations == 0
+        service.shutdown()
+
+    def test_append_requires_observed_relation(self):
+        service = ContingencyService(max_workers=1)
+        service.register("outage", build_pcset(), options=FAST)
+        with pytest.raises(ReproError):
+            service.append_rows("outage", [(13.5, 45.0)])
+        service.shutdown()
+
+    def test_old_version_stays_queryable_after_append(self):
+        service = ContingencyService(max_workers=1)
+        service.register("outage", build_pcset(), observed=build_observed(),
+                         options=FAST)
+        query = ContingencyQuery.count(Predicate.range("utc", 12, 13))
+        before = service.analyze("outage", query)
+        service.append_rows("outage", [(12.6, 9.0)])
+        # Version 1 still answers from its own (untouched) cache entry.
+        again = service.analyze("outage", query, version=1)
+        assert_reports_identical(again, before)
+        assert service.analyze("outage", query).observed_value \
+            == before.observed_value + 1
+        service.shutdown()
+
+    @pytest.mark.parametrize("strategy", ["component", "region", "auto"])
+    def test_appended_session_matches_cold_analyzer(self, strategy):
+        """Property: after an append, every aggregate over every probed
+        region is bit-identical to a cold analyzer on the full data."""
+        options = BoundOptions(check_closure=False, avg_tolerance=1e-4,
+                               avg_max_iterations=16, solve_workers=2,
+                               shard_strategy=strategy)
+        rows = [(10.0, 5.0), (10.5, 15.0), (11.2, 25.0), (12.5, 35.0)]
+        delta = [(12.6, 9.0), (10.1, 2.0)]
+        regions = [Predicate.range("utc", 11, 12),
+                   Predicate.range("utc", 12, 13),
+                   Predicate.range("utc", 11, 13)]
+
+        service = ContingencyService(max_workers=2)
+        service.register(
+            "outage", build_pcset(),
+            observed=Relation.from_rows(observed_schema(), rows),
+            options=options)
+        for region in regions:  # warm the caches pre-append
+            for maker in ALL_AGGREGATES:
+                service.analyze("outage", maker(region))
+        service.append_rows("outage", delta)
+
+        cold = PCAnalyzer(
+            build_pcset(),
+            observed=Relation.from_rows(observed_schema(), rows + delta),
+            options=options)
+        for region in regions:
+            for maker in ALL_AGGREGATES:
+                assert_reports_identical(service.analyze("outage",
+                                                         maker(region)),
+                                         cold.analyze(maker(region)))
+        service.shutdown()
+
+    def test_append_with_persistent_store_migrates_on_disk(self, tmp_path):
+        """Migrated reports written through the store warm the *new* version
+        after a restart."""
+        q_far = ContingencyQuery.sum("price", Predicate.range("utc", 11, 12))
+        with ContingencyService(max_workers=1,
+                                cache_dir=str(tmp_path)) as service:
+            service.register("outage", build_pcset(),
+                             observed=build_observed(), options=FAST)
+            before = service.analyze("outage", q_far)
+            service.append_rows("outage", [(13.5, 45.0)])
+
+        with ContingencyService(max_workers=1,
+                                cache_dir=str(tmp_path)) as warm:
+            warm.register(
+                "outage", build_pcset(),
+                observed=build_observed().append([(13.5, 45.0)]),
+                options=FAST)
+            after = warm.analyze("outage", ContingencyQuery.sum(
+                "price", Predicate.range("utc", 11, 12)))
+            assert warm.statistics().decompositions_computed == 0
+        assert_reports_identical(after, before)

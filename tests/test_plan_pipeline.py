@@ -503,7 +503,11 @@ class TestServiceProgramCache:
         assert statistics.program_cache.hits >= 2
         assert "program cache" in statistics.summary()
 
-    def test_clear_caches_drops_programs(self):
+    def test_clear_caches_drops_programs(self, monkeypatch):
+        # Pin the memory-only semantics: with a persistent tier attached
+        # (the REPRO_CACHE_DIR CI leg) clear() is just a memory valve and
+        # the second analyze would warm from the store instead.
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         service = ContingencyService(max_workers=1)
         service.register("outage", self.build_pcset(), options=NO_CLOSURE)
         query = ContingencyQuery.sum("price", Predicate.range("utc", 11, 12))

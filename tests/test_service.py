@@ -261,7 +261,11 @@ class TestContingencyService:
         text = service.statistics().summary()
         assert "decomposition cache" in text and "queries answered" in text
 
-    def test_clear_caches_forces_recompute(self):
+    def test_clear_caches_forces_recompute(self, monkeypatch):
+        # Pin the memory-only semantics: with a persistent tier attached
+        # (the REPRO_CACHE_DIR CI leg) clear() is just a memory valve and
+        # the second analyze would warm from the store instead.
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         service = ContingencyService(max_workers=1)
         service.register("outage", build_pcset(), options=FAST)
         query = ContingencyQuery.count(Predicate.range("utc", 11, 13))

@@ -298,7 +298,11 @@ class TestServiceIntegration:
                     for i in range(4)]
         return relation, pcset, queries
 
-    def test_process_pool_batches_reuse_warm_workers(self):
+    def test_process_pool_batches_reuse_warm_workers(self, monkeypatch):
+        # This pins the warm-*worker* path: clearing the report cache must
+        # re-dispatch to the pool.  A persistent tier (the REPRO_CACHE_DIR
+        # CI leg) would answer the second batch from the store instead.
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         relation, pcset, queries = self.make_service_scenario()
         with ContingencyService(max_workers=WORKERS,
                                 pool_mode="process") as service:
@@ -321,7 +325,10 @@ class TestServiceIntegration:
                 assert report.upper == pytest.approx(serial.upper, rel=1e-9)
         assert service.worker_pool.alive_workers() == 0
 
-    def test_service_batches_survive_worker_kill(self):
+    def test_service_batches_survive_worker_kill(self, monkeypatch):
+        # Same pin as above: the recovery batch must reach the (restarted)
+        # pool rather than be served from a persistent store.
+        monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
         relation, pcset, queries = self.make_service_scenario()
         with ContingencyService(max_workers=WORKERS,
                                 pool_mode="process") as service:
